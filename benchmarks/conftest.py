@@ -1,0 +1,42 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper via
+``benchmark.pedantic(..., rounds=1)`` — the experiments are full simulation
+sweeps, so one round is the meaningful unit — then asserts the paper's
+qualitative shape on the result.  ``REPRO_SCALE`` (tiny/small/medium)
+selects the proxy-graph scale; the default is ``small``.
+
+Rendered tables are written to ``benchmarks/results/<name>.txt`` so the
+numbers behind EXPERIMENTS.md are regenerable artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+@pytest.fixture()
+def record_result():
+    """Write an ExperimentResult's table to benchmarks/results/."""
+
+    def _write(result) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        name = result.name.lower().replace(" ", "").replace(".", "")
+        (RESULTS_DIR / f"{name}.txt").write_text(result.format_table() + "\n")
+
+    return _write
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,131 @@
+"""Ablations of MEGA's design choices (beyond the paper's figures).
+
+DESIGN.md calls out the load-bearing mechanisms; each ablation disables or
+sweeps one and shows it matters:
+
+* the unified multi-snapshot value array (row-wide version processing,
+  §3.2) — without it BOE degenerates toward per-version scalar work;
+* batch pipelining's injection threshold (§3.2, Fig. 11);
+* the edge cache capacity;
+* JetStream's deletion-logic cost factor (sensitivity of the baseline).
+"""
+
+from dataclasses import replace
+
+from conftest import run_once
+
+from repro.accel import JetStreamSimulator, MegaSimulator, mega_config, jetstream_config
+from repro.algorithms import get_algorithm
+from repro.workloads import load_scenario
+
+
+def _scenario(scale):
+    return load_scenario("Wen", scale)
+
+
+def test_ablation_row_wide_versions(benchmark, scale):
+    """Disabling the unified value array costs BOE most of its edge."""
+    scenario = _scenario(scale)
+    algo = get_algorithm("sssp")
+
+    def run():
+        with_rows = MegaSimulator("boe", config=mega_config()).run(
+            scenario, algo
+        )
+        scalar_cfg = replace(mega_config(), row_wide_versions=False)
+        without = MegaSimulator("boe", config=scalar_cfg).run(scenario, algo)
+        return with_rows, without
+
+    with_rows, without = run_once(benchmark, run)
+    assert without.update_cycles > 1.2 * with_rows.update_cycles
+    assert without.counters.dram_bytes > with_rows.counters.dram_bytes
+
+
+def test_ablation_pipeline_threshold(benchmark, scale):
+    """BP saves cycles for any sane threshold; savings saturate."""
+    scenario = _scenario(scale)
+    algo = get_algorithm("sssp")
+
+    def run():
+        out = {}
+        base = MegaSimulator("boe").run(scenario, algo)
+        out[0] = base.update_cycles
+        for threshold in (16, 64, 256):
+            cfg = replace(mega_config(), pipeline_threshold_events=threshold)
+            r = MegaSimulator("boe", pipeline=True, config=cfg).run(
+                scenario, algo
+            )
+            out[threshold] = r.update_cycles
+        return out
+
+    cycles = run_once(benchmark, run)
+    # pipelining never hurts at any threshold (it can only merge rounds)
+    for threshold in (16, 64, 256):
+        assert cycles[threshold] <= cycles[0] * 1.001, threshold
+    # and at least one setting yields a real saving
+    assert min(cycles[t] for t in (16, 64, 256)) < cycles[0] * 0.995
+
+
+def test_ablation_edge_cache(benchmark, scale):
+    """A larger edge cache reduces DRAM traffic (and never hurts)."""
+    scenario = _scenario(scale)
+    algo = get_algorithm("sssp")
+
+    def run():
+        out = {}
+        for kb in (0.25, 1.0, 64.0):
+            cfg = replace(mega_config(), edge_cache_kb_per_pe=kb)
+            r = MegaSimulator("boe", config=cfg).run(scenario, algo)
+            out[kb] = (r.update_cycles, r.counters.edge_block_misses)
+        return out
+
+    res = run_once(benchmark, run)
+    __, misses_small = res[0.25]
+    __, misses_big = res[64.0]
+    assert misses_big <= misses_small
+    assert res[64.0][0] <= res[0.25][0] * 1.001
+
+
+def test_ablation_deletion_factor(benchmark, scale):
+    """The Fig. 2 gap persists even with free deletion logic: most of the
+    deletion cost is the invalidation/recompute traffic, not the factor."""
+    scenario = _scenario(scale)
+    algo = get_algorithm("sssp")
+
+    def run():
+        out = {}
+        for factor in (1.0, 6.0, 12.0):
+            cfg = replace(jetstream_config(), deletion_event_factor=factor)
+            r = JetStreamSimulator(config=cfg).run(scenario, algo)
+            out[factor] = (r.update_cycles, dict(r.phase_cycles))
+        return out
+
+    res = run_once(benchmark, run)
+    assert res[1.0][0] <= res[6.0][0] <= res[12.0][0]
+    # deletions dominate additions even at factor 1 (traffic-driven)
+    phases = res[1.0][1]
+    assert phases["del"] > phases["add"]
+
+
+def test_ablation_dram_model(benchmark, scale):
+    """The row-buffer-aware DRAM model changes absolute cycles but not the
+    workflow ordering — the relative conclusions are model-robust."""
+    scenario = _scenario(scale)
+    algo = get_algorithm("sssp")
+
+    def run():
+        out = {}
+        for detailed in (False, True):
+            cfg = replace(mega_config(), detailed_dram=detailed)
+            js_cfg = replace(jetstream_config(), detailed_dram=detailed)
+            js = JetStreamSimulator(config=js_cfg).run(scenario, algo)
+            speeds = {}
+            for wf in ("work-sharing", "boe"):
+                r = MegaSimulator(wf, config=cfg).run(scenario, algo)
+                speeds[wf] = r.speedup_over(js)
+            out[detailed] = speeds
+        return out
+
+    res = run_once(benchmark, run)
+    for detailed, speeds in res.items():
+        assert speeds["boe"] > speeds["work-sharing"] > 1.0, detailed

@@ -1,0 +1,65 @@
+"""Extension experiments: PE-scaling claim (§5.2) and per-update latency."""
+
+from conftest import run_once
+
+from repro.experiments import ext_latency, ext_sensitivity
+
+
+def test_ext_pe_sweep(benchmark, scale, record_result):
+    """§5.2: 'adding additional PEs did not improve performance without
+    increasing the memory bandwidth as well as internal bandwidth'."""
+    result = run_once(benchmark, ext_sensitivity.run, scale)
+    record_result(result)
+    pes_only = dict(
+        zip(result.column("n_pes"), result.column("pes_only_cycles"))
+    )
+    balanced = dict(
+        zip(result.column("n_pes"), result.column("balanced_cycles"))
+    )
+    assert abs(pes_only[32] - pes_only[8]) / pes_only[8] < 0.10
+    assert balanced[32] < 0.9 * balanced[8]
+
+
+def test_ext_latency(benchmark, scale, record_result):
+    """BOE's per-stage latency rivals one streaming update while serving
+    every target snapshot at once."""
+    result = run_once(benchmark, ext_latency.run, scale)
+    record_result(result)
+    js_row, stage_row, amortized_row = result.rows
+    js_median, stage_median = js_row[2], stage_row[2]
+    amortized_mean = amortized_row[4]
+    assert stage_median < js_median
+    assert amortized_mean < stage_median
+    assert amortized_mean < js_median / 10
+
+def test_ext_multiquery(benchmark, scale, record_result):
+    """Per-query cost falls with query count (shared fetches win over the
+    added partition pressure)."""
+    from repro.experiments import ext_multiquery
+
+    result = run_once(benchmark, ext_multiquery.run, scale)
+    record_result(result)
+    per_query = dict(
+        zip(result.column("n_queries"), result.column("cycles_per_query"))
+    )
+    assert per_query[8] < per_query[1]
+    parts = dict(
+        zip(result.column("n_queries"), result.column("n_partitions"))
+    )
+    assert parts[8] >= parts[1]
+
+
+def test_ext_energy(benchmark, scale, record_result):
+    """§5.3: ~10 W MEGA is substantially more power-efficient than the
+    CPU and GPU baselines."""
+    from repro.experiments import ext_energy
+
+    result = run_once(benchmark, ext_energy.run, scale)
+    record_result(result)
+    rows = {r[0]: r for r in result.rows}
+    mega = rows["mega (boe+bp)"]
+    assert 8.0 < mega[2] < 11.0  # "consuming only 10 Watts"
+    for name, row in rows.items():
+        if name == "mega (boe+bp)":
+            continue
+        assert row[4] > 50.0, name  # orders of magnitude less energy

@@ -1,0 +1,19 @@
+"""Fig. 2 bench: deletions cost several times additions on JetStream."""
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments import fig02_deletion_cost
+
+
+def test_fig02_deletion_cost(benchmark, scale, record_result):
+    result = run_once(benchmark, fig02_deletion_cost.run, scale)
+    record_result(result)
+    ratios = result.column("del/add")
+    # deletions are more expensive for virtually every pair (at proxy
+    # scale an occasional deletion batch misses the dependence tree)
+    worse = sum(1 for r in ratios if r > 1.0)
+    assert worse >= 0.9 * len(ratios)
+    # and substantially so in aggregate (paper: multiples, not percents)
+    assert statistics.median(ratios) > 2.0

@@ -1,0 +1,14 @@
+"""Fig. 3 bench: applied-addition counts per workflow (16 snapshots)."""
+
+from conftest import run_once
+
+from repro.experiments import fig03_additions
+
+
+def test_fig03_addition_counts(benchmark, scale, record_result):
+    result = run_once(benchmark, fig03_additions.run, scale)
+    record_result(result)
+    for dh_ratio in result.column("dh/stream"):
+        assert 6.0 <= dh_ratio <= 10.0  # paper: ~8x at 16 snapshots
+    for ws_ratio in result.column("ws/stream"):
+        assert 1.5 <= ws_ratio <= 3.5  # paper: ~2x

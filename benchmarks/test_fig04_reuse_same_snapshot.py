@@ -1,0 +1,16 @@
+"""Fig. 4 bench: different batches on one snapshot share almost no edges."""
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments import fig04_fig05_reuse
+
+
+def test_fig04_reuse_same_snapshot(benchmark, scale, record_result):
+    result = run_once(benchmark, fig04_fig05_reuse.run_fig04, scale)
+    record_result(result)
+    fractions = result.column("reused_fraction")
+    assert all(0.0 <= f <= 1.0 for f in fractions)
+    # paper: below ~0.06 everywhere; allow proxy-scale noise
+    assert statistics.median(fractions) < 0.1

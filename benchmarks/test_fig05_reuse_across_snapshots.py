@@ -1,0 +1,15 @@
+"""Fig. 5 bench: the same batch across snapshots shares ~98% of edges."""
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments import fig04_fig05_reuse
+
+
+def test_fig05_reuse_across_snapshots(benchmark, scale, record_result):
+    result = run_once(benchmark, fig04_fig05_reuse.run_fig05, scale)
+    record_result(result)
+    fractions = result.column("reused_fraction")
+    assert statistics.mean(fractions) > 0.9  # paper: ~0.98
+    assert min(fractions) > 0.5

@@ -1,0 +1,23 @@
+"""Fig. 10 bench: events per round ramp to an early peak then decay."""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import fig10_event_rounds
+
+
+def test_fig10_event_rounds(benchmark, scale, record_result):
+    result = run_once(benchmark, fig10_event_rounds.run, scale)
+    record_result(result)
+    series = defaultdict(list)
+    for algo, __, events in result.rows:
+        series[algo].append(events)
+    assert set(series) == set(fig10_event_rounds.FIG10_ALGOS)
+    for algo, events in series.items():
+        assert len(events) >= 3, algo
+        peak_at = events.index(max(events))
+        # the peak arrives in the first two thirds of the run...
+        assert peak_at <= 2 * len(events) // 3, algo
+        # ...and the tail has decayed well below it
+        assert events[-1] <= max(events) / 2, algo

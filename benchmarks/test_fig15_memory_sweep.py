@@ -1,0 +1,29 @@
+"""Fig. 15 bench: larger on-chip memory raises BOE's speedup."""
+
+from collections import defaultdict
+
+from conftest import run_once
+
+from repro.experiments import fig15_memory_sweep
+
+
+def test_fig15_memory_sweep(benchmark, scale, record_result):
+    result = run_once(benchmark, fig15_memory_sweep.run, scale)
+    record_result(result)
+    by_algo = defaultdict(list)
+    parts_by_algo = defaultdict(list)
+    for algo, mb, speedup, parts in result.rows:
+        by_algo[algo].append((mb, speedup))
+        parts_by_algo[algo].append((mb, parts))
+    for algo, points in by_algo.items():
+        points.sort()
+        speeds = [s for __, s in points]
+        # monotone non-decreasing with memory (tiny numeric slack)
+        for a, b in zip(speeds, speeds[1:]):
+            assert b >= a * 0.999, algo
+        # and the sweep spans a real difference end to end
+        assert speeds[-1] > speeds[0], algo
+    for algo, points in parts_by_algo.items():
+        points.sort()
+        parts = [p for __, p in points]
+        assert parts[0] >= parts[-1], algo  # partitions shrink with memory

@@ -1,0 +1,16 @@
+"""Fig. 16 bench: normalized edge reads — BOE < Work-Sharing < Direct-Hop."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_17_18_reads
+
+
+def test_fig16_edge_reads(benchmark, scale, record_result):
+    result = run_once(
+        benchmark, fig16_17_18_reads.run_metric, "Fig. 16", scale
+    )
+    record_result(result)
+    for algo, dh, ws, boe in result.rows:
+        assert dh == 1.0, algo  # normalization anchor
+        assert boe < ws < dh, algo
+        assert boe < 0.7, algo  # paper: BOE reads well under half of DH

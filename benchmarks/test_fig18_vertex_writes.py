@@ -1,0 +1,15 @@
+"""Fig. 18 bench: normalized vertex writes — BOE < Work-Sharing < Direct-Hop."""
+
+from conftest import run_once
+
+from repro.experiments import fig16_17_18_reads
+
+
+def test_fig18_vertex_writes(benchmark, scale, record_result):
+    result = run_once(
+        benchmark, fig16_17_18_reads.run_metric, "Fig. 18", scale
+    )
+    record_result(result)
+    for algo, dh, ws, boe in result.rows:
+        assert dh == 1.0, algo
+        assert boe < ws < dh, algo

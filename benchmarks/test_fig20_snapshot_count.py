@@ -1,0 +1,21 @@
+"""Fig. 20 bench: snapshot-count sweep — partitioning erodes BOE at 24."""
+
+from conftest import run_once
+
+from repro.experiments import fig20_snapshots
+
+
+def test_fig20_snapshot_count(benchmark, scale, record_result):
+    result = run_once(benchmark, fig20_snapshots.run, scale)
+    record_result(result)
+    boe = dict(zip(result.column("snapshots"), result.column("boe")))
+    parts = dict(
+        zip(result.column("snapshots"), result.column("boe_partitions"))
+    )
+    # BOE clearly ahead in the paper's sweet spot
+    assert boe[16] > 1.5
+    # more snapshots -> more resident versions -> more partitions
+    assert parts[24] > parts[8]
+    # the 24-snapshot point loses ground versus the peak (paper: "MEGA's
+    # performance slows down compared to the other execution flows")
+    assert boe[24] < max(boe.values())

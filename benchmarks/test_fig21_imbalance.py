@@ -1,0 +1,16 @@
+"""Fig. 21 bench: BOE tolerates batch-size imbalance (dip of ~10% max)."""
+
+from conftest import run_once
+
+from repro.experiments import fig21_imbalance
+
+
+def test_fig21_imbalance(benchmark, scale, record_result):
+    result = run_once(benchmark, fig21_imbalance.run, scale)
+    record_result(result)
+    rel = result.column("relative_to_balanced")
+    assert rel[0] == 1.0
+    # paper: speedup dips only slightly (~10%) even at 4x imbalance
+    assert all(r > 0.75 for r in rel)
+    speedups = result.column("speedup")
+    assert all(s > 5.0 for s in speedups)  # still far ahead of RisGraph WS

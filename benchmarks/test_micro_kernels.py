@@ -1,0 +1,110 @@
+"""Microbenchmarks of the engine's hot kernels.
+
+Unlike the table/figure benchmarks (one simulation sweep per round), these
+are classic repeated-timing microbenchmarks of the primitives everything
+else is built on: the CSR edge gather, the coalescing scatter-reduce, a
+full single-source evaluation, and one BOE multi-version batch step.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SSSP
+from repro.engines import MultiVersionEngine
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph, gather_out_edges
+from repro.graph.generators import rmat_edges
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return CSRGraph.from_edges(rmat_edges(4_000, 64_000, seed=11))
+
+
+@pytest.fixture(scope="module")
+def unified(graph):
+    none = np.full(graph.n_edges, -1, dtype=np.int32)
+    return UnifiedCSR(graph, none, none.copy(), 1)
+
+
+def test_bench_gather_out_edges(benchmark, graph):
+    rng = np.random.default_rng(0)
+    frontier = np.unique(rng.integers(0, graph.n_vertices, 1_000))
+    idx, src = benchmark(gather_out_edges, graph.indptr, frontier)
+    assert idx.size > 0
+
+
+def test_bench_scatter_reduce(benchmark, graph):
+    algo = SSSP()
+    rng = np.random.default_rng(1)
+    n = graph.n_vertices
+    index = rng.integers(0, n, 50_000)
+    cand = rng.uniform(0, 100, 50_000)
+
+    def run():
+        values = np.full(n, np.inf)
+        algo.scatter_reduce(values, index, cand)
+        return values
+
+    values = benchmark(run)
+    assert np.isfinite(values).sum() > 0
+
+
+def test_bench_full_evaluation(benchmark, unified):
+    algo = SSSP()
+    presence = np.ones(unified.n_union_edges, dtype=bool)
+
+    def run():
+        return MultiVersionEngine(algo, unified).evaluate_full(presence, 0)
+
+    values = benchmark(run)
+    assert np.isfinite(values).sum() > unified.n_vertices // 2
+
+
+def test_bench_multi_version_batch(benchmark, unified):
+    """One batch applied to 16 versions at once — BOE's inner step."""
+    algo = SSSP()
+    rng = np.random.default_rng(2)
+    batch = rng.choice(unified.n_union_edges, size=640, replace=False)
+    presence_base = np.ones(unified.n_union_edges, dtype=bool)
+    presence_base[batch] = False
+    engine = MultiVersionEngine(algo, unified)
+    base = engine.evaluate_full(presence_base, 0)
+    presence = np.tile(presence_base, (16, 1))
+    presence[:, batch] = True
+
+    def run():
+        values = np.tile(base, (16, 1))
+        engine.apply_additions(values, batch, presence)
+        return values
+
+    values = benchmark(run)
+    assert values.shape == (16, unified.n_vertices)
+
+
+def test_bench_engine_scaling(benchmark):
+    """Throughput characterization: full evaluation scales near-linearly
+    with edge count (vectorized kernels, no quadratic blowups)."""
+    import time
+
+    algo = SSSP()
+    rates = {}
+
+    def run():
+        for n_edges in (8_000, 32_000, 128_000):
+            g = CSRGraph.from_edges(
+                rmat_edges(n_edges // 16, n_edges, seed=13)
+            )
+            none = np.full(g.n_edges, -1, dtype=np.int32)
+            u = UnifiedCSR(g, none, none.copy(), 1)
+            t0 = time.perf_counter()
+            MultiVersionEngine(algo, u).evaluate_full(
+                np.ones(g.n_edges, dtype=bool), 0
+            )
+            rates[n_edges] = n_edges / (time.perf_counter() - t0)
+        return rates
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    # edges/second at 128k edges is within ~8x of the 8k-edge rate —
+    # i.e. no superlinear blowup (wide tolerance absorbs machine noise)
+    assert result[128_000] > result[8_000] / 8.0

@@ -1,0 +1,30 @@
+"""The one-shot reproduction summary: every headline metric in band.
+
+This is the repository's acceptance test — the EXPERIMENTS.md summary
+table regenerated and checked row by row at the calibrated scale.
+"""
+
+from conftest import run_once
+
+from repro.experiments import summary
+
+
+def test_summary_all_bands(benchmark, scale, record_result):
+    result = run_once(benchmark, summary.run, scale)
+    record_result(result)
+    verdicts = dict(zip(result.column("metric"), result.column("in_band")))
+    if scale == "small":
+        failing = [m for m, v in verdicts.items() if v == "NO"]
+        assert not failing, failing
+    else:
+        # away from the calibrated scale only the scale-free structural
+        # metrics must hold
+        for metric in (
+            "DH / streaming ops",
+            "WS / streaming ops",
+            "same-snapshot reuse",
+            "cross-snapshot reuse",
+            "total power (mW)",
+            "total area (mm^2)",
+        ):
+            assert verdicts[metric] == "yes", metric

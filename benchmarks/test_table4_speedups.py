@@ -1,0 +1,37 @@
+"""Table 4 bench: the headline accelerator comparison.
+
+JetStream time plus Direct-Hop / Work-Sharing / BOE / BOE+BP speedups for
+all six graphs and five algorithms.  The assertions encode the paper's
+shape: BOE+BP >= BOE > WS > DH ~ 1x, with BOE+BP several times JetStream.
+"""
+
+import statistics
+
+from conftest import run_once
+
+from repro.experiments import table4_speedups
+
+
+def test_table4_speedups(benchmark, scale, record_result):
+    result = run_once(benchmark, table4_speedups.run, scale)
+    record_result(result)
+    assert len(result.rows) == 30  # 6 graphs x 5 algorithms
+
+    dh = result.column("direct-hop_speedup")
+    ws = result.column("work-sharing_speedup")
+    boe = result.column("boe_speedup")
+    bp = result.column("boe+bp_speedup")
+
+    # per-row ordering: pipelining never hurts, BOE beats WS beats DH
+    for row in range(len(dh)):
+        assert bp[row] >= boe[row] * 0.999
+        assert boe[row] > ws[row]
+        assert ws[row] > dh[row]
+
+    # aggregate magnitudes (paper: BOE 3.74-4.95x, BOE+BP 4.08-5.98x)
+    assert 3.0 <= statistics.median(boe) <= 7.0
+    assert 3.5 <= statistics.median(bp) <= 8.0
+    # Direct-Hop hovers near JetStream (paper: 1.04-2.26x)
+    assert 0.7 <= statistics.median(dh) <= 2.5
+    # every JetStream run took nonzero time
+    assert all(t > 0 for t in result.column("jetstream_ms"))

@@ -1,0 +1,22 @@
+"""Table 5 bench: power and area of the MEGA components."""
+
+from conftest import run_once
+
+from repro.experiments import table5_power
+
+
+def test_table5_power_area(benchmark, scale, record_result):
+    result = run_once(benchmark, table5_power.run)
+    record_result(result)
+    rows = {r[0].split()[0]: r for r in result.rows}
+    total = rows["Total"]
+    # paper: 9532 mW, 203 mm^2
+    assert abs(total[3] - 9532) / 9532 < 0.05
+    assert abs(total[4] - 203) / 203 < 0.05
+    # the queue memory dominates both power and area
+    queue = rows["Queue"]
+    assert queue[3] > 0.9 * total[3]
+    assert queue[4] > 0.9 * total[4]
+    # MEGA's overhead over JetStream is small (paper: +6.8% / +2%)
+    assert 0 < total[5] < 12
+    assert 0 < total[6] < 6

@@ -1,0 +1,36 @@
+"""The paper's §5.1 validation, as a benchmark: every workflow on every
+graph and algorithm produces ground-truth values on every snapshot.
+
+This is the reproduction's equivalent of "We validated the final results
+of MEGA executions against those of the software baselines" — run across
+the full evaluation matrix at tiny proxy scale (correctness does not need
+big graphs; the timing benchmarks cover those).
+"""
+
+from conftest import run_once
+
+from repro.algorithms import get_algorithm
+from repro.engines import PlanExecutor
+from repro.engines.validation import validate_workflow
+from repro.experiments.runner import ALGOS, GRAPHS
+from repro.schedule import WORKFLOWS, plan_for
+from repro.workloads import load_scenario
+
+
+def test_validation_matrix(benchmark):
+    def run():
+        checked = 0
+        for graph in GRAPHS:
+            scenario = load_scenario(graph, "tiny", n_snapshots=8)
+            for algo_name in ALGOS:
+                algo = get_algorithm(algo_name)
+                for workflow in sorted(WORKFLOWS):
+                    result = PlanExecutor(scenario, algo).run(
+                        plan_for(workflow, scenario.unified)
+                    )
+                    validate_workflow(scenario, algo, result)
+                    checked += 1
+        return checked
+
+    checked = run_once(benchmark, run)
+    assert checked == len(GRAPHS) * len(ALGOS) * len(WORKFLOWS)

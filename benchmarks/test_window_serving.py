@@ -1,0 +1,65 @@
+"""Serving benchmark: sliding the window beats re-evaluating it.
+
+The WindowServer extension's value proposition, quantified: one
+``advance`` (reuse N-1 snapshots, compute one incrementally) against a
+full BOE re-evaluation of the new window.
+"""
+
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.algorithms import get_algorithm
+from repro.core import WindowServer
+from repro.engines import PlanExecutor
+from repro.graph.edges import EdgeList, edge_keys
+from repro.schedule import boe_plan
+from repro.workloads import load_scenario
+
+
+def _transition(server, rng, n_adds=25, n_dels=20):
+    u = server.scenario.unified
+    n = u.n_vertices
+    taken = set(edge_keys(u.graph.src_of_edge, u.graph.dst, n).tolist())
+    adds = []
+    while len(adds) < n_adds:
+        s, d = int(rng.integers(n)), int(rng.integers(n))
+        if s == d or s * n + d in taken:
+            continue
+        taken.add(s * n + d)
+        adds.append((s, d, float(rng.uniform(1, 8))))
+    deletable = np.flatnonzero(
+        u.presence_mask(u.n_snapshots - 1) & (u.add_step < 1)
+    )
+    chosen = rng.choice(deletable, size=n_dels, replace=False)
+    dels = [(int(u.graph.src_of_edge[e]), int(u.graph.dst[e])) for e in chosen]
+    return EdgeList.from_tuples(n, adds), dels
+
+
+def test_slide_beats_reevaluation(benchmark, scale):
+    scenario = load_scenario("PK", scale, n_snapshots=8)
+    algo = get_algorithm("sssp")
+
+    def run():
+        server = WindowServer(scenario, algo)
+        rng = np.random.default_rng(3)
+        slide_total = 0.0
+        reeval_total = 0.0
+        for __ in range(5):
+            adds, dels = _transition(server, rng)
+            t0 = time.perf_counter()
+            server.advance(adds, dels)
+            slide_total += time.perf_counter() - t0
+            t0 = time.perf_counter()
+            PlanExecutor(server.scenario, algo).run(
+                boe_plan(server.scenario.unified)
+            )
+            reeval_total += time.perf_counter() - t0
+        return slide_total, reeval_total, server
+
+    slide, reeval, server = run_once(benchmark, run)
+    assert server.slides == 5
+    # sliding reuses N-1 snapshots: clearly cheaper than re-running BOE
+    assert slide < reeval

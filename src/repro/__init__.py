@@ -1,0 +1,42 @@
+"""MEGA: Evolving Graph Accelerator — full Python reproduction.
+
+Reproduces Gao, Afarin, Rahman, Abu-Ghazaleh & Gupta, *MEGA Evolving Graph
+Accelerator*, MICRO 2023 (DOI 10.1145/3613424.3614260): the CommonGraph
+evolving-graph model, the Batch-Oriented-Execution scheduling contribution,
+the JetStream streaming-accelerator baseline, and cycle-approximate
+simulators of both accelerators, together with the benchmark harness that
+regenerates every table and figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import synthesize_scenario, get_algorithm
+    from repro.graph.generators import rmat_edges
+    from repro.schedule import boe_plan
+    from repro.engines import PlanExecutor
+
+    pool = rmat_edges(n_vertices=512, n_edges=4096, seed=7)
+    scenario = synthesize_scenario(pool, n_snapshots=8)
+    result = PlanExecutor(scenario, get_algorithm("sssp")).run(
+        boe_plan(scenario.unified)
+    )
+    print(result.values(3))  # SSSP values on snapshot 3
+"""
+
+from repro.algorithms import all_algorithms, get_algorithm
+from repro.core import EvolvingGraphEngine
+from repro.evolving import EvolvingScenario, UnifiedCSR, synthesize_scenario
+from repro.graph import CSRGraph, EdgeList
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "EvolvingGraphEngine",
+    "EvolvingScenario",
+    "UnifiedCSR",
+    "all_algorithms",
+    "get_algorithm",
+    "synthesize_scenario",
+    "__version__",
+]

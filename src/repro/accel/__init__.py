@@ -1,0 +1,60 @@
+"""Accelerator models: JetStream baseline and MEGA, cycle-approximate."""
+
+from repro.accel.cache import EdgeCacheModel
+from repro.accel.dram import RowBufferDram
+from repro.accel.config import AcceleratorConfig, jetstream_config, mega_config
+from repro.accel.energy import EnergyModel, EnergyReport
+from repro.accel.event import Event
+from repro.accel.eventsim import EventLevelSimulator, EventSimStats
+from repro.accel.graphpulse import GraphPulseSimulator, static_scenario
+from repro.accel.prefetch import PrefetchModel
+from repro.accel.processor import PECluster, ProcessingEngine
+from repro.accel.jetstream import JetStreamSimulator
+from repro.accel.mega import MEGA_WORKFLOWS, MegaSimulator
+from repro.accel.memory import MemorySystem, PartitionPlan
+from repro.accel.noc import CrossbarNoC
+from repro.accel.power import ComponentCost, PowerAreaModel, table5_breakdown
+from repro.accel.queue import EventQueue, QueueDecoder
+from repro.accel.scheduler import Wave, WaveScheduler
+from repro.accel.simulate import build_waves, simulate_plan
+from repro.accel.stats import SimCounters, SimReport
+from repro.accel.timing import TimingModel
+from repro.accel.version_table import BatchStatus, VersionTable
+
+__all__ = [
+    "AcceleratorConfig",
+    "BatchStatus",
+    "ComponentCost",
+    "CrossbarNoC",
+    "EdgeCacheModel",
+    "EnergyModel",
+    "EnergyReport",
+    "Event",
+    "EventLevelSimulator",
+    "EventSimStats",
+    "EventQueue",
+    "GraphPulseSimulator",
+    "PECluster",
+    "PrefetchModel",
+    "ProcessingEngine",
+    "static_scenario",
+    "JetStreamSimulator",
+    "MEGA_WORKFLOWS",
+    "MegaSimulator",
+    "MemorySystem",
+    "PartitionPlan",
+    "PowerAreaModel",
+    "QueueDecoder",
+    "RowBufferDram",
+    "SimCounters",
+    "SimReport",
+    "TimingModel",
+    "VersionTable",
+    "Wave",
+    "WaveScheduler",
+    "build_waves",
+    "jetstream_config",
+    "mega_config",
+    "simulate_plan",
+    "table5_breakdown",
+]

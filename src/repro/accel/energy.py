@@ -1,0 +1,94 @@
+"""Energy model: turning the Table 5 power breakdown into per-run energy.
+
+§5.3 closes with "Consuming only 10 Watts, MEGA is substantially more
+power-efficient than our baseline GPU and CPU systems."  This module
+quantifies that: a run's energy is static power times runtime plus dynamic
+energy proportional to the activity counters, and the software baselines
+are costed with their platforms' board/package power over their modelled
+runtimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.accel.power import PowerAreaModel
+from repro.accel.stats import SimReport
+
+__all__ = ["EnergyModel", "EnergyReport", "PLATFORM_POWER_W"]
+
+#: typical sustained board/package power of the paper's baselines
+PLATFORM_POWER_W = {
+    "mega": None,  # derived from the Table 5 model
+    "jetstream": None,
+    "xeon-60core": 2 * 165.0,  # C2-standard-60: two high-TDP sockets
+    "k80": 300.0,  # NVIDIA Tesla K80 board power
+}
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting of one run."""
+
+    system: str
+    time_ms: float
+    avg_power_w: float
+    energy_mj: float  # millijoules
+
+    def efficiency_over(self, other: "EnergyReport") -> float:
+        """How many times less energy this run used than ``other``."""
+        return other.energy_mj / self.energy_mj if self.energy_mj else float("inf")
+
+
+class EnergyModel:
+    """Energy for accelerator reports and modelled software baselines."""
+
+    def __init__(self, power: PowerAreaModel | None = None) -> None:
+        self.power = power if power is not None else PowerAreaModel()
+        total = self.power.total()
+        self._static_w = total.static_mw / 1e3
+        self._dynamic_w = total.dynamic_mw / 1e3
+
+    def accelerator_energy(self, report: SimReport) -> EnergyReport:
+        """Static power over the run plus activity-scaled dynamic power.
+
+        The Table 5 dynamic figure corresponds to full-tilt operation; the
+        run's duty cycle is approximated by the PE-occupancy implied by its
+        event counts.
+        """
+        seconds = report.update_time_ms / 1e3
+        cfg = self.power.config
+        cycles = max(report.update_cycles, 1.0)
+        duty = min(
+            1.0,
+            report.counters.events_popped
+            / (cycles * cfg.n_pes),
+        )
+        avg_power = self._static_w + self._dynamic_w * duty
+        return EnergyReport(
+            system=report.system,
+            time_ms=report.update_time_ms,
+            avg_power_w=avg_power,
+            energy_mj=avg_power * seconds * 1e3,
+        )
+
+    @staticmethod
+    def software_energy(
+        system: str, platform: str, time_ms: float
+    ) -> EnergyReport:
+        """Board/package power over the baseline's modelled runtime."""
+        try:
+            watts = PLATFORM_POWER_W[platform]
+        except KeyError:
+            raise KeyError(
+                f"unknown platform {platform!r}; choose from "
+                f"{sorted(k for k, v in PLATFORM_POWER_W.items() if v)}"
+            ) from None
+        if watts is None:
+            raise ValueError(f"platform {platform!r} is an accelerator")
+        return EnergyReport(
+            system=system,
+            time_ms=time_ms,
+            avg_power_w=watts,
+            energy_mj=watts * time_ms,
+        )

@@ -1,0 +1,29 @@
+"""Event messages — the unit of work in the event-driven datapath.
+
+Events are lightweight tuples "consisting of a target vertex identifier, a
+payload, and specific flags" (paper §4.1).  MEGA extends JetStream's events
+with a *version tag* (which snapshot the event belongs to) and a *batch
+tag* (which batch execution produced it, used to detect batch completion
+for scheduling) — §4.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Event"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """One delta message destined for ``(vertex, version)``."""
+
+    vertex: int
+    payload: float
+    version: int = 0
+    batch: int = 0
+    is_delete: bool = False
+
+    def key(self) -> tuple[int, int]:
+        """Coalescing key: at most one live event per (vertex, version)."""
+        return (self.vertex, self.version)

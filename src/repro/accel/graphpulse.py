@@ -1,0 +1,75 @@
+"""GraphPulse — the static-graph event-driven accelerator MEGA descends from.
+
+GraphPulse (Rahman+, MICRO'20) introduced the event-driven asynchronous
+model with coalescing queues for *static* graph analytics; JetStream added
+streaming updates; MEGA added multi-snapshot evolving-graph execution.
+The static mode completes the lineage in this reproduction: one full query
+evaluation on one graph, on the same datapath model — it is also the
+machine that produces the initial CommonGraph results MEGA starts from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.accel.config import AcceleratorConfig, jetstream_config
+from repro.accel.simulate import simulate_plan
+from repro.accel.stats import SimReport
+from repro.algorithms.base import Algorithm
+from repro.evolving.snapshots import EvolvingScenario
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+from repro.schedule.plan import EvalFull, MarkSnapshot, Plan
+
+__all__ = ["GraphPulseSimulator", "static_scenario"]
+
+
+def static_scenario(
+    graph: CSRGraph, source: int = 0, name: str = "static"
+) -> EvolvingScenario:
+    """Wrap a static graph as a single-snapshot scenario."""
+    none = np.full(graph.n_edges, -1, dtype=np.int32)
+    unified = UnifiedCSR(graph, none, none.copy(), 1)
+    return EvolvingScenario(unified, source=source, name=name)
+
+
+class GraphPulseSimulator:
+    """Full-evaluation-only accelerator model (static graphs)."""
+
+    def __init__(self, config: AcceleratorConfig | None = None) -> None:
+        self.config = config if config is not None else jetstream_config()
+
+    def run(
+        self,
+        scenario: EvolvingScenario,
+        algorithm: Algorithm,
+        snapshot: int = 0,
+        validate: bool = False,
+    ) -> SimReport:
+        """Evaluate the query from scratch on one snapshot."""
+        plan = Plan(name="static-eval", n_states=1, initial_graph="snapshot0")
+        if snapshot != 0:
+            # materialize the requested snapshot as the base graph
+            scenario = static_scenario(
+                scenario.unified.snapshot_graph(snapshot),
+                source=scenario.source,
+                name=f"{scenario.name}@G{snapshot}",
+            )
+        plan.steps.append(EvalFull(0, label="eval"))
+        plan.steps.append(MarkSnapshot(0, 0))
+        report, result = simulate_plan(
+            scenario,
+            algorithm,
+            plan,
+            self.config,
+            concurrent=False,
+        )
+        if validate:
+            from repro.engines.validation import evaluate_reference
+
+            expected = evaluate_reference(scenario, algorithm, 0)
+            got = result.values(0)
+            if not np.allclose(got, expected, equal_nan=True):
+                raise AssertionError("static evaluation mismatch")
+        report.system = "graphpulse"
+        return report

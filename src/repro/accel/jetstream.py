@@ -1,0 +1,54 @@
+"""JetStream — the streaming-accelerator hardware baseline (Rahman+, MICRO'21).
+
+JetStream processes one graph at a time, streaming batch pairs of edge
+additions and deletions snapshot by snapshot.  Additions are cheap
+incremental events; deletions run the expensive invalidate-and-recompute
+path (Fig. 2).  MEGA inherits JetStream's datapath, so the baseline shares
+the queue/PE/NoC/memory models and differs only in workflow (sequential
+streaming), deletion support, and single-snapshot residency.
+"""
+
+from __future__ import annotations
+
+from repro.accel.config import AcceleratorConfig, jetstream_config
+from repro.accel.simulate import simulate_plan
+from repro.accel.stats import SimReport
+from repro.algorithms.base import Algorithm
+from repro.engines.executor import WorkflowResult
+from repro.evolving.snapshots import EvolvingScenario
+from repro.schedule.streaming import streaming_plan
+
+__all__ = ["JetStreamSimulator"]
+
+
+class JetStreamSimulator:
+    """Cycle-approximate model of the JetStream streaming accelerator."""
+
+    def __init__(self, config: AcceleratorConfig | None = None) -> None:
+        self.config = config if config is not None else jetstream_config()
+
+    def run(
+        self,
+        scenario: EvolvingScenario,
+        algorithm: Algorithm,
+        validate: bool = False,
+    ) -> SimReport:
+        report, __ = self.run_with_values(scenario, algorithm, validate)
+        return report
+
+    def run_with_values(
+        self,
+        scenario: EvolvingScenario,
+        algorithm: Algorithm,
+        validate: bool = False,
+    ) -> tuple[SimReport, WorkflowResult]:
+        plan = streaming_plan(scenario.unified)
+        return simulate_plan(
+            scenario,
+            algorithm,
+            plan,
+            self.config,
+            concurrent=False,  # one snapshot at a time
+            pipeline=False,
+            validate=validate,
+        )

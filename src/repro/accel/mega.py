@@ -1,0 +1,72 @@
+"""MEGA — the evolving-graph accelerator (the paper's contribution).
+
+MEGA keeps multiple snapshot versions active at once, executes any of the
+three deletion-free CommonGraph workflows (Direct-Hop, Work-Sharing, or
+Batch-Oriented-Execution), and optionally pipelines batches: a new batch
+execution is injected once the current one enters its long tail (§3.2).
+The datapath is JetStream's with the deletion logic removed and version
+tags, the version table, and the batch scheduler added (§4.3).
+"""
+
+from __future__ import annotations
+
+from repro.accel.config import AcceleratorConfig, mega_config
+from repro.accel.simulate import simulate_plan
+from repro.accel.stats import SimReport
+from repro.algorithms.base import Algorithm
+from repro.engines.executor import WorkflowResult
+from repro.evolving.snapshots import EvolvingScenario
+from repro.schedule import plan_for
+
+__all__ = ["MegaSimulator", "MEGA_WORKFLOWS"]
+
+MEGA_WORKFLOWS = ("direct-hop", "work-sharing", "boe")
+
+
+class MegaSimulator:
+    """Cycle-approximate model of the MEGA accelerator."""
+
+    def __init__(
+        self,
+        workflow: str = "boe",
+        pipeline: bool = False,
+        config: AcceleratorConfig | None = None,
+    ) -> None:
+        if workflow not in MEGA_WORKFLOWS:
+            raise ValueError(
+                f"MEGA supports workflows {MEGA_WORKFLOWS}, not {workflow!r}"
+            )
+        if pipeline and workflow != "boe":
+            raise ValueError("batch pipelining applies to the BOE workflow")
+        self.workflow = workflow
+        self.pipeline = pipeline
+        self.config = config if config is not None else mega_config()
+
+    def run(
+        self,
+        scenario: EvolvingScenario,
+        algorithm: Algorithm,
+        validate: bool = False,
+    ) -> SimReport:
+        report, __ = self.run_with_values(scenario, algorithm, validate)
+        return report
+
+    def run_with_values(
+        self,
+        scenario: EvolvingScenario,
+        algorithm: Algorithm,
+        validate: bool = False,
+    ) -> tuple[SimReport, WorkflowResult]:
+        plan = plan_for(self.workflow, scenario.unified)
+        report, result = simulate_plan(
+            scenario,
+            algorithm,
+            plan,
+            self.config,
+            concurrent=True,  # multiple active snapshots (§4.2)
+            pipeline=self.pipeline,
+            validate=validate,
+        )
+        if self.pipeline:
+            report.workflow = f"{self.workflow}+bp"
+        return report, result

@@ -1,0 +1,35 @@
+"""On-chip network model: the 16x16 crossbar of §4.3.
+
+"The event generation streams are interconnected with the queues via a
+network on a chip implemented as a 16x16 crossbar with each port shared
+among two of the 32 event generators."  Injection throughput is therefore
+bounded by the port count; the serialization of two generators per port is
+what keeps the NoC, rather than the generators, the binding constraint at
+full tilt.
+"""
+
+from __future__ import annotations
+
+from repro.accel.config import AcceleratorConfig
+
+__all__ = ["CrossbarNoC"]
+
+
+class CrossbarNoC:
+    """Analytical crossbar throughput model."""
+
+    def __init__(self, config: AcceleratorConfig) -> None:
+        self.ports = config.noc_ports
+        generators = config.n_pes * config.gen_units_per_pe
+        #: how many generators contend for each input port
+        self.generators_per_port = max(1, generators // self.ports)
+
+    def cycles(self, messages: int) -> float:
+        """Cycles to move ``messages`` events from generators to queue bins."""
+        if messages <= 0:
+            return 0.0
+        return messages / self.ports
+
+    @property
+    def peak_messages_per_cycle(self) -> int:
+        return self.ports

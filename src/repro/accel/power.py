@@ -1,0 +1,158 @@
+"""Power and area model (paper §5.3, Table 5).
+
+The paper sizes MEGA's resources with CACTI 7 at 22 nm (ITRS-HP SRAM for
+the queue memory) plus models for the crossbar, scheduler and logic.  CACTI
+is a closed C++ tool, so this module substitutes an analytical model with
+per-unit constants *calibrated to Table 5 at the default configuration*:
+64 MB of queue memory, 8 PEs with 2 KB scratchpads, and a 16x16 crossbar
+carrying 16-byte events.  Away from the default the components scale the
+way CACTI trends do — memory linearly with capacity, crossbar with
+``ports^2`` and flit width, logic with PE count — which is what the
+sensitivity experiments need.
+
+JetStream's corresponding design point (13-byte events without the version
+and batch tags, no version table or batch scheduler) is evaluated with the
+same model to reproduce the table's "overhead over JetStream" deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.accel.config import AcceleratorConfig, mega_config
+
+__all__ = ["ComponentCost", "PowerAreaModel", "table5_breakdown"]
+
+# -- calibration constants (Table 5 totals at the default MEGA config) ------
+
+# 64 MB eDRAM queue: 9389 mW, 195 mm^2 for MEGA (after its +5%/+13%/+1.5%
+# version-tag overheads over the JetStream design point)
+_QUEUE_STATIC_MW_PER_MB = 136.0  # refresh/leakage dominates eDRAM
+_QUEUE_DYNAMIC_MW_PER_MB = 3.45  # access energy at full tilt
+_QUEUE_AREA_MM2_PER_MB = 3.0
+
+# 8 x 2 KB scratchpads: 13.2 mW, 0.25 mm^2
+_SPAD_STATIC_MW_PER_KB = 0.10
+_SPAD_DYNAMIC_MW_PER_KB = 0.725
+_SPAD_AREA_MM2_PER_KB = 0.0156
+
+# 16x16 crossbar with 16B flits: 127.5 mW, 10.0 mm^2
+_NOC_MW_PER_PORT2_BYTE = 127.5 / (16 * 16 * 16)
+_NOC_AREA_PER_PORT2_BYTE = 10.0 / (16 * 16 * 16)
+_NOC_STATIC_FRACTION = 0.25
+
+# processing logic (PEs + scheduler + version table): 1.9 mW, 1.2 mm^2
+_LOGIC_MW_PER_PE = 1.9 / 8
+_LOGIC_AREA_PER_PE = 1.2 / 8
+# MEGA's version registers / batch scheduler add area to each PE (+34% in
+# Table 5's processing-logic row)
+_VERSION_LOGIC_AREA_FACTOR = 1.34
+_VERSION_LOGIC_POWER_FACTOR = 1.06
+
+
+@dataclass(frozen=True)
+class ComponentCost:
+    """Power/area of one datapath component."""
+
+    name: str
+    static_mw: float
+    dynamic_mw: float
+    area_mm2: float
+
+    @property
+    def total_mw(self) -> float:
+        return self.static_mw + self.dynamic_mw
+
+
+class PowerAreaModel:
+    """Analytical CACTI-7 stand-in for the MEGA/JetStream datapath."""
+
+    def __init__(self, config: AcceleratorConfig | None = None) -> None:
+        self.config = config if config is not None else mega_config()
+
+    def components(self) -> list[ComponentCost]:
+        cfg = self.config
+        mb = cfg.onchip_mb  # nominal capacity, not proxy-scaled
+        # MEGA widens each queue cell with version/batch tags and adds the
+        # per-bank version decoders of Fig. 13 (Table 5: +5% static, +13%
+        # dynamic power and +1.5% area on the queue).
+        q_static, q_dynamic, q_area = 1.0, 1.0, 1.0
+        if cfg.multi_snapshot:
+            q_static, q_dynamic, q_area = 1.05, 1.13, 1.015
+        queue = ComponentCost(
+            f"Queue {mb:g}MB",
+            static_mw=_QUEUE_STATIC_MW_PER_MB * mb * q_static,
+            dynamic_mw=_QUEUE_DYNAMIC_MW_PER_MB * mb * q_dynamic,
+            area_mm2=_QUEUE_AREA_MM2_PER_MB * mb * q_area,
+        )
+        spad_kb = cfg.scratchpad_kb_per_pe * cfg.n_pes
+        scratchpad = ComponentCost(
+            f"Scratchpad {cfg.n_pes}x{cfg.scratchpad_kb_per_pe:g}KB",
+            static_mw=_SPAD_STATIC_MW_PER_KB * spad_kb,
+            dynamic_mw=_SPAD_DYNAMIC_MW_PER_KB * spad_kb,
+            area_mm2=_SPAD_AREA_MM2_PER_KB * spad_kb,
+        )
+        noc_scale = cfg.noc_ports * cfg.noc_ports * cfg.event_bytes
+        noc_total = _NOC_MW_PER_PORT2_BYTE * noc_scale
+        network = ComponentCost(
+            f"Network {cfg.noc_ports}x{cfg.noc_ports}",
+            static_mw=noc_total * _NOC_STATIC_FRACTION,
+            dynamic_mw=noc_total * (1 - _NOC_STATIC_FRACTION),
+            area_mm2=_NOC_AREA_PER_PORT2_BYTE * noc_scale,
+        )
+        logic_mw = _LOGIC_MW_PER_PE * cfg.n_pes
+        logic_area = _LOGIC_AREA_PER_PE * cfg.n_pes
+        if cfg.multi_snapshot:
+            logic_mw *= _VERSION_LOGIC_POWER_FACTOR
+            logic_area *= _VERSION_LOGIC_AREA_FACTOR
+        logic = ComponentCost(
+            "Proc. Logic",
+            static_mw=logic_mw * 0.2,
+            dynamic_mw=logic_mw * 0.8,
+            area_mm2=logic_area,
+        )
+        return [queue, scratchpad, network, logic]
+
+    def total(self) -> ComponentCost:
+        parts = self.components()
+        return ComponentCost(
+            "Total",
+            static_mw=sum(p.static_mw for p in parts),
+            dynamic_mw=sum(p.dynamic_mw for p in parts),
+            area_mm2=sum(p.area_mm2 for p in parts),
+        )
+
+    def jetstream_equivalent(self) -> "PowerAreaModel":
+        """The JetStream design point: 13-byte events (no version/batch
+        tags), no version table or batch scheduler in the PEs."""
+        js = replace(
+            self.config, name="jetstream", event_bytes=13, multi_snapshot=False
+        )
+        return PowerAreaModel(js)
+
+    def overhead_over_jetstream(self) -> dict[str, tuple[float, float]]:
+        """Per-component (power%, area%) overhead of MEGA vs JetStream."""
+        mine = {c.name.split()[0]: c for c in self.components()}
+        theirs = {
+            c.name.split()[0]: c
+            for c in self.jetstream_equivalent().components()
+        }
+        out: dict[str, tuple[float, float]] = {}
+        for key, c in mine.items():
+            j = theirs[key]
+            out[key] = (
+                100.0 * (c.total_mw / j.total_mw - 1.0),
+                100.0 * (c.area_mm2 / j.area_mm2 - 1.0),
+            )
+        mt, jt = self.total(), self.jetstream_equivalent().total()
+        out["Total"] = (
+            100.0 * (mt.total_mw / jt.total_mw - 1.0),
+            100.0 * (mt.area_mm2 / jt.area_mm2 - 1.0),
+        )
+        return out
+
+
+def table5_breakdown() -> list[ComponentCost]:
+    """The Table 5 rows at the paper's default MEGA configuration."""
+    model = PowerAreaModel(mega_config())
+    return model.components() + [model.total()]

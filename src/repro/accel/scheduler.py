@@ -1,0 +1,155 @@
+"""Batch scheduler: wave-based concurrent execution with batch pipelining.
+
+The batch scheduling logic (§4.3) "controls which batches are active on
+which instances of the graph" and, together with the event scheduler,
+keeps all instances proceeding at an even pace.  The simulator expresses a
+workflow as an ordered list of *waves*: groups of batch executions with no
+mutual dependencies that run concurrently (Algorithm 1's ``parallel for``;
+Direct-Hop's independent hops; sibling hops of the Work-Sharing tree).
+
+Within a wave the scheduler advances every stream one round per step,
+merging the rounds into a single round group — events from different
+streams share the PEs, queue bandwidth, NoC, and DRAM, and the group pays
+one drain overhead.  *Batch pipelining* (§3.2, Fig. 11) injects the next
+wave early once every live stream has entered its long tail (live events
+below the configured threshold), eliminating the tails' underutilized
+rounds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.accel.memory import PartitionPlan
+from repro.accel.stats import SimCounters
+from repro.accel.timing import TimingModel
+from repro.engines.trace import ExecutionTrace
+
+__all__ = ["Wave", "StreamState", "WaveScheduler", "ScheduleOutcome"]
+
+
+@dataclass
+class Wave:
+    """A group of executions that may run concurrently."""
+
+    executions: list[ExecutionTrace]
+    partition: PartitionPlan
+    label: str = ""
+
+
+@dataclass
+class StreamState:
+    """One execution's remaining rounds inside the scheduler."""
+
+    rounds: deque
+    partition: PartitionPlan
+    phase: str
+
+    @property
+    def head_events(self) -> int:
+        return self.rounds[0].events_popped + self.rounds[0].events_generated
+
+
+@dataclass
+class ScheduleOutcome:
+    cycles: float
+    counters: SimCounters
+    phase_cycles: dict[str, float] = field(default_factory=dict)
+    round_groups: int = 0
+    waves_injected_early: int = 0
+    #: (wave label, cycles elapsed while the wave was the newest active)
+    wave_cycles: list[tuple[str, float]] = field(default_factory=list)
+
+
+class WaveScheduler:
+    """Advances waves of execution streams through the timing model."""
+
+    def __init__(
+        self,
+        timing: TimingModel,
+        pipeline: bool = False,
+        threshold_events: int | None = None,
+    ) -> None:
+        self.timing = timing
+        self.pipeline = pipeline
+        self.threshold = (
+            threshold_events
+            if threshold_events is not None
+            else timing.config.pipeline_threshold_events
+        )
+
+    def run(self, waves: list[Wave]) -> ScheduleOutcome:
+        outcome = ScheduleOutcome(0.0, SimCounters())
+        pending = deque(waves)
+        active: list[StreamState] = []
+        current_label = ""
+        label_start = 0.0
+
+        def close_label() -> None:
+            nonlocal label_start
+            if current_label:
+                outcome.wave_cycles.append(
+                    (current_label, outcome.cycles - label_start)
+                )
+            label_start = outcome.cycles
+
+        while pending or active:
+            if not active:
+                close_label()
+                wave = pending.popleft()
+                current_label = wave.label
+                self._activate(wave, active, outcome)
+                continue
+            if (
+                self.pipeline
+                and pending
+                and all(s.head_events < self.threshold for s in active)
+            ):
+                close_label()
+                wave = pending.popleft()
+                current_label = wave.label
+                self._activate(wave, active, outcome)
+                outcome.waves_injected_early += 1
+                if not active:
+                    continue
+            group = [(s.rounds.popleft(), s.partition) for s in active]
+            cost = self.timing.round_group_cost(group, outcome.counters)
+            outcome.cycles += cost.total
+            outcome.round_groups += 1
+            share = cost.total / len(active)
+            for s in active:
+                outcome.phase_cycles[s.phase] = (
+                    outcome.phase_cycles.get(s.phase, 0.0) + share
+                )
+            active[:] = [s for s in active if s.rounds]
+        close_label()
+        return outcome
+
+    def _activate(
+        self, wave: Wave, active: list[StreamState], outcome: ScheduleOutcome
+    ) -> None:
+        sweep = self.timing.partition_sweep_cycles(
+            wave.partition, outcome.counters
+        )
+        outcome.cycles += sweep
+        if sweep:
+            outcome.phase_cycles["partition"] = (
+                outcome.phase_cycles.get("partition", 0.0) + sweep
+            )
+        for e in wave.executions:
+            spill = self.timing.execution_spill_cycles(
+                e.touched_dst_count,
+                len(e.targets),
+                wave.partition,
+                outcome.counters,
+            )
+            outcome.cycles += spill
+            if spill:
+                outcome.phase_cycles["partition"] = (
+                    outcome.phase_cycles.get("partition", 0.0) + spill
+                )
+            if e.rounds:
+                active.append(
+                    StreamState(deque(e.rounds), wave.partition, e.phase)
+                )

@@ -1,0 +1,24 @@
+"""The paper's five benchmark algorithms (Table 1) in the DAIC model."""
+
+from repro.algorithms.base import Algorithm
+from repro.algorithms.bfs import BFS
+from repro.algorithms.extensions import MinLabel, symmetrize
+from repro.algorithms.registry import ALGORITHMS, all_algorithms, get_algorithm
+from repro.algorithms.ssnp import SSNP
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.sswp import SSWP
+from repro.algorithms.viterbi import Viterbi
+
+__all__ = [
+    "ALGORITHMS",
+    "Algorithm",
+    "BFS",
+    "MinLabel",
+    "SSNP",
+    "SSSP",
+    "SSWP",
+    "Viterbi",
+    "symmetrize",
+    "all_algorithms",
+    "get_algorithm",
+]

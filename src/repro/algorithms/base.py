@@ -1,0 +1,96 @@
+"""Algorithm abstraction for delta-accumulative incremental computation.
+
+All five paper workloads (Table 1) are monotone path-property queries: a
+vertex value is the best — under a min or max order — reduction of
+candidates computed along in-edges from neighbour values.  This is exactly
+the DAIC model MEGA inherits from GraphPulse/JetStream: "delta" events
+carry candidate values to vertices, a vertex keeps the best value seen, and
+convergence is order-independent.
+
+An :class:`Algorithm` supplies:
+
+* ``identity`` — the no-information value (``+inf`` for min-algorithms);
+* ``source_value`` — the query source's fixed value;
+* ``candidate(val_u, wt)`` — the Table 1 edge function, vectorized;
+* the direction of improvement (``minimize``).
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Algorithm"]
+
+
+class Algorithm(abc.ABC):
+    """A monotone vertex-value algorithm in the DAIC model."""
+
+    name: str = "abstract"
+    #: True for CAS_MIN-style algorithms, False for CAS_MAX-style.
+    minimize: bool = True
+    #: Value of a vertex that has received no information yet.
+    identity: float = np.inf
+    #: Fixed value of the query source vertex.
+    source_value: float = 0.0
+    #: Whether the edge function reads the edge weight.
+    uses_weights: bool = True
+
+    @abc.abstractmethod
+    def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:
+        """Table 1 edge function: candidate value pushed along ``(u, v)``."""
+
+    # -- order helpers (vectorized) ----------------------------------------
+
+    def better(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise: is ``a`` strictly better than ``b``?"""
+        return a < b if self.minimize else a > b
+
+    def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Elementwise best of two value arrays."""
+        return np.minimum(a, b) if self.minimize else np.maximum(a, b)
+
+    def scatter_reduce(
+        self, values: np.ndarray, index: np.ndarray, candidates: np.ndarray
+    ) -> None:
+        """In-place ``values[index] = best(values[index], candidates)``.
+
+        The software analogue of the accelerator's event coalescing: many
+        candidate deltas for one vertex reduce to a single best value.
+        """
+        if self.minimize:
+            np.minimum.at(values, index, candidates)
+        else:
+            np.maximum.at(values, index, candidates)
+
+    def initial_values(self, n_vertices: int, source: int) -> np.ndarray:
+        values = self.identity_values(n_vertices)
+        values[source] = self.source_value
+        return values
+
+    def identity_values(self, n_vertices: int) -> np.ndarray:
+        """Per-vertex no-information values.
+
+        Scalar ``identity`` for the source-based Table 1 algorithms;
+        label-propagation extensions override this with per-vertex values
+        (e.g. each vertex's own id).
+        """
+        return np.full(n_vertices, self.identity, dtype=np.float64)
+
+    def initial_frontier(self, n_vertices: int, source: int) -> np.ndarray:
+        """Vertices seeded with events at the start of a full evaluation."""
+        return np.array([source], dtype=np.int64)
+
+    @property
+    def mask_value(self) -> float:
+        """A scalar that can never improve any vertex (used to mask out
+        candidates of absent edges / inactive versions)."""
+        return np.inf if self.minimize else -np.inf
+
+    def reached(self, values: np.ndarray) -> np.ndarray:
+        """Mask of vertices that received any information."""
+        return values != self.identity
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Algorithm {self.name}>"

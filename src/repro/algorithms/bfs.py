@@ -1,0 +1,26 @@
+"""Breadth-first search as hop-count propagation.
+
+Table 1: ``CAS_MIN(Val(v), min(Val(u) + 1, Val(v)))`` — the value of a
+vertex is its hop distance from the source; edge weights are ignored.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+
+__all__ = ["BFS"]
+
+
+class BFS(Algorithm):
+    """Hop distance from the source."""
+
+    name = "BFS"
+    minimize = True
+    identity = np.inf
+    source_value = 0.0
+    uses_weights = False
+
+    def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:
+        return val_u + 1.0

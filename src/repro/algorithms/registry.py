@@ -1,0 +1,31 @@
+"""Registry of the paper's five benchmark algorithms (Table 1)."""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Algorithm
+from repro.algorithms.bfs import BFS
+from repro.algorithms.ssnp import SSNP
+from repro.algorithms.sssp import SSSP
+from repro.algorithms.sswp import SSWP
+from repro.algorithms.viterbi import Viterbi
+
+__all__ = ["ALGORITHMS", "get_algorithm", "all_algorithms"]
+
+ALGORITHMS: dict[str, type[Algorithm]] = {
+    cls.name: cls for cls in (BFS, SSSP, SSWP, SSNP, Viterbi)
+}
+
+
+def get_algorithm(name: str) -> Algorithm:
+    """Instantiate an algorithm by its paper name (case-insensitive)."""
+    for key, cls in ALGORITHMS.items():
+        if key.lower() == name.lower():
+            return cls()
+    raise KeyError(
+        f"unknown algorithm {name!r}; choose from {sorted(ALGORITHMS)}"
+    )
+
+
+def all_algorithms() -> list[Algorithm]:
+    """Fresh instances of all five benchmark algorithms, in paper order."""
+    return [cls() for cls in ALGORITHMS.values()]

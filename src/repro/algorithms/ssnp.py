@@ -1,0 +1,27 @@
+"""Single-source narrowest paths.
+
+Table 1: ``CAS_MIN(Val(v), max(Val(u), wt(u, v)))`` — the value of a path
+is its *widest* edge; the query minimizes it (minimax / bottleneck
+shortest path).  The source contributes nothing, so its value is zero
+(all weights are >= 1 in this reproduction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+
+__all__ = ["SSNP"]
+
+
+class SSNP(Algorithm):
+    """Narrowest-path (minimax edge weight) value from the source."""
+
+    name = "SSNP"
+    minimize = True
+    identity = np.inf
+    source_value = 0.0
+
+    def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:
+        return np.maximum(val_u, wt)

@@ -1,0 +1,24 @@
+"""Single-source shortest paths.
+
+Table 1: ``CAS_MIN(Val(v), Val(u) + wt(u, v))`` with non-negative weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+
+__all__ = ["SSSP"]
+
+
+class SSSP(Algorithm):
+    """Shortest weighted distance from the source."""
+
+    name = "SSSP"
+    minimize = True
+    identity = np.inf
+    source_value = 0.0
+
+    def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:
+        return val_u + wt

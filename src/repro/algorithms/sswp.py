@@ -1,0 +1,26 @@
+"""Single-source widest paths.
+
+Table 1: ``CAS_MAX(Val(v), min(Val(u), wt(u, v)))`` — the value of a path
+is its narrowest edge; the query maximizes it (maximum bottleneck
+bandwidth).  The source has infinite width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+
+__all__ = ["SSWP"]
+
+
+class SSWP(Algorithm):
+    """Widest-path (maximum bottleneck) value from the source."""
+
+    name = "SSWP"
+    minimize = False
+    identity = 0.0
+    source_value = np.inf
+
+    def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:
+        return np.minimum(val_u, wt)

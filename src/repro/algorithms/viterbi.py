@@ -1,0 +1,24 @@
+"""Viterbi-style most-probable path.
+
+Table 1: ``CAS_MAX(Val(v), Val(u) / wt(u, v))`` — the edge weight acts as
+an inverse transition probability (weights >= 1 keep values in ``(0, 1]``
+and the recurrence monotone).  The source has probability 1.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms.base import Algorithm
+
+__all__ = ["Viterbi"]
+
+
+class Viterbi(Algorithm):
+    """Maximum path probability with weights as inverse probabilities."""
+
+    name = "Viterbi"
+    minimize = False
+    identity = 0.0
+    source_value = 1.0
+
+    def candidate(self, val_u, wt):
+        return val_u / wt

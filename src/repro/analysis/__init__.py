@@ -1,0 +1,21 @@
+"""Result analytics: property tracking and witness-path extraction."""
+
+from repro.analysis.paths import extract_path, verify_path, witness_paths
+from repro.analysis.track import (
+    PropertySeries,
+    snapshot_churn,
+    track_mean_value,
+    track_reach,
+    track_statistic,
+)
+
+__all__ = [
+    "PropertySeries",
+    "extract_path",
+    "verify_path",
+    "witness_paths",
+    "snapshot_churn",
+    "track_mean_value",
+    "track_reach",
+    "track_statistic",
+]

@@ -1,0 +1,121 @@
+"""Tracking a query property across the snapshot window.
+
+The paper's motivating use case (§1) is not the raw per-vertex values but
+their *progression over time*: "number of contacts and infections over a
+time window, for example, after a certain variant appeared, or when a
+mitigation action ... is introduced".  This module turns a workflow result
+into per-snapshot series — reach, aggregates, arbitrary reductions, and
+snapshot-to-snapshot churn — with a terminal sparkline for quick looks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.engines.executor import WorkflowResult
+
+__all__ = [
+    "PropertySeries",
+    "track_statistic",
+    "track_reach",
+    "track_mean_value",
+    "snapshot_churn",
+]
+
+_SPARK_BARS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class PropertySeries:
+    """A per-snapshot series of one tracked property."""
+
+    name: str
+    snapshots: list[int]
+    values: list[float]
+
+    def delta(self) -> list[float]:
+        """First differences between consecutive snapshots."""
+        return [
+            b - a for a, b in zip(self.values, self.values[1:])
+        ]
+
+    def argmax(self) -> int:
+        return self.snapshots[int(np.argmax(self.values))]
+
+    def argmin(self) -> int:
+        return self.snapshots[int(np.argmin(self.values))]
+
+    def sparkline(self) -> str:
+        """Terminal-friendly one-line chart of the series."""
+        vals = np.asarray(self.values, dtype=np.float64)
+        finite = vals[np.isfinite(vals)]
+        if finite.size == 0:
+            return "·" * len(self.values)
+        lo, hi = float(finite.min()), float(finite.max())
+        span = hi - lo
+        chars = []
+        for v in vals:
+            if not np.isfinite(v):
+                chars.append("·")
+            elif span == 0:
+                chars.append(_SPARK_BARS[0])
+            else:
+                idx = int((v - lo) / span * (len(_SPARK_BARS) - 1))
+                chars.append(_SPARK_BARS[idx])
+        return "".join(chars)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+def track_statistic(
+    result: WorkflowResult,
+    fn: Callable[[np.ndarray], float],
+    name: str = "statistic",
+) -> PropertySeries:
+    """Apply a reduction to every snapshot's value vector."""
+    snapshots = sorted(result.snapshot_values)
+    values = [float(fn(result.values(k))) for k in snapshots]
+    return PropertySeries(name, snapshots, values)
+
+
+def track_reach(
+    result: WorkflowResult, algorithm: Algorithm
+) -> PropertySeries:
+    """Vertices with any information per snapshot (reachability count)."""
+    return track_statistic(
+        result,
+        lambda vals: float(algorithm.reached(vals).sum()),
+        name="reach",
+    )
+
+
+def track_mean_value(
+    result: WorkflowResult, algorithm: Algorithm
+) -> PropertySeries:
+    """Mean value over reached vertices per snapshot."""
+
+    def mean_reached(vals: np.ndarray) -> float:
+        mask = algorithm.reached(vals) & np.isfinite(vals)
+        return float(vals[mask].mean()) if mask.any() else float("nan")
+
+    return track_statistic(result, mean_reached, name="mean-value")
+
+
+def snapshot_churn(result: WorkflowResult) -> PropertySeries:
+    """Vertices whose value changed between consecutive snapshots.
+
+    A direct view of how similar adjacent snapshots' solutions are — the
+    similarity BOE's reuse (Fig. 5) rests on.
+    """
+    snapshots = sorted(result.snapshot_values)
+    churn: list[float] = []
+    for a, b in zip(snapshots, snapshots[1:]):
+        va, vb = result.values(a), result.values(b)
+        same = (va == vb) | (~np.isfinite(va) & ~np.isfinite(vb))
+        churn.append(float((~same).sum()))
+    return PropertySeries("churn", snapshots[1:], churn)

@@ -1,0 +1,15 @@
+"""Modelled software/GPU baselines (KickStarter, RisGraph, Subway)."""
+
+from repro.baselines.software import (
+    SOFTWARE_SYSTEMS,
+    BaselineReport,
+    SoftwareSystem,
+    run_baseline,
+)
+
+__all__ = [
+    "SOFTWARE_SYSTEMS",
+    "BaselineReport",
+    "SoftwareSystem",
+    "run_baseline",
+]

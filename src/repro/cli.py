@@ -1,0 +1,209 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Usage::
+
+    mega-repro list
+    mega-repro run table4 --scale small
+    mega-repro run all --scale tiny
+    mega-repro simulate --graph Wen --algo sssp --workflow boe --pipeline
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.accel import JetStreamSimulator, MegaSimulator
+from repro.algorithms import get_algorithm
+from repro.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.workloads import DATASETS, SCALES, load_scenario
+
+__all__ = ["main"]
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("experiments:")
+    for name in ALL_EXPERIMENTS:
+        print(f"  {name}")
+    print("datasets:", ", ".join(sorted(DATASETS)))
+    print("scales:", ", ".join(SCALES))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        result = run_experiment(name, args.scale)
+        if args.format == "json":
+            print(result.to_json())
+        elif args.format == "csv":
+            print(result.to_csv(), end="")
+        else:
+            print(result.format_table())
+            print(f"[{name} completed in {time.time() - t0:.1f}s]")
+            print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import write_report
+
+    path = write_report(args.out, args.scale)
+    print(f"wrote {path}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    scenario = load_scenario(
+        args.graph, args.scale, n_snapshots=args.snapshots
+    )
+    u = scenario.unified
+    spec = DATASETS[scenario.metadata["dataset"]]
+    print(f"scenario {scenario.name}  (proxy of {spec.name})")
+    print(
+        f"  vertices {u.n_vertices}  union edges {u.n_union_edges}  "
+        f"snapshots {u.n_snapshots}  source {scenario.source}"
+    )
+    common = int(u.common_mask.sum())
+    print(
+        f"  common graph: {common} edges "
+        f"({common / u.n_union_edges:.1%} of the union)"
+    )
+    adds = [len(b) for b in u.addition_batches()]
+    dels = [len(b) for b in u.deletion_batches()]
+    print(
+        f"  batches: adds {min(adds)}-{max(adds)} edges, "
+        f"dels {min(dels)}-{max(dels)} edges per transition"
+    )
+    sizes = [u.snapshot_graph(k).n_edges for k in range(u.n_snapshots)]
+    print(f"  snapshot sizes: {min(sizes)} .. {max(sizes)} edges")
+    degrees = np.diff(u.graph.indptr)
+    print(
+        f"  degrees: mean {degrees.mean():.1f}, max {int(degrees.max())} "
+        f"(vertex {int(np.argmax(degrees))})"
+    )
+    print(
+        f"  accelerator capacity scale: "
+        f"{scenario.metadata['capacity_scale']:.2e}"
+    )
+    return 0
+
+
+def _cmd_track(args: argparse.Namespace) -> int:
+    from repro.analysis import snapshot_churn, track_mean_value, track_reach
+    from repro.core import EvolvingGraphEngine
+
+    scenario = load_scenario(
+        args.graph, args.scale, n_snapshots=args.snapshots
+    )
+    engine = EvolvingGraphEngine(scenario, args.algo)
+    result = engine.evaluate("boe", validate=True)
+    reach = track_reach(result, engine.algorithm)
+    mean = track_mean_value(result, engine.algorithm)
+    churn = snapshot_churn(result)
+    print(
+        f"{engine.algorithm.name} on {scenario.name}: "
+        f"{scenario.n_snapshots} snapshots"
+    )
+    print(f"  reach      {reach.sparkline()}  "
+          f"({reach.values[0]:.0f} -> {reach.values[-1]:.0f} vertices)")
+    print(f"  mean value {mean.sparkline()}  "
+          f"({mean.values[0]:.3g} -> {mean.values[-1]:.3g})")
+    print(f"  churn      {churn.sparkline()}  "
+          f"(max {max(churn.values):.0f} vertices at snapshot "
+          f"{churn.argmax()})")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    scenario = load_scenario(
+        args.graph,
+        args.scale,
+        n_snapshots=args.snapshots,
+        batch_pct=args.batch_pct,
+    )
+    algo = get_algorithm(args.algo)
+    js = JetStreamSimulator().run(scenario, algo, validate=args.validate)
+    print(js.summary())
+    if args.workflow == "jetstream":
+        return 0
+    mega = MegaSimulator(args.workflow, pipeline=args.pipeline).run(
+        scenario, algo, validate=args.validate
+    )
+    print(mega.summary())
+    print(f"speedup over JetStream (update phase): {mega.speedup_over(js):.2f}x")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="mega-repro",
+        description="MEGA evolving-graph accelerator reproduction harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list experiments, datasets, scales")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="regenerate a table/figure")
+    p_run.add_argument(
+        "experiment", choices=sorted(ALL_EXPERIMENTS) + ["all"]
+    )
+    p_run.add_argument("--scale", default=None, choices=sorted(SCALES))
+    p_run.add_argument(
+        "--format", default="table", choices=["table", "json", "csv"]
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser(
+        "report", help="run every experiment into one markdown report"
+    )
+    p_report.add_argument("--out", default="reproduction_report.md")
+    p_report.add_argument("--scale", default=None, choices=sorted(SCALES))
+    p_report.set_defaults(func=_cmd_report)
+
+    p_inspect = sub.add_parser(
+        "inspect", help="describe a dataset's evolving-graph scenario"
+    )
+    p_inspect.add_argument("--graph", default="PK")
+    p_inspect.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    p_inspect.add_argument("--snapshots", type=int, default=16)
+    p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_track = sub.add_parser(
+        "track", help="track a query property across the window"
+    )
+    p_track.add_argument("--graph", default="PK")
+    p_track.add_argument("--algo", default="sssp")
+    p_track.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    p_track.add_argument("--snapshots", type=int, default=16)
+    p_track.set_defaults(func=_cmd_track)
+
+    p_sim = sub.add_parser("simulate", help="run one simulation")
+    p_sim.add_argument("--graph", default="PK")
+    p_sim.add_argument("--algo", default="sssp")
+    p_sim.add_argument(
+        "--workflow",
+        default="boe",
+        choices=["jetstream", "direct-hop", "work-sharing", "boe"],
+    )
+    p_sim.add_argument("--pipeline", action="store_true")
+    p_sim.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    p_sim.add_argument("--snapshots", type=int, default=16)
+    p_sim.add_argument("--batch-pct", type=float, default=0.01)
+    p_sim.add_argument("--validate", action="store_true")
+    p_sim.set_defaults(func=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

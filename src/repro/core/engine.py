@@ -1,0 +1,139 @@
+"""The high-level public API: one object from scenario to results.
+
+:class:`EvolvingGraphEngine` ties the substrates together for downstream
+users: pick a workload and an algorithm, then evaluate (any workflow),
+window, profile reuse, or run the accelerator models — with ground-truth
+validation one flag away.
+
+    >>> from repro.core import EvolvingGraphEngine
+    >>> from repro.workloads import load_scenario
+    >>> engine = EvolvingGraphEngine(load_scenario("PK", "tiny"), "sssp")
+    >>> values = engine.evaluate().values(3)          # snapshot 3, BOE
+    >>> reports = engine.compare_accelerators()       # Table 4 row
+"""
+
+from __future__ import annotations
+
+from repro.accel import JetStreamSimulator, MegaSimulator
+from repro.accel.config import AcceleratorConfig
+from repro.accel.stats import SimReport
+from repro.algorithms import get_algorithm
+from repro.algorithms.base import Algorithm
+from repro.core.multi_query import MultiQueryResult, evaluate_multi_query
+from repro.engines.executor import PlanExecutor, WorkflowResult
+from repro.engines.validation import validate_workflow
+from repro.evolving.snapshots import EvolvingScenario
+from repro.evolving.window import window_scenario
+from repro.metrics import (
+    edge_reuse_across_snapshots,
+    edge_reuse_same_snapshot,
+)
+from repro.schedule import WORKFLOWS, plan_for
+
+__all__ = ["EvolvingGraphEngine"]
+
+
+class EvolvingGraphEngine:
+    """Evaluate one algorithm over an evolving-graph scenario."""
+
+    def __init__(
+        self,
+        scenario: EvolvingScenario,
+        algorithm: Algorithm | str = "sssp",
+    ) -> None:
+        self.scenario = scenario
+        self.algorithm = (
+            get_algorithm(algorithm) if isinstance(algorithm, str) else algorithm
+        )
+
+    # -- functional evaluation ------------------------------------------------
+
+    def evaluate(
+        self, workflow: str = "boe", validate: bool = False
+    ) -> WorkflowResult:
+        """Query values on every snapshot via the chosen workflow."""
+        if workflow not in WORKFLOWS:
+            raise KeyError(
+                f"unknown workflow {workflow!r}; choose from {sorted(WORKFLOWS)}"
+            )
+        result = PlanExecutor(self.scenario, self.algorithm).run(
+            plan_for(workflow, self.scenario.unified)
+        )
+        if validate:
+            validate_workflow(self.scenario, self.algorithm, result)
+        return result
+
+    def evaluate_window(
+        self, lo: int, hi: int, workflow: str = "boe", validate: bool = False
+    ) -> WorkflowResult:
+        """Ad-hoc query over snapshots ``lo..hi`` only."""
+        sub = window_scenario(self.scenario, lo, hi)
+        result = PlanExecutor(sub, self.algorithm).run(
+            plan_for(workflow, sub.unified)
+        )
+        if validate:
+            validate_workflow(sub, self.algorithm, result)
+        return result
+
+    def evaluate_multi_query(self, sources: list[int]) -> MultiQueryResult:
+        """One algorithm, many sources, all snapshots — shared fetches."""
+        return evaluate_multi_query(self.scenario, self.algorithm, sources)
+
+    def serve(self):
+        """A sliding :class:`~repro.core.window_server.WindowServer` over
+        this scenario — evaluate once, then advance() as time moves on."""
+        from repro.core.window_server import WindowServer
+
+        return WindowServer(self.scenario, self.algorithm)
+
+    # -- profiling --------------------------------------------------------------
+
+    def reuse_profile(self) -> dict[str, float]:
+        """The Fig. 4 / Fig. 5 locality asymmetry for this workload."""
+        return {
+            "same_snapshot": edge_reuse_same_snapshot(
+                self.scenario, self.algorithm
+            ),
+            "across_snapshots": edge_reuse_across_snapshots(
+                self.scenario, self.algorithm
+            ),
+        }
+
+    # -- accelerator models --------------------------------------------------------
+
+    def simulate_jetstream(
+        self, config: AcceleratorConfig | None = None, validate: bool = False
+    ) -> SimReport:
+        return JetStreamSimulator(config).run(
+            self.scenario, self.algorithm, validate=validate
+        )
+
+    def simulate_mega(
+        self,
+        workflow: str = "boe",
+        pipeline: bool = True,
+        config: AcceleratorConfig | None = None,
+        validate: bool = False,
+    ) -> SimReport:
+        return MegaSimulator(workflow, pipeline=pipeline, config=config).run(
+            self.scenario, self.algorithm, validate=validate
+        )
+
+    def compare_accelerators(self) -> dict[str, SimReport]:
+        """One Table 4 row: JetStream plus all four MEGA variants."""
+        out = {"jetstream": self.simulate_jetstream()}
+        for workflow, pipeline in [
+            ("direct-hop", False),
+            ("work-sharing", False),
+            ("boe", False),
+            ("boe", True),
+        ]:
+            key = workflow + ("+bp" if pipeline else "")
+            out[key] = self.simulate_mega(workflow, pipeline=pipeline)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"EvolvingGraphEngine({self.scenario.name!r}, "
+            f"{self.algorithm.name}, {self.scenario.n_snapshots} snapshots)"
+        )

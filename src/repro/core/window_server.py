@@ -1,0 +1,218 @@
+"""Continuous serving: slide the evolving window forward in place.
+
+The paper's workloads analyze a *fixed* historical window; a deployed
+system keeps serving as time moves on.  :class:`WindowServer` holds the
+current window's results and advances one snapshot at a time:
+
+* the window ``[0..N-1]`` becomes ``[1..N]``: snapshot tags shift down,
+  edges that existed only in the dropped snapshot leave the union, and
+  additions that arrived at the first transition join the common graph;
+* results for the surviving snapshots are *reused untouched*;
+* only the new latest snapshot is computed, incrementally from the
+  previous latest — additions propagate directly, deletions run the
+  KickStarter repair against a dependence tree reconstructed from the
+  converged values (union slots re-index on every slide, so live parent
+  tracking would not survive; see
+  :func:`repro.engines.deletion.reconstruct_parents`).
+
+CommonGraph's one-change-per-edge rule applies across the *current*
+window: deleting an edge that was added inside it is rejected with the
+same guidance the builder gives (split the window first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.engines.daic import MultiVersionEngine
+from repro.engines.deletion import DeletionRepair, reconstruct_parents
+from repro.engines.executor import PlanExecutor
+from repro.evolving.snapshots import EvolvingScenario
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+from repro.graph.edges import EdgeList, edge_keys
+from repro.schedule.boe import boe_plan
+
+__all__ = ["WindowServer"]
+
+
+class WindowServer:
+    """Holds one evolving window's results and slides it forward."""
+
+    def __init__(self, scenario: EvolvingScenario, algorithm: Algorithm) -> None:
+        self.scenario = scenario
+        self.algorithm = algorithm
+        result = PlanExecutor(scenario, algorithm).run(
+            boe_plan(scenario.unified)
+        )
+        self._values = [
+            result.values(k) for k in range(scenario.n_snapshots)
+        ]
+        self.slides = 0
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def n_snapshots(self) -> int:
+        return self.scenario.n_snapshots
+
+    def values(self, snapshot: int) -> np.ndarray:
+        return self._values[snapshot]
+
+    def latest(self) -> np.ndarray:
+        return self._values[-1]
+
+    def as_result(self):
+        """The current window as a result object the analysis toolkit
+        accepts (``repro.analysis.track_*`` take any object exposing
+        ``snapshot_values`` and ``values``)."""
+
+        class _WindowResult:
+            def __init__(inner, values_list):
+                inner.snapshot_values = dict(enumerate(values_list))
+
+            def values(inner, k):
+                return inner.snapshot_values[k]
+
+        return _WindowResult(self._values)
+
+    # -- sliding ---------------------------------------------------------------
+
+    def advance(
+        self,
+        additions: EdgeList | None = None,
+        deletions: list[tuple[int, int]] | None = None,
+    ) -> None:
+        """Apply one new transition and slide the window by one snapshot."""
+        u = self.scenario.unified
+        graph = u.graph
+        n = u.n_snapshots
+        n_vertices = u.n_vertices
+        additions = additions or EdgeList.from_tuples(n_vertices, [])
+        deletions = deletions or []
+        if additions.n_vertices != n_vertices:
+            raise ValueError("additions must share the window's vertex set")
+
+        # CSR order sorts by (src, dst), so the union keys are sorted and
+        # slot lookup is a binary search.
+        union_keys = edge_keys(graph.src_of_edge, graph.dst, n_vertices)
+
+        def slots_of(keys: np.ndarray) -> np.ndarray:
+            """Union slot per key; -1 where the key is not in the union."""
+            pos = np.searchsorted(union_keys, keys)
+            pos = np.minimum(pos, union_keys.size - 1)
+            hit = union_keys.size > 0
+            found = hit & (union_keys[pos] == keys)
+            return np.where(found, pos, -1)
+
+        # -- validate the new batches against the CommonGraph rule --------
+        last_presence = u.presence_mask(n - 1)
+        del_pairs = np.asarray(deletions, dtype=np.int64).reshape(-1, 2)
+        del_slot_arr = slots_of(
+            del_pairs[:, 0] * n_vertices + del_pairs[:, 1]
+        )
+        bad = (del_slot_arr < 0) | ~last_presence[
+            np.maximum(del_slot_arr, 0)
+        ]
+        if np.any(bad):
+            s, d = del_pairs[np.flatnonzero(bad)[0]]
+            raise ValueError(
+                f"cannot delete edge ({s}, {d}): not present in the "
+                "latest snapshot"
+            )
+        internal = u.add_step[del_slot_arr] >= 1
+        if np.any(internal):
+            s, d = del_pairs[np.flatnonzero(internal)[0]]
+            raise ValueError(
+                f"edge ({s}, {d}) was added inside the current window; "
+                "one state change per edge per window — split the "
+                "window before deleting it"
+            )
+        del_slots = del_slot_arr.tolist()
+
+        add_key_arr = additions.keys
+        if np.unique(add_key_arr).size != len(additions):
+            raise ValueError("additions contain duplicate pairs")
+        add_existing = slots_of(add_key_arr)
+        known = add_existing >= 0
+        if np.any(known & last_presence[np.maximum(add_existing, 0)]):
+            raise ValueError("additions duplicate a live edge")
+        if np.any(known & (u.del_step[np.maximum(add_existing, 0)] >= 1)):
+            raise ValueError(
+                "re-adding an edge deleted inside the current window; "
+                "split the window first"
+            )
+
+        # -- compute the new latest snapshot's values ----------------------
+        latest = self._values[-1].copy()
+        engine = MultiVersionEngine(
+            self.algorithm, u, track_parents=bool(del_slots)
+        )
+        if del_slots:
+            reconstruct_parents(
+                engine, latest, last_presence, self.scenario.source
+            )
+            presence_after = last_presence.copy()
+            presence_after[del_slots] = False
+            DeletionRepair(engine).apply_deletions(
+                latest,
+                np.asarray(del_slots, dtype=np.int64),
+                presence_after,
+                self.scenario.source,
+            )
+
+        # -- rebuild the union with shifted tags ---------------------------
+        keep = u.del_step != 0  # snapshot-0-only edges leave the window
+        add_step = u.add_step[keep].astype(np.int64)
+        del_step = u.del_step[keep].astype(np.int64)
+        add_step = np.where(add_step > 0, add_step - 1, -1)
+        del_step = np.where(del_step > 0, del_step - 1, del_step)
+        # deletions of the new transition: locate slots post-filter
+        old_to_new = np.cumsum(keep) - 1
+        for slot in del_slots:
+            del_step[old_to_new[slot]] = n - 2
+
+        pool = EdgeList(
+            n_vertices,
+            np.concatenate([graph.src_of_edge[keep], additions.src]),
+            np.concatenate([graph.dst[keep], additions.dst]),
+            np.concatenate([graph.wt[keep], additions.wt]),
+        )
+        add_step = np.concatenate(
+            [add_step, np.full(len(additions), n - 2, dtype=np.int64)]
+        )
+        del_step = np.concatenate(
+            [del_step, np.full(len(additions), -1, dtype=np.int64)]
+        )
+        order = np.lexsort((pool.dst, pool.src))
+        new_unified = UnifiedCSR(
+            CSRGraph.from_edges(pool),
+            add_step[order].astype(np.int32),
+            del_step[order].astype(np.int32),
+            n,
+        )
+        self.scenario = EvolvingScenario(
+            new_unified,
+            source=self.scenario.source,
+            name=self.scenario.name,
+            metadata=dict(self.scenario.metadata),
+        )
+
+        # -- apply the additions on the new union, then slide results ------
+        if len(additions):
+            new_keys = edge_keys(
+                new_unified.graph.src_of_edge,
+                new_unified.graph.dst,
+                n_vertices,
+            )
+            add_slots = np.searchsorted(new_keys, additions.keys)
+            engine2 = MultiVersionEngine(self.algorithm, new_unified)
+            engine2.apply_additions(
+                latest[None, :],
+                add_slots,
+                new_unified.presence_mask(n - 1)[None, :],
+            )
+
+        self._values = self._values[1:] + [latest]
+        self.slides += 1

@@ -1,0 +1,21 @@
+"""Software execution engines: DAIC core, deletion repair, plan executor."""
+
+from repro.engines.daic import MultiVersionEngine, group_argbest
+from repro.engines.deletion import DeletionRepair, DeletionStats
+from repro.engines.executor import PlanExecutor, WorkflowResult
+from repro.engines.trace import ExecutionTrace, RoundTrace, TraceCollector
+from repro.engines.validation import evaluate_reference, validate_workflow
+
+__all__ = [
+    "DeletionRepair",
+    "DeletionStats",
+    "ExecutionTrace",
+    "MultiVersionEngine",
+    "PlanExecutor",
+    "RoundTrace",
+    "TraceCollector",
+    "WorkflowResult",
+    "evaluate_reference",
+    "group_argbest",
+    "validate_workflow",
+]

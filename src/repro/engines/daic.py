@@ -1,0 +1,351 @@
+"""Delta-accumulative incremental computation (DAIC) engine.
+
+This is the functional core shared by every workflow in the reproduction:
+from-scratch evaluation, incremental edge additions, KickStarter-style
+deletion repair, and — the MEGA-specific part — *multi-version* propagation
+where one addition batch is applied to many snapshots simultaneously with
+shared edge fetches (paper §3.1).
+
+Execution is organized in asynchronous *rounds*: all currently-active
+coalesced events are popped, candidates are pushed along out-edges, and
+improved vertices become the next round's events.  Rounds correspond to the
+iterations plotted in the paper's Fig. 10.  Because all five algorithms are
+monotone, the final values are independent of event order (paper §3.2,
+"Generality"), which the property tests exploit.
+
+The engine operates on the *union* CSR of an evolving scenario.  Per-version
+edge membership is supplied as a boolean presence matrix so one gather
+serves all versions — the data-reuse effect MEGA's hardware exploits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.engines.trace import RoundTrace, TraceCollector
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import gather_out_edges
+
+__all__ = ["MultiVersionEngine", "group_argbest"]
+
+
+def group_argbest(
+    keys: np.ndarray, candidates: np.ndarray, minimize: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-group best candidate: returns ``(unique_keys, argbest_index)``.
+
+    ``argbest_index`` indexes the *input* arrays; ties break toward the
+    lowest input index, which keeps parent tracking deterministic.
+    """
+    if keys.shape[0] == 0:
+        return keys, np.empty(0, dtype=np.int64)
+    order_val = candidates if minimize else -candidates
+    order = np.lexsort((np.arange(keys.shape[0]), order_val, keys))
+    sorted_keys = keys[order]
+    first = np.empty(sorted_keys.shape[0], dtype=bool)
+    first[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=first[1:])
+    return sorted_keys[first], order[first]
+
+
+class MultiVersionEngine:
+    """Round-based DAIC propagation over a unified evolving-graph CSR."""
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        unified: UnifiedCSR,
+        collector: TraceCollector | None = None,
+        edges_per_block: int = 8,
+        track_parents: bool = False,
+    ) -> None:
+        self.algorithm = algorithm
+        self.unified = unified
+        self.graph = unified.graph
+        self.collector = collector
+        self.edges_per_block = int(edges_per_block)
+        self.track_parents = track_parents
+        n = self.graph.n_vertices
+        #: union-edge index whose candidate last set each vertex value,
+        #: per version; -1 = no parent (source / unreached).  Only
+        #: maintained when ``track_parents`` is set (deletion support).
+        self.parent_edge: np.ndarray | None = None
+        if track_parents:
+            self.parent_edge = np.full((1, n), -1, dtype=np.int64)
+
+    # -- state helpers -------------------------------------------------------
+
+    def new_values(self, n_versions: int, source: int) -> np.ndarray:
+        """Fresh ``(n_versions, n_vertices)`` value matrix."""
+        one = self.algorithm.initial_values(self.graph.n_vertices, source)
+        return np.tile(one, (n_versions, 1))
+
+    def _ensure_parent_rows(self, n_versions: int) -> None:
+        if self.parent_edge is not None and self.parent_edge.shape[0] < n_versions:
+            extra = np.full(
+                (n_versions - self.parent_edge.shape[0], self.graph.n_vertices),
+                -1,
+                dtype=np.int64,
+            )
+            self.parent_edge = np.vstack([self.parent_edge, extra])
+
+    # -- core propagation ----------------------------------------------------
+
+    def propagate(
+        self,
+        values: np.ndarray,
+        frontier: np.ndarray,
+        presence: np.ndarray,
+        phase: str = "add",
+        parent_rows: np.ndarray | None = None,
+    ) -> int:
+        """Run rounds until no value changes; returns rounds executed.
+
+        * ``values`` — ``(K, n)`` value matrix, updated in place;
+        * ``frontier`` — ``(K, n)`` bool matrix of active events;
+        * ``presence`` — ``(K, M)`` bool matrix over union edges (which
+          edges exist for each version);
+        * ``parent_rows`` — rows of :attr:`parent_edge` corresponding to
+          the ``K`` versions (only with ``track_parents``).
+        """
+        algo = self.algorithm
+        graph = self.graph
+        k, n = values.shape
+        if frontier.shape != (k, n):
+            raise ValueError("frontier must match the value matrix shape")
+        if presence.shape != (k, graph.n_edges):
+            raise ValueError("presence must be (n_versions, n_union_edges)")
+
+        rounds = 0
+        while True:
+            union_frontier = np.flatnonzero(frontier.any(axis=0))
+            if union_frontier.size == 0:
+                break
+            rounds += 1
+            edge_idx, src_rep = gather_out_edges(graph.indptr, union_frontier)
+            if edge_idx.size == 0:
+                # frontier vertices with no out-edges still popped events
+                self._record_round(
+                    phase,
+                    events_popped=int(union_frontier.size),
+                    events_generated=0,
+                    edge_idx=edge_idx,
+                    vertex_writes=0,
+                    n_versions=k,
+                    dst=edge_idx,
+                    src=union_frontier,
+                    version_events_popped=int(frontier.sum()),
+                )
+                frontier[:] = False
+                continue
+
+            # (K, E): does version k's frontier contain the edge's source,
+            # and does the edge exist in version k's graph?
+            active = frontier[:, src_rep] & presence[:, edge_idx]
+            cand = algo.candidate(values[:, src_rep], graph.wt[edge_idx])
+            cand = np.where(active, cand, algo.mask_value)
+
+            dst = graph.dst[edge_idx]
+            old = values.copy()
+            flat_dst = (
+                np.arange(k, dtype=np.int64)[:, None] * n + dst[None, :]
+            )
+            sel = active.ravel()
+            flat_idx = flat_dst.ravel()[sel]
+            flat_cand = cand.ravel()[sel]
+            algo.scatter_reduce(values.reshape(-1), flat_idx, flat_cand)
+
+            changed = algo.better(values, old)
+            if self.track_parents and parent_rows is not None:
+                self._update_parents(
+                    parent_rows, changed, flat_idx, flat_cand,
+                    np.broadcast_to(edge_idx, (k, edge_idx.size)).ravel()[sel],
+                    values,
+                )
+
+            # The unified value array (§3.2) lets the datapath process all
+            # versions of a vertex as one row-wide event, so the primary
+            # counters are vertex-granular; the per-version scalar totals
+            # ride along for analyses that need them.
+            self._record_round(
+                phase,
+                events_popped=int(union_frontier.size),
+                events_generated=int(active.any(axis=0).sum()),
+                edge_idx=edge_idx,
+                vertex_writes=int(changed.any(axis=0).sum()),
+                n_versions=k,
+                dst=np.unique(dst),
+                src=union_frontier,
+                version_events_popped=int(frontier.sum()),
+                version_events_generated=int(active.sum()),
+                version_vertex_writes=int(changed.sum()),
+            )
+            frontier = changed
+        return rounds
+
+    def _update_parents(
+        self,
+        parent_rows: np.ndarray,
+        changed: np.ndarray,
+        flat_idx: np.ndarray,
+        flat_cand: np.ndarray,
+        flat_edge: np.ndarray,
+        values: np.ndarray,
+    ) -> None:
+        """Record the winning in-edge of each changed ``(version, vertex)``."""
+        if self.parent_edge is None:
+            return
+        uniq, best = group_argbest(flat_idx, flat_cand, self.algorithm.minimize)
+        if uniq.size == 0:
+            return
+        n = values.shape[1]
+        kv, vv = uniq // n, uniq % n
+        is_changed = changed[kv, vv]
+        rows = parent_rows[kv[is_changed]]
+        self.parent_edge[rows, vv[is_changed]] = flat_edge[best[is_changed]]
+
+    # -- public operations -----------------------------------------------------
+
+    def evaluate_full(
+        self,
+        presence_row: np.ndarray,
+        source: int,
+        phase: str = "full",
+        tag: str = "full-eval",
+        parent_row: int | None = None,
+    ) -> np.ndarray:
+        """From-scratch evaluation on one graph; returns a ``(n,)`` array."""
+        values = self.new_values(1, source)
+        frontier = np.zeros((1, self.graph.n_vertices), dtype=bool)
+        frontier[0, self.algorithm.initial_frontier(self.graph.n_vertices, source)] = True
+        parent_rows = None
+        if self.track_parents and parent_row is not None:
+            self._ensure_parent_rows(parent_row + 1)
+            self.parent_edge[parent_row, :] = -1
+            parent_rows = np.array([parent_row])
+        self._begin(tag, phase, (0,))
+        self.propagate(values, frontier, presence_row[None, :], phase, parent_rows)
+        self._end()
+        return values[0]
+
+    def apply_additions(
+        self,
+        values: np.ndarray,
+        batch_edge_idx: np.ndarray,
+        presence: np.ndarray,
+        phase: str = "add",
+        tag: str = "batch",
+        targets: tuple[int, ...] = (0,),
+        parent_rows: np.ndarray | None = None,
+    ) -> int:
+        """Incrementally apply an addition batch to ``K`` versions at once.
+
+        ``values`` is ``(K, n)`` and updated in place; ``presence`` must
+        already include the batch's edges for every target version.  The
+        batch reader pass (round 0) scatters the batch edges' candidates,
+        then propagation runs to a fixpoint.  Returns rounds executed
+        (including the seeding round when it produced work).
+        """
+        algo = self.algorithm
+        graph = self.graph
+        k, n = values.shape
+        self._begin(tag, phase, targets)
+
+        edge_idx = np.asarray(batch_edge_idx, dtype=np.int64)
+        src = graph.src_of_edge[edge_idx]
+        dst = graph.dst[edge_idx]
+        present = presence[:, edge_idx]
+        cand = algo.candidate(values[:, src], graph.wt[edge_idx])
+        cand = np.where(present, cand, algo.mask_value)
+
+        old = values.copy()
+        flat_dst = np.arange(k, dtype=np.int64)[:, None] * n + dst[None, :]
+        sel = present.ravel()
+        flat_idx = flat_dst.ravel()[sel]
+        flat_cand = cand.ravel()[sel]
+        algo.scatter_reduce(values.reshape(-1), flat_idx, flat_cand)
+        changed = algo.better(values, old)
+        if self.track_parents and parent_rows is not None:
+            self._update_parents(
+                parent_rows, changed, flat_idx, flat_cand,
+                np.broadcast_to(edge_idx, (k, edge_idx.size)).ravel()[sel],
+                values,
+            )
+        # Round 0: the batch reader fetches the batch edges and generates
+        # one (row-wide) event per batch edge live in any target version.
+        self._record_round(
+            phase,
+            events_popped=0,
+            events_generated=int(present.any(axis=0).sum()),
+            edge_idx=edge_idx,
+            vertex_writes=int(changed.any(axis=0).sum()),
+            n_versions=k,
+            dst=np.unique(dst),
+            src=np.unique(src),
+            version_events_popped=0,
+            version_events_generated=int(present.sum()),
+            version_vertex_writes=int(changed.sum()),
+        )
+        rounds = self.propagate(values, changed, presence, phase, parent_rows)
+        self._end()
+        return rounds + 1
+
+    # -- trace plumbing ----------------------------------------------------------
+
+    def _begin(self, tag: str, phase: str, targets: tuple[int, ...]) -> None:
+        if self.collector is not None and not self.collector.active:
+            self.collector.begin(tag, phase, targets)
+            self._owns_execution = True
+        else:
+            self._owns_execution = False
+
+    def _end(self) -> None:
+        if self.collector is not None and self._owns_execution:
+            self.collector.end()
+
+    def _record_round(
+        self,
+        phase: str,
+        events_popped: int,
+        events_generated: int,
+        edge_idx: np.ndarray,
+        vertex_writes: int,
+        n_versions: int,
+        dst: np.ndarray,
+        src: np.ndarray,
+        version_events_popped: int | None = None,
+        version_events_generated: int | None = None,
+        version_vertex_writes: int | None = None,
+    ) -> None:
+        if self.collector is None or not self.collector.active:
+            return
+        blocks = np.unique(edge_idx // self.edges_per_block)
+        trace = RoundTrace(
+            phase=phase,
+            events_popped=events_popped,
+            events_generated=events_generated,
+            edges_fetched=int(edge_idx.size),
+            edge_blocks=blocks,
+            vertex_reads=events_popped + events_generated,
+            vertex_writes=vertex_writes,
+            n_versions=n_versions,
+            dst_vertices=dst,
+            src_vertices=src,
+            version_events_popped=(
+                events_popped
+                if version_events_popped is None
+                else version_events_popped
+            ),
+            version_events_generated=(
+                events_generated
+                if version_events_generated is None
+                else version_events_generated
+            ),
+            version_vertex_writes=(
+                vertex_writes
+                if version_vertex_writes is None
+                else version_vertex_writes
+            ),
+        )
+        self.collector.round(trace, edge_idx)

@@ -1,0 +1,172 @@
+"""Plan executor: runs any workflow plan on the DAIC engine.
+
+The executor is the software realization of every workflow in the paper —
+given a :class:`~repro.schedule.plan.Plan` it maintains the per-state value
+arrays and graph-membership masks, drives the multi-version engine, and
+returns the final query values of every snapshot.  The same execution
+produces the round traces the accelerator timing models replay.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.engines.daic import MultiVersionEngine
+from repro.engines.deletion import DeletionRepair, DeletionStats
+from repro.engines.trace import TraceCollector
+from repro.evolving.snapshots import EvolvingScenario
+from repro.schedule.plan import (
+    ApplyEdges,
+    CopyState,
+    DeleteEdges,
+    EvalFull,
+    MarkSnapshot,
+    Plan,
+)
+
+__all__ = ["PlanExecutor", "WorkflowResult"]
+
+
+@dataclass
+class WorkflowResult:
+    """Final values per snapshot plus the collected execution traces."""
+
+    plan_name: str
+    snapshot_values: dict[int, np.ndarray]
+    collector: TraceCollector
+    deletion_stats: list[DeletionStats] = field(default_factory=list)
+
+    def values(self, snapshot: int) -> np.ndarray:
+        return self.snapshot_values[snapshot]
+
+
+class PlanExecutor:
+    """Executes workflow plans over an evolving scenario."""
+
+    def __init__(
+        self,
+        scenario: EvolvingScenario,
+        algorithm: Algorithm,
+        record_touched_edges: bool = False,
+        edges_per_block: int = 8,
+    ) -> None:
+        self.scenario = scenario
+        self.algorithm = algorithm
+        self.unified = scenario.unified
+        self.record_touched_edges = record_touched_edges
+        self.edges_per_block = edges_per_block
+
+    def run(self, plan: Plan) -> WorkflowResult:
+        unified = self.unified
+        n = unified.n_vertices
+        m = unified.n_union_edges
+        needs_deletion = any(isinstance(s, DeleteEdges) for s in plan.steps)
+
+        collector = TraceCollector(
+            m, self.record_touched_edges, n_vertices=n
+        )
+        engine = MultiVersionEngine(
+            self.algorithm,
+            unified,
+            collector=collector,
+            edges_per_block=self.edges_per_block,
+            track_parents=needs_deletion,
+        )
+        repair = DeletionRepair(engine) if needs_deletion else None
+
+        n_states = max(plan.n_states, 1)
+        values = np.full(
+            (n_states, n), self.algorithm.identity, dtype=np.float64
+        )
+        presence = np.zeros((n_states, m), dtype=bool)
+        initial_mask = (
+            unified.common_mask
+            if plan.initial_graph == "common"
+            else unified.presence_mask(0)
+        )
+
+        result = WorkflowResult(plan.name, {}, collector)
+        for step in plan.steps:
+            if isinstance(step, EvalFull):
+                presence[step.state] = initial_mask
+                parent_row = step.state if needs_deletion else None
+                source = (
+                    self.scenario.source if step.source is None else step.source
+                )
+                values[step.state] = engine.evaluate_full(
+                    presence[step.state],
+                    source,
+                    phase="full",
+                    tag=step.label,
+                    parent_row=parent_row,
+                )
+            elif isinstance(step, CopyState):
+                values[step.dst] = values[step.src]
+                presence[step.dst] = presence[step.src]
+                if needs_deletion:
+                    engine._ensure_parent_rows(step.dst + 1)
+                    engine.parent_edge[step.dst] = engine.parent_edge[step.src]
+            elif isinstance(step, ApplyEdges):
+                self._apply(engine, values, presence, step, needs_deletion)
+            elif isinstance(step, DeleteEdges):
+                presence[step.state, step.edge_idx] = False
+                row = values[step.state]
+                stats = repair.apply_deletions(
+                    row,
+                    step.edge_idx,
+                    presence[step.state],
+                    self.scenario.source,
+                    parent_row=step.state,
+                    tag=step.label,
+                )
+                values[step.state] = row
+                result.deletion_stats.append(stats)
+            elif isinstance(step, MarkSnapshot):
+                result.snapshot_values[step.snapshot] = values[step.state].copy()
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown plan step {step!r}")
+        return result
+
+    def _apply(
+        self,
+        engine: MultiVersionEngine,
+        values: np.ndarray,
+        presence: np.ndarray,
+        step: ApplyEdges,
+        needs_deletion: bool,
+    ) -> None:
+        targets = list(step.targets)
+        if len(targets) == 1:
+            t = targets[0]
+            presence[t, step.edge_idx] = True
+            parent_rows = np.array([t]) if needs_deletion else None
+            if needs_deletion:
+                engine._ensure_parent_rows(t + 1)
+            engine.apply_additions(
+                values[t][None, :],
+                step.edge_idx,
+                presence[t][None, :],
+                phase="add",
+                tag=step.label,
+                targets=(t,),
+                parent_rows=parent_rows,
+            )
+            return
+        # Multi-target (BOE): stack target rows, run one shared execution,
+        # write results back.
+        sub_values = values[targets]
+        sub_presence = presence[targets]
+        sub_presence[:, step.edge_idx] = True
+        engine.apply_additions(
+            sub_values,
+            step.edge_idx,
+            sub_presence,
+            phase="add",
+            tag=step.label,
+            targets=tuple(targets),
+        )
+        values[targets] = sub_values
+        presence[targets] = sub_presence

@@ -1,0 +1,162 @@
+"""Execution traces emitted by the propagation engines.
+
+The accelerator simulators are *trace-driven*: the functional engines run
+the actual graph computation and emit one :class:`RoundTrace` per
+asynchronous round (a round = one wave of coalesced events, the unit the
+paper plots in Fig. 10).  The timing models then replay the traces against
+the modelled hardware (PEs, queues, NoC, caches, DRAM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RoundTrace", "ExecutionTrace", "TraceCollector"]
+
+
+@dataclass
+class RoundTrace:
+    """Aggregate activity of one asynchronous round.
+
+    * ``events_popped`` — coalesced events executed (one per active
+      ``(vertex, version)`` pair);
+    * ``events_generated`` — outgoing delta messages produced (one per
+      traversed ``(edge, version)`` pair);
+    * ``edges_fetched`` — *union* edge slots gathered from memory; shared
+      across versions, which is exactly BOE's reuse win;
+    * ``edge_blocks`` — unique edge-block ids touched (cache-line granular);
+    * ``vertex_reads`` / ``vertex_writes`` — value-array accesses;
+    * ``n_versions`` — versions sharing this round's edge fetches;
+    * ``dst_vertices`` — unique destination vertices touched (used by the
+      partitioning model to estimate cross-partition traffic).
+    """
+
+    phase: str
+    events_popped: int
+    events_generated: int
+    edges_fetched: int
+    edge_blocks: np.ndarray
+    vertex_reads: int
+    vertex_writes: int
+    n_versions: int
+    dst_vertices: np.ndarray
+    src_vertices: np.ndarray
+    #: per-(vertex, version) scalar work, for analyses that need it.  In a
+    #: multi-version round the datapath processes one row-wide event per
+    #: vertex (the unified value array of §3.2), so the primary counters
+    #: above are vertex-granular; these record the un-amortized totals.
+    version_events_popped: int = 0
+    version_events_generated: int = 0
+    version_vertex_writes: int = 0
+
+
+@dataclass
+class ExecutionTrace:
+    """All rounds of one logical execution (one batch application or one
+    full evaluation), plus which versions it targeted."""
+
+    tag: str
+    phase: str
+    targets: tuple[int, ...]
+    rounds: list[RoundTrace] = field(default_factory=list)
+    #: bool mask over union edges fetched at least once (reuse metrics)
+    touched_edges: np.ndarray | None = None
+    #: unique destination vertices touched across the whole execution —
+    #: the coalesced event-queue cells, which bound partition spill traffic
+    touched_dst_count: int = 0
+
+    @property
+    def events_popped(self) -> int:
+        return sum(r.events_popped for r in self.rounds)
+
+    @property
+    def events_generated(self) -> int:
+        return sum(r.events_generated for r in self.rounds)
+
+    @property
+    def edges_fetched(self) -> int:
+        return sum(r.edges_fetched for r in self.rounds)
+
+    @property
+    def vertex_reads(self) -> int:
+        return sum(r.vertex_reads for r in self.rounds)
+
+    @property
+    def vertex_writes(self) -> int:
+        return sum(r.vertex_writes for r in self.rounds)
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    def events_per_round(self) -> list[int]:
+        """The Fig. 10 series: coalesced events processed per round."""
+        return [r.events_popped for r in self.rounds]
+
+
+class TraceCollector:
+    """Accumulates execution traces across a whole workflow run.
+
+    ``record_touched_edges`` enables the per-execution union-edge masks
+    needed by the reuse studies (Figs. 4/5); it costs one bool array per
+    execution, so it is off by default.
+    """
+
+    def __init__(
+        self,
+        n_union_edges: int = 0,
+        record_touched_edges: bool = False,
+        n_vertices: int = 0,
+    ) -> None:
+        self.executions: list[ExecutionTrace] = []
+        self.n_union_edges = n_union_edges
+        self.n_vertices = n_vertices
+        self.record_touched_edges = record_touched_edges
+        self._current: ExecutionTrace | None = None
+        self._dst_mask: np.ndarray | None = None
+
+    def begin(self, tag: str, phase: str, targets: tuple[int, ...]) -> ExecutionTrace:
+        if self._current is not None:
+            raise RuntimeError("nested executions are not supported")
+        touched = (
+            np.zeros(self.n_union_edges, dtype=bool)
+            if self.record_touched_edges
+            else None
+        )
+        self._current = ExecutionTrace(tag, phase, targets, [], touched)
+        if self.n_vertices:
+            self._dst_mask = np.zeros(self.n_vertices, dtype=bool)
+        return self._current
+
+    def round(self, trace: RoundTrace, edge_idx: np.ndarray | None = None) -> None:
+        if self._current is None:
+            raise RuntimeError("round recorded outside an execution")
+        self._current.rounds.append(trace)
+        if self._current.touched_edges is not None and edge_idx is not None:
+            self._current.touched_edges[edge_idx] = True
+        if self._dst_mask is not None and trace.dst_vertices.size:
+            self._dst_mask[trace.dst_vertices] = True
+
+    def end(self) -> ExecutionTrace:
+        if self._current is None:
+            raise RuntimeError("no execution in progress")
+        done, self._current = self._current, None
+        if self._dst_mask is not None:
+            done.touched_dst_count = int(self._dst_mask.sum())
+            self._dst_mask = None
+        self.executions.append(done)
+        return done
+
+    @property
+    def active(self) -> bool:
+        return self._current is not None
+
+    # -- aggregates ---------------------------------------------------------
+
+    def total(self, attr: str) -> int:
+        return sum(getattr(e, attr) for e in self.executions)
+
+    def by_phase(self, phase: str) -> list[ExecutionTrace]:
+        return [e for e in self.executions if e.phase == phase]

@@ -1,0 +1,26 @@
+"""Evolving-graph substrate: batches, snapshots, CommonGraph, unified CSR."""
+
+from repro.evolving.batches import BatchId, BatchKind, EdgeBatch
+from repro.evolving.common_graph import (
+    batches_for_snapshot,
+    range_common_mask,
+)
+from repro.evolving.snapshots import EvolvingScenario, synthesize_scenario
+from repro.evolving.triangular_grid import GridNode, TriangularGrid
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.evolving.window import extract_window, window_scenario
+
+__all__ = [
+    "BatchId",
+    "BatchKind",
+    "EdgeBatch",
+    "EvolvingScenario",
+    "GridNode",
+    "TriangularGrid",
+    "UnifiedCSR",
+    "extract_window",
+    "window_scenario",
+    "batches_for_snapshot",
+    "range_common_mask",
+    "synthesize_scenario",
+]

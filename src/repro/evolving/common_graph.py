@@ -1,0 +1,78 @@
+"""CommonGraph computations (paper §2.1, building on [Afarin et al., ASPLOS'23]).
+
+The CommonGraph ``G_c`` of a snapshot window is the set of edges present in
+*every* snapshot.  Starting from ``G_c``, any snapshot is reachable through
+edge *additions only*: deletion batches are re-added to the older snapshots
+that still contain them.  This module provides the set algebra over a
+:class:`~repro.evolving.unified_csr.UnifiedCSR` — which batches are needed
+to hop from (intermediate) common graphs to snapshots, and the operation
+counts behind the paper's Fig. 3 motivation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evolving.batches import BatchId, BatchKind
+from repro.evolving.unified_csr import UnifiedCSR
+
+__all__ = [
+    "batches_for_snapshot",
+    "common_graph_mask",
+    "range_common_mask",
+    "edges_to_reach",
+]
+
+
+def batches_for_snapshot(unified: UnifiedCSR, snapshot: int) -> list[BatchId]:
+    """Batches (as additions) needed to hop from ``G_c`` to ``G_snapshot``.
+
+    ``G_k = G_c ∪ {Δ-_j : j >= k} ∪ {Δ+_j : j < k}``.  Deletion batches are
+    listed newest-first and addition batches oldest-first, matching the
+    chain orders used by the execution workflows.
+    """
+    n = unified.n_snapshots
+    dels = [
+        BatchId(BatchKind.DELETION, j) for j in range(n - 2, snapshot - 1, -1)
+    ]
+    adds = [BatchId(BatchKind.ADDITION, j) for j in range(0, snapshot)]
+    return dels + adds
+
+
+def common_graph_mask(unified: UnifiedCSR) -> np.ndarray:
+    """Mask over union edges for ``G_c`` — edges in every snapshot."""
+    return unified.common_mask
+
+
+def range_common_mask(unified: UnifiedCSR, lo: int, hi: int) -> np.ndarray:
+    """Mask for the *intermediate* common graph of snapshots ``lo..hi``.
+
+    These are the ``ICG`` nodes of the triangular grid (paper Fig. 1a).
+    An edge is common to snapshots ``lo..hi`` iff it is present in all of
+    them: never-touched edges, edges deleted at step ``j >= hi`` (still in
+    snapshot ``hi``), and edges added at step ``j < lo`` (already in
+    snapshot ``lo``).
+    """
+    if not 0 <= lo <= hi < unified.n_snapshots:
+        raise IndexError("invalid snapshot range")
+    a, d = unified.add_step, unified.del_step
+    added_ok = (a == -1) | (a < lo)
+    deleted_ok = (d == -1) | (d >= hi)
+    return added_ok & deleted_ok
+
+
+def edges_to_reach(
+    unified: UnifiedCSR, from_mask: np.ndarray, to_mask: np.ndarray
+) -> np.ndarray:
+    """Union-edge indices to add when hopping ``from_mask`` → ``to_mask``.
+
+    Raises if the hop would require deletions (the CommonGraph invariant is
+    that every hop in every workflow is addition-only).
+    """
+    missing = to_mask & ~from_mask
+    removed = from_mask & ~to_mask
+    if np.any(removed):
+        raise ValueError(
+            "hop would delete edges — not a valid CommonGraph transition"
+        )
+    return np.flatnonzero(missing)

@@ -1,0 +1,101 @@
+"""The Triangular-Grid structure over intermediate common graphs (Fig. 1a).
+
+Recursively bisecting the snapshot window yields a binary tree whose nodes
+are intermediate common graphs ``ICG(lo, hi)`` (the edges common to
+snapshots ``lo..hi``) and whose leaves are the snapshots themselves.  The
+Work-Sharing workflow (Fig. 1c) walks this tree, applying each hop's edge
+additions once per tree edge instead of once per snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evolving.common_graph import range_common_mask
+from repro.evolving.unified_csr import UnifiedCSR
+
+__all__ = ["GridNode", "TriangularGrid"]
+
+
+@dataclass
+class GridNode:
+    """One node of the triangular grid: the common graph of ``lo..hi``."""
+
+    lo: int
+    hi: int
+    parent: "GridNode | None" = None
+    children: list["GridNode"] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.lo == self.hi
+
+    @property
+    def snapshot(self) -> int:
+        if not self.is_leaf:
+            raise ValueError("only leaves correspond to a single snapshot")
+        return self.lo
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ICG[{self.lo},{self.hi}]" if not self.is_leaf else f"G_{self.lo}"
+
+
+class TriangularGrid:
+    """Bisection tree over a snapshot window with per-hop edge sets."""
+
+    def __init__(self, unified: UnifiedCSR) -> None:
+        self.unified = unified
+        self.root = GridNode(0, unified.n_snapshots - 1)
+        self._build(self.root)
+
+    def _build(self, node: GridNode) -> None:
+        if node.is_leaf:
+            return
+        mid = (node.lo + node.hi) // 2
+        left = GridNode(node.lo, mid, parent=node)
+        right = GridNode(mid + 1, node.hi, parent=node)
+        node.children = [left, right]
+        self._build(left)
+        self._build(right)
+
+    def mask_of(self, node: GridNode) -> np.ndarray:
+        """Union-edge membership mask of the node's (common) graph."""
+        return range_common_mask(self.unified, node.lo, node.hi)
+
+    def hop_edges(self, parent: GridNode, child: GridNode) -> np.ndarray:
+        """Union-edge indices added when hopping from parent to child.
+
+        The child's common graph is a superset of the parent's: narrowing
+        the snapshot range only *adds* edges (the CommonGraph invariant).
+        """
+        pmask = self.mask_of(parent)
+        cmask = self.mask_of(child)
+        return np.flatnonzero(cmask & ~pmask)
+
+    def walk_preorder(self):
+        """Yield ``(parent, child)`` tree edges in depth-first order."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            for child in reversed(node.children):
+                yield node, child
+                stack.append(child)
+
+    def leaves(self) -> list[GridNode]:
+        out = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                out.append(node)
+            else:
+                stack.extend(reversed(node.children))
+        return out
+
+    def total_hop_edge_count(self) -> int:
+        """Total edges applied across all hops (Work-Sharing's Fig. 3 cost)."""
+        return sum(
+            int(self.hop_edges(p, c).shape[0]) for p, c in self.walk_preorder()
+        )

@@ -1,0 +1,162 @@
+"""Unified evolving-graph CSR representation (paper Fig. 6).
+
+One CSR over the *union* of all snapshot edge sets, with a per-edge tag
+array recording which snapshots each edge belongs to:
+
+* common edges (``"-"`` in the paper's figure) are in every snapshot;
+* an edge tagged as added at step ``j`` is in snapshots ``j+1 .. N-1``;
+* an edge tagged as deleted at step ``j`` is in snapshots ``0 .. j``.
+
+The paper stores the tag as a single label per edge; we keep two small
+integer arrays (``add_step``/``del_step``, ``-1`` meaning "not applicable")
+which encode exactly the same information and vectorize the per-snapshot
+presence tests used by the multi-version engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.evolving.batches import BatchId, BatchKind, EdgeBatch
+
+__all__ = ["UnifiedCSR"]
+
+NOT_APPLICABLE = -1
+
+
+class UnifiedCSR:
+    """Union CSR + snapshot tags; the default storage format of MEGA."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        add_step: np.ndarray,
+        del_step: np.ndarray,
+        n_snapshots: int,
+    ) -> None:
+        self.graph = graph
+        self.add_step = np.asarray(add_step, dtype=np.int32)
+        self.del_step = np.asarray(del_step, dtype=np.int32)
+        self.n_snapshots = int(n_snapshots)
+        if self.add_step.shape[0] != graph.n_edges:
+            raise ValueError("add_step must have one entry per union edge")
+        if self.del_step.shape[0] != graph.n_edges:
+            raise ValueError("del_step must have one entry per union edge")
+        if n_snapshots < 1:
+            raise ValueError("need at least one snapshot")
+        both = (self.add_step >= 0) & (self.del_step >= 0)
+        if np.any(both):
+            raise ValueError(
+                "an edge cannot be both an addition and a deletion within "
+                "one CommonGraph window"
+            )
+        if np.any(self.add_step >= n_snapshots - 1) or np.any(
+            self.del_step >= n_snapshots - 1
+        ):
+            raise ValueError("batch steps must lie in [0, n_snapshots-2]")
+        self._snapshot_cache: dict[int, CSRGraph] = {}
+        self._reverse: CSRGraph | None = None
+
+    # -- structural views --------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        return self.graph.n_vertices
+
+    @property
+    def n_union_edges(self) -> int:
+        return self.graph.n_edges
+
+    @property
+    def common_mask(self) -> np.ndarray:
+        """Edges belonging to the CommonGraph ``G_c`` (all snapshots)."""
+        return (self.add_step == NOT_APPLICABLE) & (self.del_step == NOT_APPLICABLE)
+
+    def presence_mask(self, snapshot: int) -> np.ndarray:
+        """Boolean mask over union edges: present in ``G_snapshot``?"""
+        self._check_snapshot(snapshot)
+        added_ok = (self.add_step == NOT_APPLICABLE) | (self.add_step < snapshot)
+        deleted_ok = (self.del_step == NOT_APPLICABLE) | (self.del_step >= snapshot)
+        return added_ok & deleted_ok
+
+    def presence_of(self, snapshot: int, edge_idx: np.ndarray) -> np.ndarray:
+        """Presence test restricted to a set of union-edge slots."""
+        self._check_snapshot(snapshot)
+        a = self.add_step[edge_idx]
+        d = self.del_step[edge_idx]
+        return ((a == NOT_APPLICABLE) | (a < snapshot)) & (
+            (d == NOT_APPLICABLE) | (d >= snapshot)
+        )
+
+    def batch_mask(self, batch_id: BatchId) -> np.ndarray:
+        if batch_id.kind is BatchKind.ADDITION:
+            return self.add_step == batch_id.step
+        return self.del_step == batch_id.step
+
+    def batch(self, batch_id: BatchId) -> EdgeBatch:
+        return EdgeBatch(batch_id, np.flatnonzero(self.batch_mask(batch_id)))
+
+    def addition_batches(self) -> list[EdgeBatch]:
+        return [
+            self.batch(BatchId(BatchKind.ADDITION, j))
+            for j in range(self.n_snapshots - 1)
+        ]
+
+    def deletion_batches(self) -> list[EdgeBatch]:
+        return [
+            self.batch(BatchId(BatchKind.DELETION, j))
+            for j in range(self.n_snapshots - 1)
+        ]
+
+    # -- materialized graphs ------------------------------------------------
+
+    def snapshot_graph(self, snapshot: int) -> CSRGraph:
+        """Materialize ``G_snapshot`` as its own CSR (cached)."""
+        self._check_snapshot(snapshot)
+        if snapshot not in self._snapshot_cache:
+            mask = self.presence_mask(snapshot)
+            self._snapshot_cache[snapshot] = self._masked_graph(mask)
+        return self._snapshot_cache[snapshot]
+
+    def common_graph(self) -> CSRGraph:
+        """Materialize the CommonGraph ``G_c``."""
+        return self._masked_graph(self.common_mask)
+
+    def reverse_graph(self) -> CSRGraph:
+        """Transpose of the *union* graph (cached); used by deletion repair.
+
+        Edge slot identity is lost in the transpose, so the reverse graph
+        carries the union edge index as ``wt``-parallel metadata via
+        :attr:`reverse_edge_origin`.
+        """
+        if self._reverse is None:
+            self._reverse = self.graph.reverse()
+            # Recover, for each reverse slot, the originating union slot by
+            # sorting union slots into (dst, src) order the same way
+            # CSRGraph.from_edges does.
+            order = np.lexsort((self.graph.src_of_edge, self.graph.dst))
+            self.reverse_edge_origin = order
+        return self._reverse
+
+    def _masked_graph(self, mask: np.ndarray) -> CSRGraph:
+        counts = np.bincount(
+            self.graph.src_of_edge[mask], minlength=self.n_vertices
+        )
+        indptr = np.zeros(self.n_vertices + 1, dtype=np.int64)
+        np.cumsum(counts, out=indptr[1:])
+        return CSRGraph(
+            self.n_vertices, indptr, self.graph.dst[mask], self.graph.wt[mask]
+        )
+
+    def _check_snapshot(self, snapshot: int) -> None:
+        if not 0 <= snapshot < self.n_snapshots:
+            raise IndexError(
+                f"snapshot {snapshot} out of range [0, {self.n_snapshots})"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"UnifiedCSR(n_vertices={self.n_vertices}, "
+            f"union_edges={self.n_union_edges}, snapshots={self.n_snapshots})"
+        )

@@ -1,0 +1,71 @@
+"""Ad-hoc time-window queries over a snapshot range.
+
+The triangular grid's intermediate common graphs (Fig. 1a) exist exactly
+so that a query can be evaluated over *any* contiguous sub-window of the
+history — the Tegra-style ad-hoc analysis the related-work section
+discusses.  ``extract_window`` re-roots a unified CSR at the window's own
+common graph: edges absent from every window snapshot are dropped, edges
+present in all of them become common, and batch tags are re-based to the
+window's local step indexing.  The result is a self-contained
+:class:`~repro.evolving.unified_csr.UnifiedCSR`, so every workflow,
+simulator and metric applies unchanged to the sub-window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evolving.snapshots import EvolvingScenario
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+
+__all__ = ["extract_window", "window_scenario"]
+
+
+def extract_window(unified: UnifiedCSR, lo: int, hi: int) -> UnifiedCSR:
+    """Unified CSR restricted to snapshots ``lo..hi`` (inclusive)."""
+    if not 0 <= lo <= hi < unified.n_snapshots:
+        raise IndexError(
+            f"window [{lo}, {hi}] outside [0, {unified.n_snapshots - 1}]"
+        )
+    a, d = unified.add_step, unified.del_step
+
+    # Edge fate within the window:
+    #   * never present: added at/after hi, or deleted before lo -> drop;
+    #   * present throughout: untouched, added before lo, deleted at/after
+    #     hi -> common;
+    #   * otherwise the batch step falls inside the window -> re-based tag.
+    absent = ((a >= 0) & (a >= hi)) | ((d >= 0) & (d < lo))
+    keep = ~absent
+
+    new_add = np.where((a >= 0) & (a >= lo) & (a < hi), a - lo, -1)
+    new_del = np.where((d >= 0) & (d >= lo) & (d < hi), d - lo, -1)
+
+    graph = unified.graph
+    counts = np.bincount(graph.src_of_edge[keep], minlength=graph.n_vertices)
+    indptr = np.zeros(graph.n_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    sub = CSRGraph(
+        graph.n_vertices, indptr, graph.dst[keep], graph.wt[keep]
+    )
+    return UnifiedCSR(
+        sub,
+        new_add[keep].astype(np.int32),
+        new_del[keep].astype(np.int32),
+        hi - lo + 1,
+    )
+
+
+def window_scenario(
+    scenario: EvolvingScenario, lo: int, hi: int
+) -> EvolvingScenario:
+    """A scenario over the sub-window, preserving source and metadata."""
+    unified = extract_window(scenario.unified, lo, hi)
+    meta = dict(scenario.metadata)
+    meta["window"] = (lo, hi)
+    return EvolvingScenario(
+        unified,
+        source=scenario.source,
+        name=f"{scenario.name}[{lo}:{hi}]",
+        metadata=meta,
+    )

@@ -1,0 +1,59 @@
+"""Experiment drivers: one module per table/figure of the evaluation."""
+
+from repro.experiments import (
+    ext_energy,
+    ext_latency,
+    ext_multiquery,
+    ext_sensitivity,
+    fig02_deletion_cost,
+    fig03_additions,
+    fig04_fig05_reuse,
+    fig10_event_rounds,
+    fig14_software,
+    fig15_memory_sweep,
+    fig16_17_18_reads,
+    fig19_batch_size,
+    fig20_snapshots,
+    fig21_imbalance,
+    summary,
+    table4_speedups,
+    table5_power,
+)
+from repro.experiments.runner import ExperimentResult, default_scale
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "default_scale", "run_experiment"]
+
+#: experiment id -> zero/one-arg callable returning ExperimentResult(s)
+ALL_EXPERIMENTS = {
+    "fig2": fig02_deletion_cost.run,
+    "fig3": fig03_additions.run,
+    "fig4": fig04_fig05_reuse.run_fig04,
+    "fig5": fig04_fig05_reuse.run_fig05,
+    "fig10": fig10_event_rounds.run,
+    "table4": table4_speedups.run,
+    "fig14": fig14_software.run,
+    "fig15": fig15_memory_sweep.run,
+    "fig16": lambda scale=None: fig16_17_18_reads.run_metric("Fig. 16", scale),
+    "fig17": lambda scale=None: fig16_17_18_reads.run_metric("Fig. 17", scale),
+    "fig18": lambda scale=None: fig16_17_18_reads.run_metric("Fig. 18", scale),
+    "fig19": fig19_batch_size.run,
+    "fig20": fig20_snapshots.run,
+    "fig21": fig21_imbalance.run,
+    "table5": table5_power.run,
+    "ext-pe-sweep": ext_sensitivity.run,
+    "ext-latency": ext_latency.run,
+    "ext-multiquery": ext_multiquery.run,
+    "ext-energy": ext_energy.run,
+    "summary": summary.run,
+}
+
+
+def run_experiment(name: str, scale: str | None = None) -> ExperimentResult:
+    """Run one experiment by id (``fig2`` … ``table5``)."""
+    try:
+        fn = ALL_EXPERIMENTS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; choose from {sorted(ALL_EXPERIMENTS)}"
+        ) from None
+    return fn(scale)

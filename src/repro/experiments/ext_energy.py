@@ -1,0 +1,68 @@
+"""Extension experiment: energy efficiency (§5.3's closing claim).
+
+"Consuming only 10 Watts, MEGA is substantially more power-efficient than
+our baseline GPU and CPU systems."  The accelerator's energy comes from
+the Table 5 power model over its simulated runtime; the software baselines
+burn their platforms' board power over their modelled runtimes.
+"""
+
+from __future__ import annotations
+
+from repro.accel import MegaSimulator
+from repro.accel.energy import EnergyModel
+from repro.algorithms import get_algorithm
+from repro.baselines import SOFTWARE_SYSTEMS, run_baseline
+from repro.experiments.runner import (
+    ExperimentResult,
+    default_scale,
+    scenario_cache,
+)
+
+__all__ = ["run"]
+
+_PLATFORM_OF = {
+    "kickstarter-ws": "xeon-60core",
+    "risgraph-ws": "xeon-60core",
+    "risgraph-boe": "xeon-60core",
+    "subway-ws": "k80",
+}
+
+
+def run(
+    scale: str | None = None, graph: str = "Wen", algo_name: str = "SSSP"
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        "Ext. energy",
+        f"energy per evolving-graph window ({graph}/{algo_name})",
+        ["system", "time_ms", "avg_power_w", "energy_mj", "mega_advantage"],
+    )
+    scenario = scenario_cache(graph, scale)
+    algo = get_algorithm(algo_name)
+    model = EnergyModel()
+
+    mega_report = MegaSimulator("boe", pipeline=True).run(scenario, algo)
+    mega = model.accelerator_energy(mega_report)
+    result.add("mega (boe+bp)", mega.time_ms, mega.avg_power_w, mega.energy_mj, 1.0)
+
+    for name in SOFTWARE_SYSTEMS:
+        baseline = run_baseline(scenario, algo, name)
+        rep = model.software_energy(
+            name, _PLATFORM_OF[name], baseline.update_time_ms
+        )
+        result.add(
+            name,
+            rep.time_ms,
+            rep.avg_power_w,
+            rep.energy_mj,
+            mega.efficiency_over(rep),
+        )
+    result.notes.append(
+        "paper §5.3: ~10 W MEGA is substantially more power-efficient than "
+        "the CPU and GPU baselines (here: speedup x power ratio)"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,64 @@
+"""Extension experiments: compute-vs-bandwidth sensitivity (§5.2 claim).
+
+The paper states: "We configured MEGA with 8 PEs; adding additional PEs
+did not improve performance without increasing the memory bandwidth as
+well as internal bandwidth of the NoC and event queues."  These sweeps
+reproduce that claim quantitatively:
+
+* ``pe_sweep`` — scale only the PE count: BOE runtime barely moves
+  (the datapath is bandwidth-bound);
+* ``scaled_sweep`` — scale PEs *and* DRAM channels *and* NoC ports *and*
+  queue bins together: runtime now improves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.accel import MegaSimulator, mega_config
+from repro.algorithms import get_algorithm
+from repro.experiments.runner import (
+    ExperimentResult,
+    default_scale,
+    scenario_cache,
+)
+
+__all__ = ["run", "PE_COUNTS"]
+
+PE_COUNTS = (4, 8, 16, 32)
+
+
+def run(
+    scale: str | None = None, graph: str = "Wen", algo_name: str = "SSSP"
+) -> ExperimentResult:
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        "Ext. PE sweep",
+        f"BOE cycles vs PE count, compute-only vs balanced scaling "
+        f"({graph}/{algo_name})",
+        ["n_pes", "pes_only_cycles", "balanced_cycles"],
+    )
+    scenario = scenario_cache(graph, scale)
+    algo = get_algorithm(algo_name)
+    base = mega_config()
+    for n_pes in PE_COUNTS:
+        pes_only = replace(base, n_pes=n_pes)
+        factor = n_pes / base.n_pes
+        balanced = replace(
+            base,
+            n_pes=n_pes,
+            dram_channels=max(1, int(base.dram_channels * factor)),
+            noc_ports=max(1, int(base.noc_ports * factor)),
+            n_queue_bins=max(1, int(base.n_queue_bins * factor)),
+        )
+        a = MegaSimulator("boe", config=pes_only).run(scenario, algo)
+        b = MegaSimulator("boe", config=balanced).run(scenario, algo)
+        result.add(n_pes, a.update_cycles, b.update_cycles)
+    result.notes.append(
+        "paper §5.2: more PEs alone do not help; bandwidth must scale too"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,67 @@
+"""Figs. 4 and 5 — the edge-reuse asymmetry motivating BOE.
+
+Fig. 4: different batches applied to the same snapshot share almost no
+fetched edges (a few percent).  Fig. 5: the same batch applied to different
+snapshots shares nearly all of them (~98%+).
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import get_algorithm
+from repro.experiments.runner import (
+    ALGOS,
+    GRAPHS,
+    ExperimentResult,
+    default_scale,
+    scenario_cache,
+)
+from repro.metrics import (
+    edge_reuse_across_snapshots,
+    edge_reuse_same_snapshot,
+)
+
+__all__ = ["run", "run_fig04", "run_fig05"]
+
+
+def _run(metric, name: str, title: str, expectation: str, scale: str | None):
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        name, title, ["algorithm", "graph", "reused_fraction"]
+    )
+    for algo_name in ALGOS:
+        algo = get_algorithm(algo_name)
+        for graph in GRAPHS:
+            scenario = scenario_cache(graph, scale)
+            result.add(algo_name, graph, metric(scenario, algo))
+    result.notes.append(expectation)
+    return result
+
+
+def run_fig04(scale: str | None = None) -> ExperimentResult:
+    return _run(
+        edge_reuse_same_snapshot,
+        "Fig. 4",
+        "edge reuse: different batches, same snapshot",
+        "paper: below ~0.06 everywhere",
+        scale,
+    )
+
+
+def run_fig05(scale: str | None = None) -> ExperimentResult:
+    return _run(
+        edge_reuse_across_snapshots,
+        "Fig. 5",
+        "edge reuse: same batch, different snapshots",
+        "paper: ~0.98 on average",
+        scale,
+    )
+
+
+def run(scale: str | None = None) -> tuple[ExperimentResult, ExperimentResult]:
+    return run_fig04(scale), run_fig05(scale)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for r in run():
+        print(r)
+        print()

@@ -1,0 +1,63 @@
+"""Fig. 14 — MEGA (BOE+BP) speedup over software/GPU CommonGraph systems.
+
+KickStarter (Work-Sharing), RisGraph (Work-Sharing and software BOE) and
+Subway on a K80 GPU (Work-Sharing), modelled per DESIGN.md's substitution
+table.  The per-graph/algorithm variation is emergent from real event
+counts; the platform constants are calibrated to the paper's geomeans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms import get_algorithm
+from repro.baselines import run_baseline
+from repro.experiments.runner import (
+    ALGOS,
+    GRAPHS,
+    ExperimentResult,
+    default_scale,
+    scenario_cache,
+    simulate_all_workflows,
+)
+
+__all__ = ["run", "BASELINE_ORDER"]
+
+BASELINE_ORDER = ("kickstarter-ws", "risgraph-ws", "risgraph-boe", "subway-ws")
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        "Fig. 14",
+        "MEGA (BOE+BP) speedup over software CommonGraph systems",
+        ["graph", "algorithm"] + list(BASELINE_ORDER),
+    )
+    speedups: dict[str, list[float]] = {b: [] for b in BASELINE_ORDER}
+    for graph in GRAPHS:
+        scenario = scenario_cache(graph, scale)
+        for algo_name in ALGOS:
+            algo = get_algorithm(algo_name)
+            mega = simulate_all_workflows(scenario, algo_name)["boe+bp"]
+            mega_ms = mega.update_cycles / 1e6
+            row = [graph, algo_name]
+            for name in BASELINE_ORDER:
+                baseline = run_baseline(scenario, algo, name)
+                s = baseline.update_time_ms / mega_ms
+                speedups[name].append(s)
+                row.append(s)
+            result.add(*row)
+    gmeans = [
+        float(np.exp(np.mean(np.log(np.maximum(speedups[b], 1e-12)))))
+        for b in BASELINE_ORDER
+    ]
+    result.add("GMean", "-", *gmeans)
+    result.notes.append(
+        "paper geomeans: KickStarter(WS) 51.2x, RisGraph(WS) 29.1x, "
+        "RisGraph(BOE) 15.9x, Subway(WS) 12.3x"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,59 @@
+"""Figs. 16, 17, 18 — normalized edge reads, vertex reads, vertex writes.
+
+For the Wen graph and all five algorithms, compare the Direct-Hop,
+Work-Sharing and BOE workflows' memory activity, normalized to Direct-Hop.
+BOE's batch-oriented scheduling yields the fewest of all three metrics.
+"""
+
+from __future__ import annotations
+
+from repro.algorithms import get_algorithm
+from repro.experiments.runner import (
+    ALGOS,
+    ExperimentResult,
+    default_scale,
+    scenario_cache,
+)
+from repro.metrics import workflow_activity
+
+__all__ = ["run", "run_metric", "METRICS"]
+
+METRICS = {
+    "Fig. 16": ("edge_reads", "normalized edge reads"),
+    "Fig. 17": ("vertex_reads", "normalized vertex reads"),
+    "Fig. 18": ("vertex_writes", "normalized vertex writes"),
+}
+WORKFLOWS = ("direct-hop", "work-sharing", "boe")
+
+
+def run_metric(
+    figure: str, scale: str | None = None, graph: str = "Wen"
+) -> ExperimentResult:
+    attr, title = METRICS[figure]
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        figure,
+        f"{title} ({graph} graph)",
+        ["algorithm"] + list(WORKFLOWS),
+    )
+    scenario = scenario_cache(graph, scale)
+    for algo_name in ALGOS:
+        algo = get_algorithm(algo_name)
+        values = {
+            wf: getattr(workflow_activity(scenario, algo, wf), attr)
+            for wf in WORKFLOWS
+        }
+        base = max(values["direct-hop"], 1)
+        result.add(algo_name, *[values[wf] / base for wf in WORKFLOWS])
+    result.notes.append("paper: BOE lowest, Work-Sharing middle, Direct-Hop 1.0")
+    return result
+
+
+def run(scale: str | None = None, graph: str = "Wen"):
+    return tuple(run_metric(fig, scale, graph) for fig in METRICS)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    for r in run():
+        print(r)
+        print()

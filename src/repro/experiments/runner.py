@@ -1,0 +1,143 @@
+"""Experiment harness shared by all table/figure drivers.
+
+Each experiment module exposes ``run(scale=...) -> ExperimentResult``; the
+result carries paper-style rows and can render itself as a fixed-width
+table.  ``REPRO_SCALE`` (tiny/small/medium) selects the proxy-graph scale
+for the whole harness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.accel import JetStreamSimulator, MegaSimulator
+from repro.accel.stats import SimReport
+from repro.algorithms import get_algorithm
+from repro.evolving.snapshots import EvolvingScenario
+from repro.workloads import load_scenario
+
+__all__ = [
+    "ExperimentResult",
+    "default_scale",
+    "GRAPHS",
+    "ALGOS",
+    "simulate_all_workflows",
+    "scenario_cache",
+]
+
+#: paper order (Table 4 lists PK, LJ, DL, OR, UK, Wen)
+GRAPHS = ("PK", "LJ", "OR", "DL", "UK", "Wen")
+ALGOS = ("BFS", "SSSP", "SSWP", "SSNP", "Viterbi")
+
+_scenarios: dict[tuple, EvolvingScenario] = {}
+_reports: dict[tuple, SimReport] = {}
+
+
+def default_scale() -> str:
+    """Proxy scale for experiments: ``REPRO_SCALE`` env var or ``small``."""
+    return os.environ.get("REPRO_SCALE", "small")
+
+
+def scenario_cache(name: str, scale: str, **kwargs) -> EvolvingScenario:
+    """Scenario construction cached across experiments in one process."""
+    key = (name, scale, tuple(sorted(kwargs.items())))
+    if key not in _scenarios:
+        _scenarios[key] = load_scenario(name, scale, **kwargs)
+    return _scenarios[key]
+
+
+def simulate_all_workflows(
+    scenario: EvolvingScenario, algo_name: str
+) -> dict[str, SimReport]:
+    """JetStream + the four MEGA variants on one scenario (cached)."""
+    key = (
+        scenario.name,
+        scenario.n_snapshots,
+        scenario.metadata.get("seed"),
+        scenario.metadata.get("batch_pct"),
+        scenario.metadata.get("imbalance"),
+        algo_name,
+    )
+    if key in _reports:
+        return _reports[key]
+    algo = get_algorithm(algo_name)
+    out = {"jetstream": JetStreamSimulator().run(scenario, algo)}
+    for wf, bp in [
+        ("direct-hop", False),
+        ("work-sharing", False),
+        ("boe", False),
+        ("boe", True),
+    ]:
+        label = wf + ("+bp" if bp else "")
+        out[label] = MegaSimulator(wf, pipeline=bp).run(scenario, algo)
+    _reports[key] = out
+    return out
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure: headers + rows + provenance notes."""
+
+    name: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add(self, *row) -> None:
+        self.rows.append(list(row))
+
+    def column(self, header: str) -> list:
+        i = self.headers.index(header)
+        return [r[i] for r in self.rows]
+
+    def format_table(self) -> str:
+        def fmt(x) -> str:
+            if isinstance(x, float):
+                return f"{x:.3f}" if abs(x) < 100 else f"{x:.1f}"
+            return str(x)
+
+        table = [self.headers] + [[fmt(x) for x in r] for r in self.rows]
+        widths = [max(len(r[i]) for r in table) for i in range(len(self.headers))]
+        lines = [f"== {self.name}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(table[0], widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in table[1:]:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(r, widths)))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_records(self) -> list[dict]:
+        """Rows as dictionaries keyed by header."""
+        return [dict(zip(self.headers, row)) for row in self.rows]
+
+    def to_json(self) -> str:
+        """Machine-readable form: name, title, rows, notes."""
+        import json
+
+        return json.dumps(
+            {
+                "name": self.name,
+                "title": self.title,
+                "headers": self.headers,
+                "rows": self.rows,
+                "notes": self.notes,
+            },
+            indent=2,
+        )
+
+    def to_csv(self) -> str:
+        """The rows as CSV (header line first)."""
+        import csv
+        import io
+
+        buf = io.StringIO()
+        writer = csv.writer(buf)
+        writer.writerow(self.headers)
+        writer.writerows(self.rows)
+        return buf.getvalue()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.format_table()

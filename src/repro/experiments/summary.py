@@ -1,0 +1,121 @@
+"""One-shot reproduction summary: the EXPERIMENTS.md table, regenerated.
+
+Runs the key experiments and condenses each to its headline comparison —
+useful as a single command (``mega-repro run summary``) to sanity-check a
+fresh checkout against the paper.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import numpy as np
+
+from repro.experiments import fig02_deletion_cost, fig03_additions
+from repro.experiments import fig04_fig05_reuse, fig14_software
+from repro.experiments import table4_speedups, table5_power
+from repro.experiments.runner import ExperimentResult, default_scale
+
+__all__ = ["run"]
+
+
+def _gmean(values: list[float]) -> float:
+    return float(np.exp(np.mean(np.log(np.maximum(values, 1e-12)))))
+
+
+#: (metric, acceptance predicate over the measured value)
+_BANDS = {
+    "median del/add cost": lambda v: v > 2.0,
+    "DH / streaming ops": lambda v: 6.0 <= v <= 10.0,
+    "WS / streaming ops": lambda v: 1.5 <= v <= 3.5,
+    "same-snapshot reuse": lambda v: v < 0.1,
+    "cross-snapshot reuse": lambda v: v > 0.9,
+    "direct-hop gmean": lambda v: 0.7 <= v <= 2.5,
+    "work-sharing gmean": lambda v: 1.5 <= v <= 4.0,
+    "boe gmean": lambda v: 3.0 <= v <= 7.0,
+    "boe+bp gmean": lambda v: 3.5 <= v <= 8.0,
+    "vs kickstarter-ws": lambda v: 25 <= v <= 90,
+    "vs risgraph-ws": lambda v: 15 <= v <= 55,
+    "vs risgraph-boe": lambda v: 8 <= v <= 30,
+    "vs subway-ws": lambda v: 6 <= v <= 25,
+    "total power (mW)": lambda v: abs(v - 9532) / 9532 < 0.05,
+    "total area (mm^2)": lambda v: abs(v - 203) / 203 < 0.05,
+}
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        "Summary",
+        f"headline reproduction numbers at scale={scale}",
+        ["experiment", "metric", "paper", "measured", "in_band"],
+    )
+
+    def emit(experiment, metric, paper, measured):
+        check = _BANDS.get(metric)
+        in_band = "-" if check is None else ("yes" if check(measured) else "NO")
+        result.add(experiment, metric, paper, measured, in_band)
+
+    fig2 = fig02_deletion_cost.run(scale)
+    emit(
+        "Fig. 2", "median del/add cost", "several x",
+        round(statistics.median(fig2.column("del/add")), 2),
+    )
+
+    fig3 = fig03_additions.run(scale)
+    emit(
+        "Fig. 3", "DH / streaming ops", "~8x (16 snaps)",
+        round(statistics.mean(fig3.column("dh/stream")), 2),
+    )
+    emit(
+        "Fig. 3", "WS / streaming ops", "~2x",
+        round(statistics.mean(fig3.column("ws/stream")), 2),
+    )
+
+    fig4 = fig04_fig05_reuse.run_fig04(scale)
+    fig5 = fig04_fig05_reuse.run_fig05(scale)
+    emit(
+        "Fig. 4", "same-snapshot reuse", "<= ~0.06",
+        round(statistics.mean(fig4.column("reused_fraction")), 3),
+    )
+    emit(
+        "Fig. 5", "cross-snapshot reuse", "~0.98",
+        round(statistics.mean(fig5.column("reused_fraction")), 3),
+    )
+
+    t4 = table4_speedups.run(scale)
+    for col, paper in [
+        ("direct-hop_speedup", "1.04-2.26x"),
+        ("work-sharing_speedup", "1.52-2.26x"),
+        ("boe_speedup", "3.74-4.95x"),
+        ("boe+bp_speedup", "4.08-5.98x"),
+    ]:
+        emit(
+            "Table 4", col.replace("_speedup", " gmean"), paper,
+            round(_gmean(t4.column(col)), 2),
+        )
+
+    f14 = fig14_software.run(scale)
+    gmean_row = f14.rows[-1]
+    for name, paper in zip(
+        f14.headers[2:], ("51.2x", "29.1x", "15.9x", "12.3x")
+    ):
+        idx = f14.headers.index(name)
+        emit("Fig. 14", f"vs {name}", paper, round(gmean_row[idx], 1))
+
+    t5 = table5_power.run()
+    total = t5.rows[-1]
+    emit("Table 5", "total power (mW)", 9532, round(total[3], 0))
+    emit("Table 5", "total area (mm^2)", 203, round(total[4], 1))
+    result.notes.append("full per-configuration tables: benchmarks/results/")
+    if scale != "small":
+        result.notes.append(
+            f"bands are calibrated at scale=small; at scale={scale} the "
+            "speedup ratios compress (tiny proxies) or stretch (medium) — "
+            "see EXPERIMENTS.md"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,51 @@
+"""Table 4 — JetStream time and MEGA workflow speedups, all graphs/algos.
+
+For each of the six graphs and five algorithms: the JetStream streaming
+time for the 16-snapshot window, and the speedup of MEGA running the
+Direct-Hop, Work-Sharing, BOE, and BOE+BP workflows over it.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import (
+    ALGOS,
+    GRAPHS,
+    ExperimentResult,
+    default_scale,
+    scenario_cache,
+    simulate_all_workflows,
+)
+
+__all__ = ["run"]
+
+WORKFLOW_COLUMNS = ("direct-hop", "work-sharing", "boe", "boe+bp")
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    scale = scale or default_scale()
+    result = ExperimentResult(
+        "Table 4",
+        "JetStream time and MEGA speedups (16 snapshots, 1% batches)",
+        ["graph", "algorithm", "jetstream_ms"]
+        + [f"{w}_speedup" for w in WORKFLOW_COLUMNS],
+    )
+    for graph in GRAPHS:
+        scenario = scenario_cache(graph, scale)
+        for algo_name in ALGOS:
+            reports = simulate_all_workflows(scenario, algo_name)
+            js = reports["jetstream"]
+            result.add(
+                graph,
+                algo_name,
+                js.update_time_ms,
+                *[reports[w].speedup_over(js) for w in WORKFLOW_COLUMNS],
+            )
+    result.notes.append(
+        "paper: DH 1.04-2.26x, WS 1.52-2.26x, BOE 3.74-4.95x, "
+        "BOE+BP 4.08-5.98x"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

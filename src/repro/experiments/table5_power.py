@@ -1,0 +1,51 @@
+"""Table 5 — power and area of the MEGA components.
+
+An analytical CACTI-7 stand-in (see ``repro.accel.power``), reporting each
+component's static/dynamic power and area plus MEGA's overhead over the
+JetStream design point (wider events, version table, batch scheduler).
+"""
+
+from __future__ import annotations
+
+from repro.accel import PowerAreaModel, mega_config
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(scale: str | None = None) -> ExperimentResult:
+    model = PowerAreaModel(mega_config())
+    over = model.overhead_over_jetstream()
+    result = ExperimentResult(
+        "Table 5",
+        "power and area of MEGA components (22nm)",
+        [
+            "component",
+            "static_mW",
+            "dynamic_mW",
+            "total_mW",
+            "area_mm2",
+            "power_overhead_%",
+            "area_overhead_%",
+        ],
+    )
+    for comp in model.components() + [model.total()]:
+        key = comp.name.split()[0]
+        p_over, a_over = over.get(key, (0.0, 0.0))
+        result.add(
+            comp.name,
+            comp.static_mw,
+            comp.dynamic_mw,
+            comp.total_mw,
+            comp.area_mm2,
+            p_over,
+            a_over,
+        )
+    result.notes.append(
+        "paper totals: 9532 mW, 203 mm^2; +6.8% power, +2% area vs JetStream"
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run())

@@ -1,0 +1,13 @@
+"""Static graph substrate: edge lists, CSR graphs, generators, partitioning."""
+
+from repro.graph.csr import CSRGraph, gather_out_edges
+from repro.graph.edges import EdgeList, edge_keys
+from repro.graph.partition import VertexPartitioner
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "VertexPartitioner",
+    "edge_keys",
+    "gather_out_edges",
+]

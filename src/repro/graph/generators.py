@@ -1,0 +1,163 @@
+"""Deterministic synthetic graph generators.
+
+The paper evaluates on six real-world power-law graphs (Pokec … Wikipedia-En,
+30M–400M edges).  Those inputs are multi-hundred-megabyte downloads and far
+too large for a pure-Python cycle-approximate simulator, so the reproduction
+substitutes deterministic RMAT-style power-law graphs at a configurable scale
+with the same vertex/edge ratios (see ``repro.workloads.datasets`` and the
+substitution table in DESIGN.md).  The generators are seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.edges import EdgeList, edge_keys
+
+__all__ = [
+    "rmat_edges",
+    "uniform_edges",
+    "chain_edges",
+    "grid_edges",
+    "attach_weights",
+]
+
+
+def attach_weights(
+    edges: EdgeList, rng: np.random.Generator, low: float = 1.0, high: float = 16.0
+) -> EdgeList:
+    """Attach uniform random weights in ``[low, high)`` to each edge.
+
+    Weights ``>= 1`` keep all five paper algorithms monotone (Viterbi divides
+    by the weight, so weights below one would let values grow without bound).
+    """
+    if low < 1.0:
+        raise ValueError("weights must be >= 1 for Viterbi monotonicity")
+    wt = rng.uniform(low, high, size=len(edges))
+    return EdgeList(edges.n_vertices, edges.src, edges.dst, wt)
+
+
+def _dedup_against(
+    src: np.ndarray, dst: np.ndarray, n_vertices: int, taken: set[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Drop edges whose key is already in ``taken``; update ``taken``."""
+    keys = edge_keys(src, dst, n_vertices)
+    keep = np.empty(keys.shape[0], dtype=bool)
+    for i, k in enumerate(keys):
+        k = int(k)
+        if k in taken:
+            keep[i] = False
+        else:
+            taken.add(k)
+            keep[i] = True
+    return src[keep], dst[keep]
+
+
+def rmat_edges(
+    n_vertices: int,
+    n_edges: int,
+    seed: int = 0,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    weight_high: float = 16.0,
+) -> EdgeList:
+    """Generate a power-law directed graph with the RMAT recursive model.
+
+    Produces exactly ``n_edges`` unique, self-loop-free edges (oversampling
+    and retrying until enough survive deduplication).  ``a + b + c`` must be
+    below one; ``d = 1 - a - b - c``.
+    """
+    if n_vertices < 2:
+        raise ValueError("need at least two vertices")
+    if a + b + c >= 1.0:
+        raise ValueError("RMAT probabilities must satisfy a + b + c < 1")
+    rng = np.random.default_rng(seed)
+    levels = int(np.ceil(np.log2(n_vertices)))
+    size = 1 << levels
+
+    taken: set[int] = set()
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    got = 0
+    while got < n_edges:
+        want = int((n_edges - got) * 1.4) + 16
+        # Each sample picks one quadrant per level.
+        r = rng.random((want, levels))
+        src = np.zeros(want, dtype=np.int64)
+        dst = np.zeros(want, dtype=np.int64)
+        for lvl in range(levels):
+            half = size >> (lvl + 1)
+            rl = r[:, lvl]
+            # quadrants: a = (0,0), b = (0,1), c = (1,0), d = (1,1)
+            go_right = (rl >= a) & (rl < a + b) | (rl >= a + b + c)
+            go_down = rl >= a + b
+            src += np.where(go_down, half, 0)
+            dst += np.where(go_right, half, 0)
+        ok = (src < n_vertices) & (dst < n_vertices) & (src != dst)
+        src, dst = src[ok], dst[ok]
+        src, dst = _dedup_against(src, dst, n_vertices, taken)
+        take = min(n_edges - got, src.shape[0])
+        srcs.append(src[:take])
+        dsts.append(dst[:take])
+        got += take
+
+    edges = EdgeList(
+        n_vertices, np.concatenate(srcs), np.concatenate(dsts), None
+    )
+    return attach_weights(edges, rng, high=weight_high)
+
+
+def uniform_edges(
+    n_vertices: int, n_edges: int, seed: int = 0, weight_high: float = 16.0
+) -> EdgeList:
+    """Generate a uniform (Erdos-Renyi-like) directed graph."""
+    rng = np.random.default_rng(seed)
+    taken: set[int] = set()
+    srcs: list[np.ndarray] = []
+    dsts: list[np.ndarray] = []
+    got = 0
+    max_possible = n_vertices * (n_vertices - 1)
+    if n_edges > max_possible:
+        raise ValueError("requested more edges than the vertex set admits")
+    while got < n_edges:
+        want = int((n_edges - got) * 1.3) + 16
+        src = rng.integers(0, n_vertices, size=want, dtype=np.int64)
+        dst = rng.integers(0, n_vertices, size=want, dtype=np.int64)
+        ok = src != dst
+        src, dst = _dedup_against(src[ok], dst[ok], n_vertices, taken)
+        take = min(n_edges - got, src.shape[0])
+        srcs.append(src[:take])
+        dsts.append(dst[:take])
+        got += take
+    edges = EdgeList(n_vertices, np.concatenate(srcs), np.concatenate(dsts), None)
+    return attach_weights(edges, rng, high=weight_high)
+
+
+def chain_edges(n_vertices: int, weight: float = 1.0) -> EdgeList:
+    """A simple directed chain ``0 -> 1 -> ... -> n-1`` (test fixture)."""
+    src = np.arange(n_vertices - 1, dtype=np.int64)
+    dst = src + 1
+    wt = np.full(n_vertices - 1, weight)
+    return EdgeList(n_vertices, src, dst, wt)
+
+
+def grid_edges(rows: int, cols: int, seed: int = 0) -> EdgeList:
+    """A 2-D grid with rightward and downward edges (road-network-like)."""
+    rng = np.random.default_rng(seed)
+    n = rows * cols
+    srcs: list[int] = []
+    dsts: list[int] = []
+    for r in range(rows):
+        for c in range(cols):
+            u = r * cols + c
+            if c + 1 < cols:
+                srcs.append(u)
+                dsts.append(u + 1)
+            if r + 1 < rows:
+                srcs.append(u)
+                dsts.append(u + cols)
+    edges = EdgeList(
+        n, np.asarray(srcs, dtype=np.int64), np.asarray(dsts, dtype=np.int64), None
+    )
+    return attach_weights(edges, rng)

@@ -1,0 +1,121 @@
+"""Graph and scenario I/O.
+
+Text edge lists (the format SNAP/KONECT distribute the paper's graphs in)
+and a binary ``.npz`` container for unified evolving-graph CSRs — the
+paper's "default storage format" (§3), so a window can be synthesized
+once and reloaded by every experiment.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.evolving.snapshots import EvolvingScenario
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+from repro.graph.edges import EdgeList
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "save_scenario",
+    "load_scenario_file",
+]
+
+
+def read_edge_list(
+    path: str | pathlib.Path,
+    n_vertices: int | None = None,
+    comment: str = "#",
+    default_weight: float = 1.0,
+) -> EdgeList:
+    """Parse a whitespace-separated ``src dst [wt]`` text file.
+
+    Vertex ids must be non-negative integers; ``n_vertices`` defaults to
+    ``max id + 1``.  Lines starting with ``comment`` are skipped, as are
+    blank lines.  Duplicate pairs and self-loops are preserved — callers
+    decide whether to clean them (``EdgeList.deduplicate`` etc.).
+    """
+    srcs: list[int] = []
+    dsts: list[int] = []
+    wts: list[float] = []
+    path = pathlib.Path(path)
+    with path.open() as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise ValueError(
+                    f"{path}:{lineno}: expected 'src dst [wt]', got {line!r}"
+                )
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            wts.append(float(parts[2]) if len(parts) > 2 else default_weight)
+    if n_vertices is None:
+        n_vertices = (max(srcs + dsts) + 1) if srcs else 0
+    return EdgeList(
+        max(n_vertices, 1),
+        np.asarray(srcs, dtype=np.int64),
+        np.asarray(dsts, dtype=np.int64),
+        np.asarray(wts, dtype=np.float64),
+    )
+
+
+def write_edge_list(
+    edges: EdgeList, path: str | pathlib.Path, weights: bool = True
+) -> None:
+    """Write a ``src dst [wt]`` text file (readable by read_edge_list)."""
+    path = pathlib.Path(path)
+    with path.open("w") as fh:
+        fh.write(f"# {len(edges)} edges over {edges.n_vertices} vertices\n")
+        for s, d, w in zip(edges.src, edges.dst, edges.wt):
+            if weights:
+                fh.write(f"{s} {d} {w:.17g}\n")
+            else:
+                fh.write(f"{s} {d}\n")
+
+
+def save_scenario(
+    scenario: EvolvingScenario, path: str | pathlib.Path
+) -> None:
+    """Persist a scenario (unified CSR + tags + source) as ``.npz``."""
+    u = scenario.unified
+    g = u.graph
+    np.savez_compressed(
+        pathlib.Path(path),
+        n_vertices=np.int64(g.n_vertices),
+        n_snapshots=np.int64(u.n_snapshots),
+        indptr=g.indptr,
+        dst=g.dst,
+        wt=g.wt,
+        add_step=u.add_step,
+        del_step=u.del_step,
+        source=np.int64(scenario.source),
+        name=np.bytes_(scenario.name.encode()),
+    )
+
+
+def load_scenario_file(path: str | pathlib.Path) -> EvolvingScenario:
+    """Load a scenario saved by :func:`save_scenario`."""
+    with np.load(pathlib.Path(path)) as data:
+        graph = CSRGraph(
+            int(data["n_vertices"]),
+            data["indptr"],
+            data["dst"],
+            data["wt"],
+        )
+        unified = UnifiedCSR(
+            graph,
+            data["add_step"],
+            data["del_step"],
+            int(data["n_snapshots"]),
+        )
+        return EvolvingScenario(
+            unified,
+            source=int(data["source"]),
+            name=bytes(data["name"]).decode(),
+        )

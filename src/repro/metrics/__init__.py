@@ -1,0 +1,21 @@
+"""Measurement toolkit: reuse fractions and workflow activity counters."""
+
+from repro.metrics.counters import (
+    WorkflowActivity,
+    applied_edge_counts,
+    workflow_activity,
+)
+from repro.metrics.reuse import (
+    batch_touch_sets,
+    edge_reuse_across_snapshots,
+    edge_reuse_same_snapshot,
+)
+
+__all__ = [
+    "WorkflowActivity",
+    "applied_edge_counts",
+    "batch_touch_sets",
+    "edge_reuse_across_snapshots",
+    "edge_reuse_same_snapshot",
+    "workflow_activity",
+]

@@ -1,0 +1,20 @@
+"""Workloads: Table 2 dataset proxies plus small built-in real graphs."""
+
+from repro.workloads.builtin import karate_club_edges, karate_club_scenario
+from repro.workloads.datasets import (
+    DATASETS,
+    SCALES,
+    DatasetSpec,
+    load_pool,
+    load_scenario,
+)
+
+__all__ = [
+    "DATASETS",
+    "DatasetSpec",
+    "SCALES",
+    "karate_club_edges",
+    "karate_club_scenario",
+    "load_pool",
+    "load_scenario",
+]

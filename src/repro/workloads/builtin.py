@@ -1,0 +1,65 @@
+"""Small built-in real graphs for documentation, teaching, and tests.
+
+Zachary's karate club (1977) — the classic 34-vertex social network whose
+split into two factions makes evolving-graph behaviour easy to eyeball:
+deleting the instructor-administrator bridges disconnects the clubs.
+The edge list is public-domain census data reproduced in virtually every
+network-analysis package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evolving.snapshots import EvolvingScenario, synthesize_scenario
+from repro.graph.edges import EdgeList
+
+__all__ = ["karate_club_edges", "karate_club_scenario"]
+
+# (member, member) friendships; vertices 0 = instructor, 33 = administrator
+_KARATE_PAIRS = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8),
+    (0, 10), (0, 11), (0, 12), (0, 13), (0, 17), (0, 19), (0, 21),
+    (0, 31), (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21),
+    (1, 30), (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28),
+    (2, 32), (3, 7), (3, 12), (3, 13), (4, 6), (4, 10), (5, 6), (5, 10),
+    (5, 16), (6, 16), (8, 30), (8, 32), (8, 33), (9, 33), (13, 33),
+    (14, 32), (14, 33), (15, 32), (15, 33), (18, 32), (18, 33), (19, 33),
+    (20, 32), (20, 33), (22, 32), (22, 33), (23, 25), (23, 27), (23, 29),
+    (23, 32), (23, 33), (24, 25), (24, 27), (24, 31), (25, 31), (26, 29),
+    (26, 33), (27, 33), (28, 31), (28, 33), (29, 32), (29, 33), (30, 32),
+    (30, 33), (31, 32), (31, 33), (32, 33),
+]
+
+N_MEMBERS = 34
+
+
+def karate_club_edges(directed: bool = False, seed: int = 0) -> EdgeList:
+    """The karate-club friendships, weighted uniformly in [1, 4).
+
+    With ``directed=False`` (default) both directions of every friendship
+    are included, matching the network's undirected nature.
+    """
+    rng = np.random.default_rng(seed)
+    pairs = list(_KARATE_PAIRS)
+    if not directed:
+        pairs = pairs + [(b, a) for a, b in pairs]
+    src = np.array([a for a, __ in pairs], dtype=np.int64)
+    dst = np.array([b for __, b in pairs], dtype=np.int64)
+    wt = rng.uniform(1.0, 4.0, size=len(pairs))
+    return EdgeList(N_MEMBERS, src, dst, wt)
+
+
+def karate_club_scenario(
+    n_snapshots: int = 6, batch_pct: float = 0.05, seed: int = 2
+) -> EvolvingScenario:
+    """An evolving window over the club: friendships forming and fading."""
+    scenario = synthesize_scenario(
+        karate_club_edges(seed=seed),
+        n_snapshots=n_snapshots,
+        batch_pct=batch_pct,
+        seed=seed,
+        name="karate-club",
+    )
+    scenario.metadata["dataset"] = "karate"
+    return scenario

@@ -1,0 +1,108 @@
+"""The paper's six input graphs as scaled synthetic proxies (Table 2).
+
+The real inputs (Pokec 30M edges … Wikipedia-En 400M edges) are infeasible
+for a pure-Python simulator, so each dataset is replaced by a deterministic
+RMAT power-law proxy that preserves the original's vertex/edge ratio at a
+configurable scale (DESIGN.md substitution table).  The proxy also carries
+``capacity_scale`` — the vertex-count ratio to the real graph — so the
+accelerator's on-chip capacity shrinks proportionally and partitioning
+pressure matches the paper's (e.g. 16 snapshots of LiveJournal against
+64 MB still yields four partitions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.evolving.snapshots import EvolvingScenario, synthesize_scenario
+from repro.graph.edges import EdgeList
+from repro.graph.generators import rmat_edges
+
+__all__ = ["DatasetSpec", "DATASETS", "SCALES", "load_pool", "load_scenario"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """One Table 2 input graph."""
+
+    name: str
+    short: str
+    paper_vertices: int
+    paper_edges: int
+    seed: int
+    #: RMAT skew (a); webgraphs are more skewed than social networks
+    rmat_a: float = 0.57
+
+    def proxy_sizes(self, scale: float) -> tuple[int, int]:
+        n_vertices = max(64, int(self.paper_vertices * scale))
+        n_edges = max(256, int(self.paper_edges * scale))
+        return n_vertices, n_edges
+
+
+DATASETS: dict[str, DatasetSpec] = {
+    spec.short: spec
+    for spec in (
+        DatasetSpec("pokec", "PK", 1_600_000, 30_000_000, seed=101),
+        DatasetSpec("livejournal", "LJ", 4_000_000, 70_000_000, seed=102),
+        DatasetSpec("orkut", "OR", 3_000_000, 117_000_000, seed=103),
+        DatasetSpec("dbpedia", "DL", 18_000_000, 170_000_000, seed=104, rmat_a=0.60),
+        DatasetSpec("uk2002", "UK", 18_000_000, 260_000_000, seed=105, rmat_a=0.60),
+        DatasetSpec("wikipedia-en", "Wen", 13_000_000, 400_000_000, seed=106),
+    )
+}
+
+#: named proxy scales (fraction of the paper graph)
+SCALES: dict[str, float] = {
+    "tiny": 1 / 20_000,
+    "small": 1 / 4_000,
+    "medium": 1 / 1_000,
+}
+
+
+def _resolve(name: str) -> DatasetSpec:
+    for spec in DATASETS.values():
+        if name in (spec.short, spec.name):
+            return spec
+    raise KeyError(
+        f"unknown dataset {name!r}; choose from "
+        f"{sorted(s.short for s in DATASETS.values())}"
+    )
+
+
+def load_pool(name: str, scale: str | float = "tiny") -> EdgeList:
+    """Generate the proxy edge pool for a Table 2 graph."""
+    spec = _resolve(name)
+    factor = SCALES[scale] if isinstance(scale, str) else float(scale)
+    n_vertices, n_edges = spec.proxy_sizes(factor)
+    return rmat_edges(n_vertices, n_edges, seed=spec.seed, a=spec.rmat_a)
+
+
+def load_scenario(
+    name: str,
+    scale: str | float = "tiny",
+    n_snapshots: int = 16,
+    batch_pct: float = 0.01,
+    imbalance: float = 1.0,
+    seed: int = 7,
+) -> EvolvingScenario:
+    """Build the paper's §5.1 evolving workload over a proxy graph.
+
+    Defaults follow the evaluation setup: 16 snapshots, 1% batches, half
+    additions / half deletions.
+    """
+    spec = _resolve(name)
+    factor = SCALES[scale] if isinstance(scale, str) else float(scale)
+    pool = load_pool(name, factor)
+    scenario = synthesize_scenario(
+        pool,
+        n_snapshots=n_snapshots,
+        batch_pct=batch_pct,
+        imbalance=imbalance,
+        seed=seed,
+        name=f"{spec.short}@{factor:g}",
+    )
+    scenario.metadata["dataset"] = spec.short
+    scenario.metadata["capacity_scale"] = (
+        scenario.n_vertices / spec.paper_vertices
+    )
+    return scenario

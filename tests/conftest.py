@@ -1,0 +1,50 @@
+"""Shared fixtures: small deterministic scenarios and algorithm instances."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import all_algorithms
+from repro.evolving import synthesize_scenario
+from repro.graph.generators import rmat_edges, uniform_edges
+
+
+@pytest.fixture(scope="session")
+def small_pool():
+    """A deterministic power-law edge pool (256 vertices, 2048 edges)."""
+    return rmat_edges(n_vertices=256, n_edges=2048, seed=7)
+
+
+@pytest.fixture(scope="session")
+def small_scenario(small_pool):
+    """8 snapshots over the small pool, 2% batches."""
+    return synthesize_scenario(
+        small_pool, n_snapshots=8, batch_pct=0.02, seed=3, name="small"
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_scenario():
+    """4 snapshots over a tiny uniform pool — fast integration checks."""
+    pool = uniform_edges(n_vertices=64, n_edges=512, seed=11)
+    return synthesize_scenario(pool, n_snapshots=4, batch_pct=0.05, seed=5)
+
+
+@pytest.fixture(params=[a.name for a in all_algorithms()])
+def algorithm(request):
+    """Parametrize a test over all five paper algorithms."""
+    from repro.algorithms import get_algorithm
+
+    return get_algorithm(request.param)
+
+
+def scenario_like(n_vertices=128, n_edges=1024, n_snapshots=6, seed=0, **kw):
+    """Helper for tests that need custom scenarios."""
+    pool = rmat_edges(n_vertices=n_vertices, n_edges=n_edges, seed=seed)
+    return synthesize_scenario(pool, n_snapshots=n_snapshots, seed=seed, **kw)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

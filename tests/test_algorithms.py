@@ -1,0 +1,229 @@
+"""Unit tests for the five Table 1 algorithms and the Algorithm protocol."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    BFS,
+    SSNP,
+    SSSP,
+    SSWP,
+    Viterbi,
+    all_algorithms,
+    get_algorithm,
+)
+from repro.engines import MultiVersionEngine
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+
+
+def make_static(graph: CSRGraph) -> UnifiedCSR:
+    """Wrap a static graph as a single-snapshot unified CSR."""
+    none = np.full(graph.n_edges, -1, dtype=np.int32)
+    return UnifiedCSR(graph, none, none.copy(), 1)
+
+
+def evaluate(algo, graph, source=0):
+    u = make_static(graph)
+    engine = MultiVersionEngine(algo, u)
+    return engine.evaluate_full(np.ones(graph.n_edges, dtype=bool), source)
+
+
+@pytest.fixture
+def weighted_diamond():
+    # 0 ->(1) 1 ->(4) 3 ;  0 ->(3) 2 ->(1) 3 ; 1 ->(1) 2
+    return CSRGraph.from_tuples(
+        4, [(0, 1, 1.0), (0, 2, 3.0), (1, 2, 1.0), (1, 3, 4.0), (2, 3, 1.0)]
+    )
+
+
+def test_registry_contains_paper_algorithms():
+    names = {a.name for a in all_algorithms()}
+    assert names == {"BFS", "SSSP", "SSWP", "SSNP", "Viterbi"}
+
+
+def test_get_algorithm_case_insensitive():
+    assert get_algorithm("sssp").name == "SSSP"
+    assert get_algorithm("VITERBI").name == "Viterbi"
+
+
+def test_get_algorithm_unknown():
+    with pytest.raises(KeyError):
+        get_algorithm("pagerank")
+
+
+def test_bfs_hops(weighted_diamond):
+    vals = evaluate(BFS(), weighted_diamond)
+    assert vals.tolist() == [0.0, 1.0, 1.0, 2.0]
+
+
+def test_bfs_ignores_weights(weighted_diamond):
+    assert BFS().uses_weights is False
+
+
+def test_sssp_distances(weighted_diamond):
+    vals = evaluate(SSSP(), weighted_diamond)
+    # 0->1 = 1; 0->2 = min(3, 1+1) = 2; 0->3 = min(1+4, 2+1) = 3
+    assert vals.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+
+def test_sswp_widths(weighted_diamond):
+    vals = evaluate(SSWP(), weighted_diamond)
+    # widest to 1: 1; to 2: max(min(3), min(1,1)) = 3; to 3: max(min(1,4), min(3,1)) = 1
+    assert vals[0] == np.inf
+    assert vals[1] == 1.0
+    assert vals[2] == 3.0
+    assert vals[3] == 1.0
+
+
+def test_ssnp_narrowest(weighted_diamond):
+    vals = evaluate(SSNP(), weighted_diamond)
+    # narrowest(minimax) to 1: 1; to 2: min(3, max(1,1)) = 1; to 3: min(max(1,4), max(1,1,1)) = 1
+    assert vals.tolist() == [0.0, 1.0, 1.0, 1.0]
+
+
+def test_viterbi_probabilities(weighted_diamond):
+    vals = evaluate(Viterbi(), weighted_diamond)
+    # best to 1: 1/1; to 2: max(1/3, 1/1/1) = 1; to 3: max(1/4, 1/1) = 1
+    assert vals[0] == 1.0
+    assert vals[1] == 1.0
+    assert vals[2] == 1.0
+    assert vals[3] == 1.0
+
+
+def test_viterbi_decreases_along_weighted_path():
+    g = CSRGraph.from_tuples(3, [(0, 1, 2.0), (1, 2, 4.0)])
+    vals = evaluate(Viterbi(), g)
+    assert vals.tolist() == [1.0, 0.5, 0.125]
+
+
+def test_unreachable_vertices_keep_identity():
+    g = CSRGraph.from_tuples(3, [(0, 1, 2.0)])
+    for algo in all_algorithms():
+        vals = evaluate(algo, g)
+        assert vals[2] == algo.identity
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+def test_better_is_strict(algo):
+    a = np.array([1.0, 2.0, 2.0])
+    b = np.array([2.0, 1.0, 2.0])
+    expected = [True, False, False] if algo.minimize else [False, True, False]
+    assert algo.better(a, b).tolist() == expected
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+def test_combine_matches_direction(algo):
+    a = np.array([1.0, 5.0])
+    b = np.array([3.0, 2.0])
+    c = algo.combine(a, b)
+    expected = np.minimum(a, b) if algo.minimize else np.maximum(a, b)
+    assert c.tolist() == expected.tolist()
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+def test_scatter_reduce_coalesces(algo):
+    vals = np.full(3, algo.identity)
+    idx = np.array([1, 1, 2])
+    cand = np.array([5.0, 3.0, 4.0])
+    algo.scatter_reduce(vals, idx, cand)
+    assert vals[1] == (3.0 if algo.minimize else 5.0)
+    assert vals[2] == 4.0
+    assert vals[0] == algo.identity
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+def test_source_value_is_stable(algo):
+    """No candidate may improve the source value (weights >= 1)."""
+    wt = np.array([1.0, 2.0, 16.0])
+    val_u = np.full(3, algo.source_value)
+    cand = algo.candidate(val_u, wt)
+    assert not np.any(algo.better(cand, np.full(3, algo.source_value)))
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+def test_identity_absorbs(algo):
+    """Candidates computed from unreached vertices never improve anything."""
+    wt = np.array([1.0, 4.0])
+    cand = algo.candidate(np.full(2, algo.identity), wt)
+    assert not np.any(algo.better(cand, np.full(2, algo.identity)))
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+def test_initial_values(algo):
+    vals = algo.initial_values(4, 2)
+    assert vals[2] == algo.source_value
+    assert all(vals[i] == algo.identity for i in (0, 1, 3))
+    assert algo.reached(vals).tolist() == [False, False, True, False]
+
+
+# -- analytic multi-path cases ---------------------------------------------------
+
+
+@pytest.fixture
+def two_route_graph():
+    """Two routes 0->3: a short-hop heavy route and a long-hop light one.
+
+    0 ->(9) 3              (1 hop,  weight 9)
+    0 ->(2) 1 ->(2) 2 ->(2) 3   (3 hops, weights 2)
+    """
+    return CSRGraph.from_tuples(
+        4,
+        [(0, 3, 9.0), (0, 1, 2.0), (1, 2, 2.0), (2, 3, 2.0)],
+    )
+
+
+def test_bfs_prefers_fewer_hops(two_route_graph):
+    assert evaluate(BFS(), two_route_graph)[3] == 1.0
+
+
+def test_sssp_prefers_lighter_total(two_route_graph):
+    assert evaluate(SSSP(), two_route_graph)[3] == 6.0  # 2+2+2 < 9
+
+
+def test_sswp_prefers_heavy_single_edge(two_route_graph):
+    # widest: direct edge width 9 beats bottleneck 2 of the long route
+    assert evaluate(SSWP(), two_route_graph)[3] == 9.0
+
+
+def test_ssnp_prefers_light_edges(two_route_graph):
+    # narrowest: minimax 2 on the long route beats 9 on the direct edge
+    assert evaluate(SSNP(), two_route_graph)[3] == 2.0
+
+
+def test_viterbi_prefers_fewer_divisions_when_heavy(two_route_graph):
+    # 1/9 vs 1/(2*2*2) = 1/8: the long route wins (barely)
+    assert evaluate(Viterbi(), two_route_graph)[3] == pytest.approx(1 / 8)
+
+
+def test_algorithms_disagree_by_design(two_route_graph):
+    """The five queries rank the two routes differently — the reason the
+    paper evaluates all of them."""
+    winners = {
+        "BFS": evaluate(BFS(), two_route_graph)[3],
+        "SSSP": evaluate(SSSP(), two_route_graph)[3],
+        "SSWP": evaluate(SSWP(), two_route_graph)[3],
+        "SSNP": evaluate(SSNP(), two_route_graph)[3],
+        "Viterbi": evaluate(Viterbi(), two_route_graph)[3],
+    }
+    assert len(set(winners.values())) >= 4
+
+
+def test_self_loop_edges_never_change_values():
+    g = CSRGraph.from_tuples(3, [(0, 1, 2.0), (1, 1, 1.0), (1, 2, 2.0)])
+    for algo in all_algorithms():
+        vals = evaluate(algo, g)
+        g2 = CSRGraph.from_tuples(3, [(0, 1, 2.0), (1, 2, 2.0)])
+        vals2 = evaluate(algo, g2)
+        assert np.allclose(vals, vals2, equal_nan=True), algo.name
+
+
+def test_parallel_multipath_tie():
+    """Two equal-cost routes: value is well-defined regardless of which
+    wins internally."""
+    g = CSRGraph.from_tuples(
+        4, [(0, 1, 3.0), (0, 2, 3.0), (1, 3, 3.0), (2, 3, 3.0)]
+    )
+    assert evaluate(SSSP(), g)[3] == 6.0
+    assert evaluate(SSWP(), g)[3] == 3.0
+    assert evaluate(SSNP(), g)[3] == 3.0

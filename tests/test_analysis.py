@@ -1,0 +1,95 @@
+"""Tests for the property-tracking analytics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    PropertySeries,
+    snapshot_churn,
+    track_mean_value,
+    track_reach,
+    track_statistic,
+)
+from repro.algorithms import get_algorithm
+from repro.core import EvolvingGraphEngine
+
+
+@pytest.fixture(scope="module")
+def result_and_algo():
+    from repro.workloads import load_scenario
+
+    scenario = load_scenario("PK", "tiny", n_snapshots=6)
+    algo = get_algorithm("sssp")
+    engine = EvolvingGraphEngine(scenario, algo)
+    return engine.evaluate("boe"), algo, scenario
+
+
+def test_track_statistic_covers_all_snapshots(result_and_algo):
+    result, algo, scenario = result_and_algo
+    series = track_statistic(result, lambda v: float(np.isfinite(v).sum()))
+    assert series.snapshots == list(range(scenario.n_snapshots))
+    assert len(series) == scenario.n_snapshots
+
+
+def test_track_reach_counts_reached(result_and_algo):
+    result, algo, scenario = result_and_algo
+    series = track_reach(result, algo)
+    for k, count in zip(series.snapshots, series.values):
+        expected = float(algo.reached(result.values(k)).sum())
+        assert count == expected
+        assert 0 < count <= scenario.n_vertices
+
+
+def test_track_mean_value_finite(result_and_algo):
+    result, algo, __ = result_and_algo
+    series = track_mean_value(result, algo)
+    assert all(math.isfinite(v) for v in series.values)
+    assert all(v > 0 for v in series.values)
+
+
+def test_churn_is_small_fraction(result_and_algo):
+    """Adjacent snapshots' solutions differ on few vertices — the Fig. 5
+    similarity BOE exploits."""
+    result, __, scenario = result_and_algo
+    churn = snapshot_churn(result)
+    assert len(churn) == scenario.n_snapshots - 1
+    assert max(churn.values) < 0.5 * scenario.n_vertices
+
+
+def test_series_delta_and_extrema():
+    s = PropertySeries("x", [0, 1, 2, 3], [1.0, 4.0, 2.0, 2.0])
+    assert s.delta() == [3.0, -2.0, 0.0]
+    assert s.argmax() == 1
+    assert s.argmin() == 0
+
+
+def test_sparkline_shape():
+    s = PropertySeries("x", [0, 1, 2], [0.0, 5.0, 10.0])
+    line = s.sparkline()
+    assert len(line) == 3
+    assert line[0] == "▁" and line[-1] == "█"
+
+
+def test_sparkline_handles_nan_and_flat():
+    s = PropertySeries("x", [0, 1], [float("nan"), float("inf")])
+    assert s.sparkline() == "··"
+    flat = PropertySeries("x", [0, 1], [3.0, 3.0])
+    assert flat.sparkline() == "▁▁"
+
+
+def test_track_works_on_minlabel(result_and_algo):
+    """Component counts per snapshot — the §1 'number of clusters' ask."""
+    import numpy as np
+
+    from repro.algorithms import MinLabel
+    from repro.core import EvolvingGraphEngine
+
+    __, ___, scenario = result_and_algo
+    engine = EvolvingGraphEngine(scenario, MinLabel())
+    result = engine.evaluate("boe", validate=True)
+    series = track_statistic(
+        result, lambda v: float(np.unique(v).size), name="clusters"
+    )
+    assert all(1 <= c <= scenario.n_vertices for c in series.values)

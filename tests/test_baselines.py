@@ -1,0 +1,61 @@
+"""Tests for the modelled software/GPU baselines (Fig. 14)."""
+
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.baselines import SOFTWARE_SYSTEMS, run_baseline
+
+
+def test_all_four_paper_baselines_present():
+    assert set(SOFTWARE_SYSTEMS) == {
+        "kickstarter-ws",
+        "risgraph-ws",
+        "risgraph-boe",
+        "subway-ws",
+    }
+
+
+def test_platform_ordering_constants():
+    """Per-event costs reflect the paper's platform ranking."""
+    ks = SOFTWARE_SYSTEMS["kickstarter-ws"].ns_per_event
+    rg = SOFTWARE_SYSTEMS["risgraph-ws"].ns_per_event
+    gpu = SOFTWARE_SYSTEMS["subway-ws"].ns_per_event
+    assert ks > rg > gpu
+
+
+def test_run_baseline_by_name_and_object(tiny_scenario):
+    algo = get_algorithm("sssp")
+    by_name = run_baseline(tiny_scenario, algo, "risgraph-ws")
+    by_obj = run_baseline(
+        tiny_scenario, algo, SOFTWARE_SYSTEMS["risgraph-ws"]
+    )
+    assert by_name.update_time_ms == by_obj.update_time_ms
+    assert by_name.system == "risgraph-ws"
+
+
+def test_times_scale_with_ns_per_event(tiny_scenario):
+    algo = get_algorithm("sssp")
+    ks = run_baseline(tiny_scenario, algo, "kickstarter-ws")
+    rg = run_baseline(tiny_scenario, algo, "risgraph-ws")
+    # same workflow, same events, different platform constant
+    assert ks.events == rg.events
+    ratio = (
+        SOFTWARE_SYSTEMS["kickstarter-ws"].ns_per_event
+        / SOFTWARE_SYSTEMS["risgraph-ws"].ns_per_event
+    )
+    assert ks.update_time_ms == pytest.approx(rg.update_time_ms * ratio)
+
+
+def test_software_boe_does_less_wall_clock_work(tiny_scenario):
+    """BOE's per-snapshot updates parallelize across cores: its costed
+    (union) event count is below WS's scalar count."""
+    algo = get_algorithm("sssp")
+    ws = run_baseline(tiny_scenario, algo, "risgraph-ws")
+    boe = run_baseline(tiny_scenario, algo, "risgraph-boe")
+    assert boe.events < ws.events
+
+
+def test_total_includes_initial_eval(tiny_scenario):
+    algo = get_algorithm("bfs")
+    r = run_baseline(tiny_scenario, algo, "subway-ws")
+    assert r.total_time_ms > r.update_time_ms > 0

@@ -1,0 +1,120 @@
+"""Tests for CommonGraph set algebra and the triangular grid."""
+
+import numpy as np
+import pytest
+
+from repro.evolving.batches import BatchKind
+from repro.evolving.common_graph import (
+    batches_for_snapshot,
+    edges_to_reach,
+    range_common_mask,
+)
+from repro.evolving.triangular_grid import TriangularGrid
+
+
+def test_batches_for_snapshot_reconstructs_presence(small_scenario):
+    u = small_scenario.unified
+    for k in range(u.n_snapshots):
+        mask = u.common_mask.copy()
+        for bid in batches_for_snapshot(u, k):
+            mask |= u.batch_mask(bid)
+        assert np.array_equal(mask, u.presence_mask(k))
+
+
+def test_batches_for_snapshot_kinds(small_scenario):
+    u = small_scenario.unified
+    n = u.n_snapshots
+    # snapshot 0 needs every deletion batch and no additions
+    b0 = batches_for_snapshot(u, 0)
+    assert all(b.kind is BatchKind.DELETION for b in b0)
+    assert len(b0) == n - 1
+    # the last snapshot needs every addition batch and no deletions
+    blast = batches_for_snapshot(u, n - 1)
+    assert all(b.kind is BatchKind.ADDITION for b in blast)
+    assert len(blast) == n - 1
+
+
+def test_range_common_mask_full_window_is_common(small_scenario):
+    u = small_scenario.unified
+    full = range_common_mask(u, 0, u.n_snapshots - 1)
+    assert np.array_equal(full, u.common_mask)
+
+
+def test_range_common_mask_single_snapshot_is_presence(small_scenario):
+    u = small_scenario.unified
+    for k in (0, 3, u.n_snapshots - 1):
+        assert np.array_equal(range_common_mask(u, k, k), u.presence_mask(k))
+
+
+def test_range_common_mask_is_intersection(small_scenario):
+    u = small_scenario.unified
+    lo, hi = 2, 5
+    inter = np.ones(u.n_union_edges, dtype=bool)
+    for k in range(lo, hi + 1):
+        inter &= u.presence_mask(k)
+    assert np.array_equal(range_common_mask(u, lo, hi), inter)
+
+
+def test_range_common_mask_invalid(small_scenario):
+    with pytest.raises(IndexError):
+        range_common_mask(small_scenario.unified, 3, 2)
+    with pytest.raises(IndexError):
+        range_common_mask(small_scenario.unified, 0, 99)
+
+
+def test_edges_to_reach_addition_only(small_scenario):
+    u = small_scenario.unified
+    common = u.common_mask
+    snap = u.presence_mask(2)
+    idx = edges_to_reach(u, common, snap)
+    assert np.array_equal(np.flatnonzero(snap & ~common), idx)
+
+
+def test_edges_to_reach_rejects_deletions(small_scenario):
+    u = small_scenario.unified
+    with pytest.raises(ValueError):
+        edges_to_reach(u, u.presence_mask(0), u.presence_mask(1))
+
+
+# -- triangular grid ---------------------------------------------------------
+
+
+def test_grid_root_and_leaves(small_scenario):
+    grid = TriangularGrid(small_scenario.unified)
+    assert grid.root.lo == 0
+    assert grid.root.hi == small_scenario.n_snapshots - 1
+    leaves = grid.leaves()
+    assert sorted(leaf.snapshot for leaf in leaves) == list(
+        range(small_scenario.n_snapshots)
+    )
+
+
+def test_grid_hops_are_supersets(small_scenario):
+    grid = TriangularGrid(small_scenario.unified)
+    for parent, child in grid.walk_preorder():
+        pmask = grid.mask_of(parent)
+        cmask = grid.mask_of(child)
+        assert np.all(pmask <= cmask)  # child graph is a superset
+        hop = grid.hop_edges(parent, child)
+        grown = pmask.copy()
+        grown[hop] = True
+        assert np.array_equal(grown, cmask)
+
+
+def test_grid_leaf_masks_are_snapshots(small_scenario):
+    u = small_scenario.unified
+    grid = TriangularGrid(u)
+    for leaf in grid.leaves():
+        assert np.array_equal(grid.mask_of(leaf), u.presence_mask(leaf.snapshot))
+
+
+def test_grid_total_hop_count_about_double_streaming(small_scenario):
+    """The paper's Fig. 3 observation: WS applies roughly twice the edges
+    a streaming pass does (for 8-16 snapshots, between 1.5x and 3.5x)."""
+    u = small_scenario.unified
+    grid = TriangularGrid(u)
+    streaming_edges = sum(len(b) for b in u.addition_batches()) + sum(
+        len(b) for b in u.deletion_batches()
+    )
+    ratio = grid.total_hop_edge_count() / streaming_edges
+    assert 1.5 <= ratio <= 3.5

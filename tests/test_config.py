@@ -1,0 +1,68 @@
+"""Unit tests for the accelerator configuration (Table 3 parameters)."""
+
+import pytest
+
+from repro.accel.config import (
+    MB,
+    AcceleratorConfig,
+    jetstream_config,
+    mega_config,
+)
+
+
+def test_table3_defaults():
+    cfg = mega_config()
+    assert cfg.n_pes == 8
+    assert cfg.gen_units_per_pe == 4
+    assert cfg.clock_ghz == 1.0
+    assert cfg.onchip_mb == 64.0
+    assert cfg.dram_channels == 4
+    assert cfg.channel_gb_s == 17.0
+    assert cfg.noc_ports == 16
+
+
+def test_derived_throughputs():
+    cfg = mega_config()
+    assert cfg.event_throughput_per_cycle == 8
+    assert cfg.generation_throughput_per_cycle == 32
+    assert cfg.dram_bytes_per_cycle == pytest.approx(68.0)
+    assert cfg.edges_per_block == 8
+
+
+def test_feature_flags_differ():
+    js, mega = jetstream_config(), mega_config()
+    assert js.supports_deletions and not js.multi_snapshot
+    assert not mega.supports_deletions and mega.multi_snapshot
+    assert js.name == "jetstream" and mega.name == "mega"
+
+
+def test_capacity_scale_sentinel():
+    assert mega_config().capacity_scale is None
+    assert mega_config().onchip_bytes == 64 * MB  # None behaves as 1.0
+    scaled = mega_config().scaled(0.25)
+    assert scaled.capacity_scale == 0.25
+    assert scaled.onchip_bytes == pytest.approx(16 * MB)
+
+
+def test_with_onchip_mb_preserves_rest():
+    cfg = mega_config(capacity_scale=0.5).with_onchip_mb(128)
+    assert cfg.onchip_mb == 128
+    assert cfg.capacity_scale == 0.5
+    assert cfg.name == "mega"
+
+
+def test_config_is_frozen():
+    cfg = mega_config()
+    with pytest.raises(AttributeError):
+        cfg.n_pes = 4
+
+
+def test_edge_cache_floor():
+    tiny = mega_config(capacity_scale=1e-9)
+    assert tiny.edge_cache_bytes >= 16 * tiny.block_bytes
+
+
+def test_custom_block_geometry():
+    cfg = AcceleratorConfig(block_bytes=128, edge_bytes=16)
+    assert cfg.edges_per_block == 8
+    assert AcceleratorConfig(block_bytes=4, edge_bytes=8).edges_per_block == 1

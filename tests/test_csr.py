@@ -1,0 +1,101 @@
+"""Unit tests for the CSR graph and the edge-gather kernel."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph, gather_out_edges
+from repro.graph.edges import EdgeList
+from repro.graph.generators import rmat_edges
+
+
+@pytest.fixture
+def diamond():
+    #   0 -> 1 -> 3, 0 -> 2 -> 3
+    return CSRGraph.from_tuples(
+        4, [(0, 1, 1.0), (0, 2, 2.0), (1, 3, 3.0), (2, 3, 4.0)]
+    )
+
+
+def test_basic_shape(diamond):
+    assert diamond.n_vertices == 4
+    assert diamond.n_edges == 4
+    assert diamond.indptr.tolist() == [0, 2, 3, 4, 4]
+
+
+def test_neighbors_and_degree(diamond):
+    assert diamond.neighbors(0).tolist() == [1, 2]
+    assert diamond.neighbors(3).tolist() == []
+    assert int(diamond.out_degree(0)) == 2
+    assert int(diamond.out_degree(3)) == 0
+
+
+def test_has_edge(diamond):
+    assert diamond.has_edge(0, 1)
+    assert diamond.has_edge(2, 3)
+    assert not diamond.has_edge(1, 0)
+    assert not diamond.has_edge(3, 3)
+
+
+def test_src_of_edge(diamond):
+    assert diamond.src_of_edge.tolist() == [0, 0, 1, 2]
+
+
+def test_reverse_transposes(diamond):
+    rev = diamond.reverse()
+    assert rev.neighbors(3).tolist() == [1, 2]
+    assert rev.neighbors(1).tolist() == [0]
+    assert rev.n_edges == diamond.n_edges
+    # reversing twice restores the original edge set
+    back = rev.reverse()
+    assert sorted(back.to_edge_list().as_tuples()) == sorted(
+        diamond.to_edge_list().as_tuples()
+    )
+
+
+def test_to_edge_list_roundtrip(diamond):
+    e = diamond.to_edge_list()
+    again = CSRGraph.from_edges(e)
+    assert again.indptr.tolist() == diamond.indptr.tolist()
+    assert again.dst.tolist() == diamond.dst.tolist()
+
+
+def test_from_edges_unsorted_input():
+    e = EdgeList.from_tuples(3, [(2, 0, 5.0), (0, 2, 1.0), (0, 1, 2.0)])
+    g = CSRGraph.from_edges(e)
+    assert g.neighbors(0).tolist() == [1, 2]
+    assert g.wt[g.indptr[0]] == 2.0  # (0,1) sorts before (0,2)
+
+
+def test_invalid_indptr_rejected():
+    with pytest.raises(ValueError):
+        CSRGraph(2, np.array([0, 1]), np.array([0]), np.array([1.0]))
+    with pytest.raises(ValueError):
+        CSRGraph(2, np.array([0, 2, 1]), np.array([0]), np.array([1.0]))
+
+
+def test_gather_out_edges_matches_slices(diamond):
+    idx, src = gather_out_edges(diamond.indptr, np.array([0, 2]))
+    assert idx.tolist() == [0, 1, 3]
+    assert src.tolist() == [0, 0, 2]
+
+
+def test_gather_out_edges_empty_frontier(diamond):
+    idx, src = gather_out_edges(diamond.indptr, np.array([], dtype=np.int64))
+    assert idx.size == 0 and src.size == 0
+
+
+def test_gather_out_edges_sink_only(diamond):
+    idx, src = gather_out_edges(diamond.indptr, np.array([3]))
+    assert idx.size == 0
+
+
+def test_gather_out_edges_random_graph_exhaustive():
+    g = CSRGraph.from_edges(rmat_edges(64, 512, seed=1))
+    rng = np.random.default_rng(0)
+    frontier = np.unique(rng.integers(0, 64, 20))
+    idx, src = gather_out_edges(g.indptr, frontier)
+    expected = np.concatenate(
+        [np.arange(g.indptr[u], g.indptr[u + 1]) for u in frontier]
+    )
+    assert idx.tolist() == expected.tolist()
+    assert np.all(g.src_of_edge[idx] == src)

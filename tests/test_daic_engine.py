@@ -1,0 +1,186 @@
+"""Tests for the multi-version DAIC propagation engine."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SSSP
+from repro.engines import MultiVersionEngine, TraceCollector, group_argbest
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+
+
+def make_static(graph: CSRGraph, n_snapshots: int = 1) -> UnifiedCSR:
+    none = np.full(graph.n_edges, -1, dtype=np.int32)
+    return UnifiedCSR(graph, none, none.copy(), n_snapshots)
+
+
+@pytest.fixture
+def chain_unified():
+    g = CSRGraph.from_tuples(
+        5, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]
+    )
+    return make_static(g)
+
+
+def test_full_eval_chain(chain_unified):
+    engine = MultiVersionEngine(SSSP(), chain_unified)
+    vals = engine.evaluate_full(np.ones(4, dtype=bool), 0)
+    assert vals.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+
+def test_full_eval_respects_presence(chain_unified):
+    engine = MultiVersionEngine(SSSP(), chain_unified)
+    presence = np.array([True, True, False, True])  # cut edge (2,3)
+    vals = engine.evaluate_full(presence, 0)
+    assert vals.tolist() == [0.0, 1.0, 2.0, np.inf, np.inf]
+
+
+def test_incremental_addition_matches_full(chain_unified, algorithm):
+    """Adding an edge incrementally equals evaluating from scratch."""
+    engine = MultiVersionEngine(algorithm, chain_unified)
+    presence = np.array([True, True, False, True])
+    vals = engine.evaluate_full(presence, 0)
+    presence_after = np.ones(4, dtype=bool)
+    engine.apply_additions(
+        vals[None, :], np.array([2]), presence_after[None, :]
+    )
+    expected = engine.evaluate_full(presence_after, 0)
+    assert np.allclose(vals, expected)
+
+
+def test_multi_version_propagation_isolates_versions(chain_unified):
+    """Two versions with different graphs converge to different values."""
+    engine = MultiVersionEngine(SSSP(), chain_unified)
+    values = engine.new_values(2, 0)
+    frontier = np.zeros((2, 5), dtype=bool)
+    frontier[:, 0] = True
+    presence = np.ones((2, 4), dtype=bool)
+    presence[1, 3] = False  # version 1 misses edge (3,4)
+    engine.propagate(values, frontier, presence)
+    assert values[0].tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert values[1].tolist() == [0.0, 1.0, 2.0, 3.0, np.inf]
+
+
+def test_multi_version_batch_apply_shared_fetch(chain_unified):
+    """One batch applied to two versions produces per-version results and
+    records a single shared-fetch execution."""
+    collector = TraceCollector(4)
+    engine = MultiVersionEngine(SSSP(), chain_unified, collector=collector)
+    presence = np.tile(np.array([True, True, False, True]), (2, 1))
+    values = np.stack(
+        [
+            engine.evaluate_full(presence[0], 0),
+            engine.evaluate_full(presence[1], 0),
+        ]
+    )
+    presence[0, 2] = True  # only version 0 receives the edge
+    engine.apply_additions(
+        values, np.array([2]), presence, targets=(0, 1)
+    )
+    assert values[0].tolist() == [0.0, 1.0, 2.0, 3.0, 4.0]
+    assert values[1].tolist() == [0.0, 1.0, 2.0, np.inf, np.inf]
+    batch_exec = collector.executions[-1]
+    assert batch_exec.targets == (0, 1)
+    assert all(r.n_versions == 2 for r in batch_exec.rounds)
+
+
+def test_trace_rounds_recorded(chain_unified):
+    collector = TraceCollector(4)
+    engine = MultiVersionEngine(SSSP(), chain_unified, collector=collector)
+    engine.evaluate_full(np.ones(4, dtype=bool), 0)
+    [execution] = collector.executions
+    # chain of 5 vertices: 4 productive rounds + 1 draining round (sink)
+    assert execution.n_rounds == 5
+    assert execution.events_popped >= 4
+    assert execution.vertex_writes == 4
+    assert execution.events_per_round()[0] == 1
+
+
+def test_rounds_decay_on_power_law_graph():
+    """Fig. 10 shape: events per round rise then fall toward a long tail."""
+    from repro.graph.generators import rmat_edges
+
+    g = CSRGraph.from_edges(rmat_edges(512, 4096, seed=2))
+    u = make_static(g)
+    collector = TraceCollector(g.n_edges)
+    engine = MultiVersionEngine(SSSP(), u, collector=collector)
+    engine.evaluate_full(np.ones(g.n_edges, dtype=bool), 0)
+    series = collector.executions[0].events_per_round()
+    assert max(series) == max(series[: len(series) // 2 + 1])  # peak early
+    assert series[-1] <= max(series) // 2  # decayed tail
+
+
+def test_new_values_shape(chain_unified):
+    engine = MultiVersionEngine(SSSP(), chain_unified)
+    vals = engine.new_values(3, 2)
+    assert vals.shape == (3, 5)
+    assert np.all(vals[:, 2] == 0.0)
+
+
+def test_propagate_shape_validation(chain_unified):
+    engine = MultiVersionEngine(SSSP(), chain_unified)
+    values = engine.new_values(2, 0)
+    with pytest.raises(ValueError):
+        engine.propagate(
+            values, np.zeros((1, 5), dtype=bool), np.ones((2, 4), dtype=bool)
+        )
+    with pytest.raises(ValueError):
+        engine.propagate(
+            values, np.zeros((2, 5), dtype=bool), np.ones((2, 3), dtype=bool)
+        )
+
+
+def test_order_independence(chain_unified, algorithm):
+    """Monotone convergence: applying batches in any order gives the same
+    fixpoint (paper §3.2 'Generality')."""
+    g = CSRGraph.from_tuples(
+        4, [(0, 1, 2.0), (0, 2, 5.0), (1, 3, 2.0), (2, 3, 2.0), (1, 2, 1.0)]
+    )
+    u = make_static(g)
+    engine = MultiVersionEngine(algorithm, u)
+    base = np.array([True, True, False, False, False])
+    extra = [np.array([2]), np.array([3]), np.array([4])]
+
+    results = []
+    import itertools
+
+    for perm in itertools.permutations(range(3)):
+        presence = base.copy()
+        vals = engine.evaluate_full(presence, 0)
+        for i in perm:
+            presence = presence.copy()
+            presence[extra[i]] = True
+            engine.apply_additions(vals[None, :], extra[i], presence[None, :])
+        results.append(vals)
+    for r in results[1:]:
+        assert np.allclose(results[0], r)
+
+
+# -- group_argbest -----------------------------------------------------------
+
+
+def test_group_argbest_min():
+    keys = np.array([3, 1, 3, 1, 2])
+    cand = np.array([5.0, 2.0, 4.0, 1.0, 9.0])
+    uk, best = group_argbest(keys, cand, minimize=True)
+    assert uk.tolist() == [1, 2, 3]
+    assert cand[best].tolist() == [1.0, 9.0, 4.0]
+
+
+def test_group_argbest_max():
+    keys = np.array([0, 0, 1])
+    cand = np.array([1.0, 7.0, 2.0])
+    uk, best = group_argbest(keys, cand, minimize=False)
+    assert cand[best].tolist() == [7.0, 2.0]
+
+
+def test_group_argbest_ties_break_low_index():
+    keys = np.array([0, 0])
+    cand = np.array([5.0, 5.0])
+    __, best = group_argbest(keys, cand, minimize=True)
+    assert best.tolist() == [0]
+
+
+def test_group_argbest_empty():
+    uk, best = group_argbest(np.empty(0, dtype=np.int64), np.empty(0), True)
+    assert uk.size == 0 and best.size == 0

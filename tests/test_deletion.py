@@ -1,0 +1,158 @@
+"""Tests for KickStarter-style deletion repair."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import SSSP, all_algorithms
+from repro.engines import DeletionRepair, MultiVersionEngine, TraceCollector
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+
+
+def make_static(graph: CSRGraph) -> UnifiedCSR:
+    none = np.full(graph.n_edges, -1, dtype=np.int32)
+    return UnifiedCSR(graph, none, none.copy(), 1)
+
+
+def repair_setup(graph, algo, source=0):
+    u = make_static(graph)
+    collector = TraceCollector(graph.n_edges)
+    engine = MultiVersionEngine(algo, u, collector=collector, track_parents=True)
+    vals = engine.evaluate_full(
+        np.ones(graph.n_edges, dtype=bool), source, parent_row=0
+    )
+    return u, engine, DeletionRepair(engine), vals, collector
+
+
+def test_requires_parent_tracking():
+    g = CSRGraph.from_tuples(2, [(0, 1)])
+    engine = MultiVersionEngine(SSSP(), make_static(g))
+    with pytest.raises(ValueError):
+        DeletionRepair(engine)
+
+
+def test_delete_tree_edge_invalidates_subtree():
+    # 0 -> 1 -> 2 -> 3 and a slower alternative 0 -> 2 (wt 10)
+    g = CSRGraph.from_tuples(
+        4, [(0, 1, 1.0), (0, 2, 10.0), (1, 2, 1.0), (2, 3, 1.0)]
+    )
+    u, engine, repair, vals, __ = repair_setup(g, SSSP())
+    assert vals.tolist() == [0.0, 1.0, 2.0, 3.0]
+    # delete the winning edge (1,2) -> 2 and 3 must re-route via (0,2)
+    presence_after = np.ones(4, dtype=bool)
+    presence_after[2] = False
+    stats = repair.apply_deletions(vals, np.array([2]), presence_after, 0)
+    assert vals.tolist() == [0.0, 1.0, 10.0, 11.0]
+    assert stats.tagged_vertices == 2  # vertices 2 and 3
+
+
+def test_delete_nonparent_edge_is_cheap():
+    g = CSRGraph.from_tuples(
+        4, [(0, 1, 1.0), (0, 2, 10.0), (1, 2, 1.0), (2, 3, 1.0)]
+    )
+    u, engine, repair, vals, __ = repair_setup(g, SSSP())
+    # (0,2) wt 10 never won; deleting it changes nothing
+    presence_after = np.ones(4, dtype=bool)
+    presence_after[1] = False
+    stats = repair.apply_deletions(vals, np.array([1]), presence_after, 0)
+    assert vals.tolist() == [0.0, 1.0, 2.0, 3.0]
+    assert stats.tagged_vertices == 0
+    assert stats.recompute_rounds == 0
+
+
+def test_delete_disconnects_vertex():
+    g = CSRGraph.from_tuples(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    u, engine, repair, vals, __ = repair_setup(g, SSSP())
+    presence_after = np.array([True, False])
+    repair.apply_deletions(vals, np.array([1]), presence_after, 0)
+    assert vals.tolist() == [0.0, 1.0, np.inf]
+
+
+def test_presence_after_must_exclude_deleted():
+    g = CSRGraph.from_tuples(2, [(0, 1)])
+    u, engine, repair, vals, __ = repair_setup(g, SSSP())
+    with pytest.raises(ValueError):
+        repair.apply_deletions(vals, np.array([0]), np.ones(1, dtype=bool), 0)
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_random_deletions_match_scratch(algo, seed):
+    """Randomized repair equals from-scratch evaluation on the reduced graph
+    for every algorithm."""
+    edges = rmat_edges(96, 700, seed=seed)
+    g = CSRGraph.from_edges(edges)
+    u, engine, repair, vals, __ = repair_setup(g, algo)
+    rng = np.random.default_rng(seed + 100)
+    doomed = rng.choice(g.n_edges, size=60, replace=False)
+    presence_after = np.ones(g.n_edges, dtype=bool)
+    presence_after[doomed] = False
+    repair.apply_deletions(vals, doomed, presence_after, 0)
+    fresh = MultiVersionEngine(algo, u)
+    expected = fresh.evaluate_full(presence_after, 0)
+    assert np.allclose(vals, expected, equal_nan=True)
+
+
+def test_sequential_deletions_stay_correct():
+    """Repair composes: multiple deletion batches in sequence."""
+    edges = rmat_edges(64, 512, seed=9)
+    g = CSRGraph.from_edges(edges)
+    u, engine, repair, vals, __ = repair_setup(g, SSSP())
+    presence = np.ones(g.n_edges, dtype=bool)
+    rng = np.random.default_rng(5)
+    for __ in range(4):
+        candidates = np.flatnonzero(presence)
+        doomed = rng.choice(candidates, size=25, replace=False)
+        presence = presence.copy()
+        presence[doomed] = False
+        repair.apply_deletions(vals, doomed, presence, 0)
+    fresh = MultiVersionEngine(SSSP(), u)
+    assert np.allclose(vals, fresh.evaluate_full(presence, 0))
+
+
+def test_deletions_cost_more_than_additions():
+    """The Fig. 2 motivation: for the same batch size, deletion repair
+    generates substantially more events than incremental addition."""
+    edges = rmat_edges(256, 2048, seed=3)
+    g = CSRGraph.from_edges(edges)
+    u, engine, repair, vals, collector = repair_setup(g, SSSP())
+    rng = np.random.default_rng(7)
+    doomed = rng.choice(g.n_edges, size=40, replace=False)
+    presence_after = np.ones(g.n_edges, dtype=bool)
+    presence_after[doomed] = False
+    repair.apply_deletions(vals, doomed, presence_after, 0)
+    del_events = collector.executions[-1].events_generated
+
+    # Incremental re-addition of the same edges from the reduced state.
+    engine.apply_additions(
+        vals[None, :], doomed, np.ones((1, g.n_edges), dtype=bool),
+        parent_rows=np.array([0]),
+    )
+    add_events = collector.executions[-1].events_generated
+    assert del_events > add_events
+
+
+def test_parents_remain_consistent_after_repair():
+    """After repair, each reached non-source vertex's parent edge exists and
+    reproduces its value."""
+    edges = rmat_edges(96, 768, seed=4)
+    g = CSRGraph.from_edges(edges)
+    u, engine, repair, vals, __ = repair_setup(g, SSSP())
+    rng = np.random.default_rng(11)
+    doomed = rng.choice(g.n_edges, size=50, replace=False)
+    presence_after = np.ones(g.n_edges, dtype=bool)
+    presence_after[doomed] = False
+    repair.apply_deletions(vals, doomed, presence_after, 0)
+
+    parent = engine.parent_edge[0]
+    reached = np.flatnonzero(vals != np.inf)
+    for v in reached:
+        if v == 0:
+            continue
+        e = parent[v]
+        assert e >= 0
+        assert presence_after[e]
+        assert g.dst[e] == v
+        src = g.src_of_edge[e]
+        assert np.isclose(vals[v], vals[src] + g.wt[e])

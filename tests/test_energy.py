@@ -1,0 +1,64 @@
+"""Tests for the energy model (§5.3's power-efficiency claim)."""
+
+import pytest
+
+from repro.accel import MegaSimulator
+from repro.accel.energy import PLATFORM_POWER_W, EnergyModel
+from repro.algorithms import get_algorithm
+from repro.workloads import load_scenario
+
+
+@pytest.fixture(scope="module")
+def mega_energy():
+    scenario = load_scenario("PK", "tiny")
+    report = MegaSimulator("boe", pipeline=True).run(
+        scenario, get_algorithm("sssp")
+    )
+    return EnergyModel().accelerator_energy(report)
+
+
+def test_mega_power_is_about_ten_watts(mega_energy):
+    """The paper's headline: 'Consuming only 10 Watts'."""
+    assert 8.0 < mega_energy.avg_power_w < 11.0
+
+
+def test_energy_positive_and_consistent(mega_energy):
+    assert mega_energy.energy_mj > 0
+    expected = mega_energy.avg_power_w * mega_energy.time_ms
+    assert mega_energy.energy_mj == pytest.approx(expected)
+
+
+def test_software_energy_uses_platform_power():
+    rep = EnergyModel.software_energy("x", "k80", time_ms=2.0)
+    assert rep.avg_power_w == PLATFORM_POWER_W["k80"]
+    assert rep.energy_mj == pytest.approx(600.0)
+
+
+def test_software_energy_rejects_unknown_platform():
+    with pytest.raises(KeyError):
+        EnergyModel.software_energy("x", "tpu", 1.0)
+    with pytest.raises(ValueError):
+        EnergyModel.software_energy("x", "mega", 1.0)
+
+
+def test_efficiency_ratio(mega_energy):
+    cpu = EnergyModel.software_energy("cpu", "xeon-60core", time_ms=1.0)
+    advantage = mega_energy.efficiency_over(cpu)
+    assert advantage > 10.0  # substantially more power-efficient
+
+
+def test_duty_cycle_bounds():
+    """Average power never exceeds the full-tilt Table 5 total."""
+    from repro.accel.power import PowerAreaModel
+
+    total = PowerAreaModel().total().total_mw / 1e3
+    scenario = load_scenario("LJ", "tiny")
+    for wf in ("direct-hop", "boe"):
+        report = MegaSimulator(wf).run(scenario, get_algorithm("bfs"))
+        e = EnergyModel().accelerator_energy(report)
+        assert e.avg_power_w <= total + 1e-9
+
+
+def test_energy_report_is_frozen(mega_energy):
+    with pytest.raises(AttributeError):
+        mega_energy.energy_mj = 0.0

@@ -1,0 +1,273 @@
+"""Cross-check: the exact event-level simulator equals the round engine."""
+
+import numpy as np
+import pytest
+
+from repro.accel.eventsim import EventLevelSimulator
+from repro.algorithms import SSSP, all_algorithms
+from repro.engines import MultiVersionEngine
+from repro.evolving import synthesize_scenario
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+
+
+def make_static(graph: CSRGraph) -> UnifiedCSR:
+    none = np.full(graph.n_edges, -1, dtype=np.int32)
+    return UnifiedCSR(graph, none, none.copy(), 1)
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+def test_full_eval_matches_round_engine(algo):
+    g = CSRGraph.from_edges(rmat_edges(48, 300, seed=5))
+    u = make_static(g)
+    presence = np.ones(g.n_edges, dtype=bool)
+
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, presence)
+    sim.set_source(0)
+    values = sim.run()
+
+    engine = MultiVersionEngine(algo, u)
+    expected = engine.evaluate_full(presence, 0)
+    assert np.allclose(values[0], expected, equal_nan=True)
+
+
+def test_incremental_batch_matches_round_engine():
+    algo = SSSP()
+    g = CSRGraph.from_edges(rmat_edges(40, 240, seed=8))
+    u = make_static(g)
+    rng = np.random.default_rng(3)
+    missing = rng.choice(g.n_edges, size=30, replace=False)
+    presence = np.ones(g.n_edges, dtype=bool)
+    presence[missing] = False
+
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, presence)
+    sim.set_source(0)
+    sim.run()
+    sim.seed_batch(missing, versions=[0])
+    values = sim.run()
+
+    engine = MultiVersionEngine(algo, u)
+    expected = engine.evaluate_full(np.ones(g.n_edges, dtype=bool), 0)
+    assert np.allclose(values[0], expected, equal_nan=True)
+
+
+def test_multi_version_batch_isolation():
+    """One batch seeded into two of three versions changes only those."""
+    algo = SSSP()
+    g = CSRGraph.from_edges(rmat_edges(32, 180, seed=2))
+    u = make_static(g)
+    rng = np.random.default_rng(9)
+    missing = rng.choice(g.n_edges, size=20, replace=False)
+    base = np.ones(g.n_edges, dtype=bool)
+    base[missing] = False
+
+    sim = EventLevelSimulator(algo, u, n_versions=3)
+    for v in range(3):
+        sim.set_graph(v, base)
+    sim.set_source(0)
+    sim.run()
+    before = sim.values.copy()
+    sim.seed_batch(missing, versions=[0, 2])
+    after = sim.run()
+
+    engine = MultiVersionEngine(algo, u)
+    full = engine.evaluate_full(np.ones(g.n_edges, dtype=bool), 0)
+    reduced = engine.evaluate_full(base, 0)
+    assert np.allclose(after[0], full, equal_nan=True)
+    assert np.allclose(after[2], full, equal_nan=True)
+    assert np.allclose(after[1], reduced, equal_nan=True)
+    assert np.allclose(before[1], after[1], equal_nan=True)
+
+
+def test_boe_schedule_on_event_simulator():
+    """Drive the event-level datapath through a BOE-like schedule on a
+    real evolving scenario and compare every snapshot to ground truth."""
+    algo = SSSP()
+    pool = rmat_edges(40, 260, seed=4)
+    scenario = synthesize_scenario(pool, n_snapshots=4, batch_pct=0.05, seed=1)
+    u = scenario.unified
+    n = u.n_snapshots
+
+    sim = EventLevelSimulator(algo, u, n_versions=n)
+    common = u.common_mask
+    for v in range(n):
+        sim.set_graph(v, common.copy())
+    sim.set_source(scenario.source)
+    sim.run()
+
+    # Algorithm 1 stages: additions to diverged snapshots, deletions
+    # (re-additions) to the chain group 0..i.
+    for i in range(n - 2, -1, -1):
+        add = scenario.addition_batch(i)
+        sim.seed_batch(add.edge_idx, versions=list(range(i + 1, n)))
+        sim.run()
+        dele = scenario.deletion_batch(i)
+        sim.seed_batch(dele.edge_idx, versions=list(range(0, i + 1)))
+        sim.run()
+
+    engine = MultiVersionEngine(algo, u)
+    for k in range(n):
+        expected = engine.evaluate_full(u.presence_mask(k), scenario.source)
+        assert np.allclose(sim.values[k], expected, equal_nan=True), k
+
+
+def test_stats_account_coalescing():
+    algo = SSSP()
+    g = CSRGraph.from_edges(rmat_edges(48, 400, seed=7))
+    u = make_static(g)
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, np.ones(g.n_edges, dtype=bool))
+    sim.set_source(0)
+    sim.run()
+    s = sim.stats
+    assert s.events_generated > s.events_processed  # coalescing happened
+    assert s.queue_coalesced > 0
+    assert s.rounds == len(s.per_round_events)
+    assert sum(s.per_round_events) == s.events_processed
+
+
+def test_nonconvergence_guard():
+    algo = SSSP()
+    g = CSRGraph.from_tuples(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    u = make_static(g)
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, np.ones(2, dtype=bool))
+    sim.set_source(0)
+    with pytest.raises(RuntimeError):
+        sim.run(max_rounds=1)
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+def test_event_level_deletions_match_scratch(algo):
+    """JetStream's delete-event cascade at event granularity equals a
+    from-scratch evaluation on the reduced graph."""
+    g = CSRGraph.from_edges(rmat_edges(40, 280, seed=12))
+    u = make_static(g)
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, np.ones(g.n_edges, dtype=bool))
+    sim.set_source(0)
+    sim.run()
+
+    rng = np.random.default_rng(7)
+    doomed = rng.choice(g.n_edges, size=35, replace=False)
+    sim.seed_deletions(doomed)
+    values = sim.run()
+
+    presence_after = np.ones(g.n_edges, dtype=bool)
+    presence_after[doomed] = False
+    engine = MultiVersionEngine(algo, u)
+    expected = engine.evaluate_full(presence_after, 0)
+    assert np.allclose(values[0], expected, equal_nan=True)
+
+
+def test_event_level_streaming_sequence():
+    """Full streaming at event level: alternating add/delete batches stay
+    correct snapshot by snapshot."""
+    algo = SSSP()
+    pool = rmat_edges(36, 220, seed=9)
+    scenario = synthesize_scenario(pool, n_snapshots=4, batch_pct=0.06, seed=5)
+    u = scenario.unified
+
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, u.presence_mask(0))
+    sim.set_source(scenario.source)
+    sim.run()
+
+    engine = MultiVersionEngine(algo, u)
+    for j in range(u.n_snapshots - 1):
+        sim.seed_batch(scenario.addition_batch(j).edge_idx, versions=[0])
+        sim.run()
+        dele = scenario.deletion_batch(j).edge_idx
+        if dele.size:
+            sim.seed_deletions(dele)
+            sim.run()
+        expected = engine.evaluate_full(
+            u.presence_mask(j + 1), scenario.source
+        )
+        assert np.allclose(sim.values[0], expected, equal_nan=True), j
+
+
+def test_event_level_deletion_rejects_absent_edges():
+    algo = SSSP()
+    g = CSRGraph.from_tuples(3, [(0, 1), (1, 2)])
+    u = make_static(g)
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, np.array([True, False]))
+    sim.set_source(0)
+    sim.run()
+    with pytest.raises(ValueError, match="absent"):
+        sim.seed_deletions(np.array([1]))
+
+
+def test_event_level_deletion_generates_expensive_cascades():
+    """The Fig. 2 effect is visible at event granularity too."""
+    algo = SSSP()
+    g = CSRGraph.from_edges(rmat_edges(64, 512, seed=2))
+    u = make_static(g)
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, np.ones(g.n_edges, dtype=bool))
+    sim.set_source(0)
+    sim.run()
+    before = sim.stats.events_generated
+
+    rng = np.random.default_rng(1)
+    doomed = rng.choice(g.n_edges, size=25, replace=False)
+    invalidated = sim.seed_deletions(doomed)
+    sim.run()
+    del_events = sim.stats.events_generated - before
+
+    # re-adding the same edges costs far fewer events
+    before = sim.stats.events_generated
+    sim.seed_batch(doomed, versions=[0])
+    sim.run()
+    add_events = sim.stats.events_generated - before
+    assert del_events > add_events
+    assert invalidated.size > 0
+
+
+@pytest.mark.parametrize("order", ["fifo", "best-first"])
+def test_order_policies_reach_same_fixpoint(order):
+    algo = SSSP()
+    g = CSRGraph.from_edges(rmat_edges(48, 360, seed=6))
+    u = make_static(g)
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, np.ones(g.n_edges, dtype=bool))
+    sim.set_source(0)
+    values = sim.run(order=order)
+    engine = MultiVersionEngine(algo, u)
+    expected = engine.evaluate_full(np.ones(g.n_edges, dtype=bool), 0)
+    assert np.allclose(values[0], expected, equal_nan=True)
+
+
+def test_best_first_reduces_wasted_work():
+    """§3's asynchronous-reordering claim: processing the best deltas
+    first wastes fewer updates on values that will be overwritten."""
+    algo = SSSP()
+    g = CSRGraph.from_edges(rmat_edges(256, 2048, seed=3))
+    u = make_static(g)
+
+    def run(order):
+        sim = EventLevelSimulator(algo, u)
+        sim.set_graph(0, np.ones(g.n_edges, dtype=bool))
+        sim.set_source(0)
+        sim.run(order=order)
+        s = sim.stats
+        useful = s.events_processed - s.stale_events
+        return s.events_generated, useful
+
+    fifo_gen, fifo_useful = run("fifo")
+    bf_gen, bf_useful = run("best-first")
+    assert bf_gen <= fifo_gen  # fewer messages to convergence
+    assert bf_useful <= fifo_useful
+
+
+def test_run_rejects_unknown_order():
+    algo = SSSP()
+    g = CSRGraph.from_tuples(2, [(0, 1)])
+    u = make_static(g)
+    sim = EventLevelSimulator(algo, u)
+    with pytest.raises(ValueError, match="order"):
+        sim.run(order="random")

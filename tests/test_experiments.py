@@ -1,0 +1,119 @@
+"""Smoke tests for the experiment drivers (tiny scale, shape only).
+
+The full assertions live in benchmarks/; these verify every driver runs,
+produces well-formed rows, and renders.
+"""
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.experiments.runner import ExperimentResult
+
+FAST = ["fig3", "table5", "fig16", "fig21"]
+
+
+def test_registry_covers_every_table_and_figure():
+    paper = {
+        "fig2", "fig3", "fig4", "fig5", "fig10", "table4", "fig14",
+        "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21",
+        "table5",
+    }
+    assert paper <= set(ALL_EXPERIMENTS)
+    # extensions beyond the paper's figures
+    assert {"ext-pe-sweep", "summary"} <= set(ALL_EXPERIMENTS)
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+@pytest.mark.parametrize("name", FAST)
+def test_driver_runs_and_renders(name):
+    result = run_experiment(name, "tiny")
+    assert isinstance(result, ExperimentResult)
+    assert result.rows
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    text = result.format_table()
+    assert result.name in text
+    for header in result.headers:
+        assert header in text
+
+
+def test_result_column_access():
+    result = run_experiment("fig3", "tiny")
+    assert len(result.column("graph")) == len(result.rows)
+    with pytest.raises(ValueError):
+        result.column("nonexistent")
+
+
+def test_add_and_notes():
+    r = ExperimentResult("X", "t", ["a", "b"])
+    r.add(1, 2.5)
+    r.notes.append("hello")
+    rendered = r.format_table()
+    assert "hello" in rendered
+    assert "2.500" in rendered
+
+
+def test_table4_tiny_shape():
+    result = run_experiment("table4", "tiny")
+    assert len(result.rows) == 30
+    boe = result.column("boe_speedup")
+    ws = result.column("work-sharing_speedup")
+    assert all(b > w for b, w in zip(boe, ws))
+
+
+def test_ext_pe_sweep_reproduces_claim():
+    """§5.2: more PEs alone do not help; scaling bandwidth with them does."""
+    result = run_experiment("ext-pe-sweep", "tiny")
+    pes_only = dict(zip(result.column("n_pes"), result.column("pes_only_cycles")))
+    balanced = dict(zip(result.column("n_pes"), result.column("balanced_cycles")))
+    # compute-only scaling: within a few percent from 8 to 32 PEs
+    assert abs(pes_only[32] - pes_only[8]) / pes_only[8] < 0.10
+    # balanced scaling clearly improves
+    assert balanced[32] < 0.85 * balanced[8]
+
+
+def test_summary_runs(capsys=None):
+    result = run_experiment("summary", "tiny")
+    experiments = set(result.column("experiment"))
+    assert {"Fig. 2", "Fig. 3", "Table 4", "Fig. 14", "Table 5"} <= experiments
+    assert all(len(r) == 5 for r in result.rows)
+    assert set(result.column("in_band")) <= {"yes", "NO", "-"}
+    # the scale-calibration caveat is surfaced away from scale=small
+    assert any("calibrated at scale=small" in n for n in result.notes)
+
+
+def test_export_formats():
+    result = run_experiment("fig3", "tiny")
+    import json
+
+    payload = json.loads(result.to_json())
+    assert payload["headers"] == result.headers
+    csv_text = result.to_csv()
+    assert csv_text.splitlines()[0] == ",".join(result.headers)
+    records = result.to_records()
+    assert records[0]["graph"] == result.rows[0][0]
+
+
+def test_runner_cache_distinguishes_parameters():
+    """Scenario variants with different batch sizes must not collide in
+    the runner's simulation cache."""
+    from repro.experiments.runner import scenario_cache, simulate_all_workflows
+
+    a = scenario_cache("PK", "tiny", batch_pct=0.005)
+    b = scenario_cache("PK", "tiny", batch_pct=0.02)
+    assert a is not b
+    ra = simulate_all_workflows(a, "BFS")["jetstream"]
+    rb = simulate_all_workflows(b, "BFS")["jetstream"]
+    assert ra.counters.events_generated != rb.counters.events_generated
+
+
+def test_scenario_cache_reuses_instances():
+    from repro.experiments.runner import scenario_cache
+
+    a = scenario_cache("LJ", "tiny", n_snapshots=5)
+    b = scenario_cache("LJ", "tiny", n_snapshots=5)
+    assert a is b

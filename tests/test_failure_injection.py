@@ -1,0 +1,170 @@
+"""Failure injection: malformed inputs and corrupted state must be caught.
+
+A reproduction's validation machinery is only trustworthy if it actually
+fires; these tests corrupt values, traces, plans and inputs on purpose and
+assert the library refuses or detects them rather than silently producing
+wrong numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.accel.simulate import build_waves
+from repro.accel.memory import MemorySystem
+from repro.accel.config import mega_config
+from repro.algorithms import SSSP, get_algorithm
+from repro.engines import (
+    DeletionRepair,
+    MultiVersionEngine,
+    PlanExecutor,
+    TraceCollector,
+)
+from repro.engines.validation import validate_workflow
+from repro.evolving import synthesize_scenario
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+from repro.schedule import boe_plan, plan_for
+from repro.schedule.plan import Plan
+
+
+# -- corrupted results are detected ------------------------------------------
+
+
+def test_validation_catches_single_vertex_corruption(tiny_scenario):
+    algo = get_algorithm("sssp")
+    result = PlanExecutor(tiny_scenario, algo).run(
+        boe_plan(tiny_scenario.unified)
+    )
+    result.snapshot_values[0][5] *= 2.0 if np.isfinite(
+        result.snapshot_values[0][5]
+    ) else 1.0
+    result.snapshot_values[0][5] += 1.0
+    with pytest.raises(AssertionError, match="wrong on snapshot 0"):
+        validate_workflow(tiny_scenario, algo, result)
+
+
+def test_validation_catches_swapped_snapshots(tiny_scenario):
+    algo = get_algorithm("sssp")
+    result = PlanExecutor(tiny_scenario, algo).run(
+        boe_plan(tiny_scenario.unified)
+    )
+    a = result.snapshot_values[0]
+    b = result.snapshot_values[tiny_scenario.n_snapshots - 1]
+    if np.allclose(a, b, equal_nan=True):
+        pytest.skip("snapshots coincide for this seed")
+    result.snapshot_values[0], result.snapshot_values[
+        tiny_scenario.n_snapshots - 1
+    ] = b, a
+    with pytest.raises(AssertionError):
+        validate_workflow(tiny_scenario, algo, result)
+
+
+# -- malformed structural inputs ----------------------------------------------
+
+
+def test_unified_rejects_wrong_tag_lengths():
+    g = CSRGraph.from_tuples(3, [(0, 1), (1, 2)])
+    with pytest.raises(ValueError):
+        UnifiedCSR(g, np.array([-1]), np.array([-1, -1]), 2)
+
+
+def test_executor_rejects_unknown_step(tiny_scenario):
+    class Rogue:
+        pass
+
+    plan = Plan(name="rogue", n_states=1)
+    plan.steps.append(Rogue())
+    with pytest.raises(TypeError):
+        PlanExecutor(tiny_scenario, SSSP()).run(plan)
+
+
+def test_build_waves_rejects_mismatched_executions(tiny_scenario):
+    plan = plan_for("boe", tiny_scenario.unified)
+    result = PlanExecutor(tiny_scenario, SSSP()).run(plan)
+    memory = MemorySystem(
+        mega_config(capacity_scale=1.0), tiny_scenario.unified.graph
+    )
+    with pytest.raises(ValueError, match="work steps"):
+        build_waves(
+            plan, result.collector.executions[:-1], memory, concurrent=True
+        )
+
+
+def test_deletion_repair_rejects_live_presence():
+    g = CSRGraph.from_edges(rmat_edges(16, 60, seed=1))
+    none = np.full(g.n_edges, -1, dtype=np.int32)
+    u = UnifiedCSR(g, none, none.copy(), 1)
+    engine = MultiVersionEngine(SSSP(), u, track_parents=True)
+    vals = engine.evaluate_full(
+        np.ones(g.n_edges, dtype=bool), 0, parent_row=0
+    )
+    repair = DeletionRepair(engine)
+    with pytest.raises(ValueError, match="presence_after"):
+        repair.apply_deletions(
+            vals, np.array([0]), np.ones(g.n_edges, dtype=bool), 0
+        )
+
+
+def test_collector_rejects_nested_and_orphan_usage():
+    c = TraceCollector(4)
+    c.begin("a", "add", (0,))
+    with pytest.raises(RuntimeError):
+        c.begin("b", "add", (0,))
+    c.end()
+    with pytest.raises(RuntimeError):
+        c.end()
+    from repro.engines.trace import RoundTrace
+
+    with pytest.raises(RuntimeError):
+        c.round(
+            RoundTrace(
+                "add", 0, 0, 0, np.empty(0, dtype=np.int64), 0, 0, 1,
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64),
+            )
+        )
+
+
+# -- corrupted scenario construction -----------------------------------------------
+
+
+def test_corrupted_plan_breaks_membership_reconstruction():
+    """A plan whose batches are swapped no longer reconstructs the true
+    snapshot membership — the structural invariant the plan tests enforce."""
+    pool = rmat_edges(32, 200, seed=3)
+    scenario = synthesize_scenario(pool, n_snapshots=3, batch_pct=0.05, seed=2)
+    u = scenario.unified
+    plan = plan_for("boe", u)
+    from repro.schedule.plan import ApplyEdges, CopyState, EvalFull, MarkSnapshot
+
+    adds = [s for s in plan.steps if isinstance(s, ApplyEdges)]
+    adds[0].edge_idx, adds[-1].edge_idx = adds[-1].edge_idx, adds[0].edge_idx
+
+    masks = {}
+    mismatch = False
+    for step in plan.steps:
+        if isinstance(step, EvalFull):
+            masks[step.state] = u.common_mask.copy()
+        elif isinstance(step, CopyState):
+            masks[step.dst] = masks[step.src].copy()
+        elif isinstance(step, ApplyEdges):
+            for t in step.targets:
+                masks[t][step.edge_idx] = True
+        elif isinstance(step, MarkSnapshot):
+            if not np.array_equal(
+                masks[step.state], u.presence_mask(step.snapshot)
+            ):
+                mismatch = True
+    assert mismatch
+
+
+@pytest.mark.filterwarnings("ignore:invalid value encountered")
+def test_nan_weights_poison_visibly():
+    """NaN edge weights surface as NaN values — poison stays visible
+    instead of being silently replaced by a plausible number."""
+    g = CSRGraph.from_tuples(3, [(0, 1, float("nan")), (1, 2, 1.0)])
+    none = np.full(2, -1, dtype=np.int32)
+    u = UnifiedCSR(g, none, none.copy(), 1)
+    engine = MultiVersionEngine(SSSP(), u)
+    vals = engine.evaluate_full(np.ones(2, dtype=bool), 0)
+    assert np.isnan(vals[1])

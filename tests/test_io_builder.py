@@ -1,0 +1,201 @@
+"""Tests for graph I/O and the timestamped-event scenario builder."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.engines import PlanExecutor
+from repro.engines.validation import validate_workflow
+from repro.evolving.builder import EdgeEvent, EvolvingGraphBuilder
+from repro.graph.edges import EdgeList
+from repro.graph.generators import rmat_edges
+from repro.graph.io import (
+    load_scenario_file,
+    read_edge_list,
+    save_scenario,
+    write_edge_list,
+)
+from repro.schedule import boe_plan
+from repro.workloads import load_scenario
+
+
+# -- text edge lists -----------------------------------------------------------
+
+
+def test_edge_list_roundtrip(tmp_path):
+    edges = rmat_edges(32, 128, seed=1)
+    path = tmp_path / "g.txt"
+    write_edge_list(edges, path)
+    back = read_edge_list(path)
+    assert back.n_vertices >= edges.src.max() + 1
+    assert sorted(back.as_tuples()) == sorted(edges.as_tuples())
+
+
+def test_edge_list_without_weights(tmp_path):
+    edges = EdgeList.from_tuples(4, [(0, 1, 3.0), (1, 2, 5.0)])
+    path = tmp_path / "g.txt"
+    write_edge_list(edges, path, weights=False)
+    back = read_edge_list(path, default_weight=2.0)
+    assert np.all(back.wt == 2.0)
+
+
+def test_read_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# header\n\n0 1 2.5\n# mid\n1 2\n")
+    edges = read_edge_list(path)
+    assert edges.as_tuples() == [(0, 1, 2.5), (1, 2, 1.0)]
+
+
+def test_read_explicit_vertex_count(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0 1\n")
+    edges = read_edge_list(path, n_vertices=10)
+    assert edges.n_vertices == 10
+
+
+def test_read_malformed_line(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("0\n")
+    with pytest.raises(ValueError, match="expected"):
+        read_edge_list(path)
+
+
+def test_read_empty_file(tmp_path):
+    path = tmp_path / "g.txt"
+    path.write_text("# nothing\n")
+    edges = read_edge_list(path)
+    assert len(edges) == 0
+
+
+# -- scenario serialization ------------------------------------------------------
+
+
+def test_scenario_npz_roundtrip(tmp_path):
+    scenario = load_scenario("PK", "tiny", n_snapshots=6)
+    path = tmp_path / "scenario.npz"
+    save_scenario(scenario, path)
+    back = load_scenario_file(path)
+    assert back.n_snapshots == scenario.n_snapshots
+    assert back.source == scenario.source
+    assert back.name == scenario.name
+    assert np.array_equal(back.unified.add_step, scenario.unified.add_step)
+    assert np.array_equal(back.unified.graph.dst, scenario.unified.graph.dst)
+    # loaded scenarios are fully functional
+    algo = get_algorithm("bfs")
+    result = PlanExecutor(back, algo).run(boe_plan(back.unified))
+    validate_workflow(back, algo, result)
+
+
+# -- evolving graph builder ---------------------------------------------------------
+
+
+@pytest.fixture
+def base_edges():
+    return EdgeList.from_tuples(
+        5, [(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0), (3, 4, 1.0)]
+    )
+
+
+def test_builder_cuts_snapshots(base_edges):
+    b = EvolvingGraphBuilder(5, base_edges)
+    b.add_edge(time=1.0, src=0, dst=2, weight=2.0)   # batch 0 -> snapshot 1
+    b.remove_edge(time=2.5, src=2, dst=3)            # batch 2 -> gone in snap 3
+    scenario = b.build(n_snapshots=4, boundaries=np.array([1.0, 2.0, 3.0]))
+    g0 = scenario.snapshot_graph(0)
+    assert g0.n_edges == 4 and not g0.has_edge(0, 2)
+    g1 = scenario.snapshot_graph(1)
+    assert g1.has_edge(0, 2) and g1.has_edge(2, 3)
+    g3 = scenario.snapshot_graph(3)
+    assert g3.has_edge(0, 2) and not g3.has_edge(2, 3)
+
+
+def test_builder_net_effect_resolution(base_edges):
+    """Flapping within one transition resolves to the net state."""
+    b = EvolvingGraphBuilder(5, base_edges)
+    b.add_edge(0.1, 0, 3)
+    b.remove_edge(0.2, 0, 3)
+    b.add_edge(0.3, 0, 3, weight=7.0)  # net: added in batch 0
+    scenario = b.build(n_snapshots=2, boundaries=np.array([1.0]))
+    g1 = scenario.snapshot_graph(1)
+    assert g1.has_edge(0, 3)
+    assert not scenario.snapshot_graph(0).has_edge(0, 3)
+
+
+def test_builder_rejects_double_change(base_edges):
+    b = EvolvingGraphBuilder(5, base_edges)
+    b.add_edge(0.5, 0, 2)     # appears in snapshot 1
+    b.remove_edge(1.5, 0, 2)  # disappears in snapshot 2 -> two changes
+    with pytest.raises(ValueError, match="split the window"):
+        b.build(n_snapshots=3, boundaries=np.array([1.0, 2.0]))
+
+
+def test_builder_equal_time_boundaries(base_edges):
+    b = EvolvingGraphBuilder(5, base_edges)
+    for t in (0.0, 1.0, 2.0, 3.0):
+        b.add_edge(t, 4, int(t))
+    bounds = b.boundaries(4)
+    assert bounds.shape == (3,)
+    assert bounds[-1] == 3.0
+
+
+def test_builder_validates_events():
+    b = EvolvingGraphBuilder(3)
+    with pytest.raises(ValueError):
+        b.add_edge(0.0, 5, 1)
+    with pytest.raises(ValueError):
+        b.record(EdgeEvent(0.0, 0, -1))
+    with pytest.raises(ValueError):
+        b.build(n_snapshots=1)
+    with pytest.raises(ValueError):
+        b.boundaries(3)  # no events
+
+
+def test_builder_scenario_is_workflow_ready():
+    """A built window runs through the full pipeline and validates."""
+    rng = np.random.default_rng(0)
+    base = rmat_edges(48, 300, seed=6)
+    b = EvolvingGraphBuilder(48, base)
+    taken = {(int(s), int(d)) for s, d in zip(base.src, base.dst)}
+    added = 0
+    while added < 30:
+        s, d = int(rng.integers(48)), int(rng.integers(48))
+        if s == d or (s, d) in taken:
+            continue
+        taken.add((s, d))
+        b.add_edge(rng.uniform(0, 10), s, d, weight=float(rng.uniform(1, 8)))
+        added += 1
+    doomed = rng.choice(len(base), size=20, replace=False)
+    for i in doomed:
+        b.remove_edge(rng.uniform(0, 10), int(base.src[i]), int(base.dst[i]))
+
+    scenario = b.build(n_snapshots=5)
+    algo = get_algorithm("sssp")
+    result = PlanExecutor(scenario, algo).run(boe_plan(scenario.unified))
+    validate_workflow(scenario, algo, result)
+
+
+def test_npz_rejects_truncated_file(tmp_path):
+    import numpy as np
+
+    path = tmp_path / "bogus.npz"
+    np.savez(path, unrelated=np.arange(3))
+    with pytest.raises(KeyError):
+        load_scenario_file(path)
+
+
+def test_save_load_window_server_state(tmp_path):
+    """A slid window round-trips through the npz format."""
+    from repro.algorithms import get_algorithm
+    from repro.core import WindowServer
+    from repro.engines.validation import evaluate_reference
+    from repro.evolving import synthesize_scenario
+
+    pool = rmat_edges(48, 320, seed=31)
+    scenario = synthesize_scenario(pool, n_snapshots=4, batch_pct=0.04, seed=7)
+    server = WindowServer(scenario, get_algorithm("sssp"))
+    path = tmp_path / "window.npz"
+    save_scenario(server.scenario, path)
+    back = load_scenario_file(path)
+    for k in range(back.n_snapshots):
+        a = evaluate_reference(back, get_algorithm("sssp"), k)
+        assert np.allclose(a, server.values(k), equal_nan=True)

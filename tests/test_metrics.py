@@ -1,0 +1,81 @@
+"""Tests for the reuse and activity metrics (Figs. 3-5, 16-18)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.metrics import (
+    applied_edge_counts,
+    batch_touch_sets,
+    edge_reuse_across_snapshots,
+    edge_reuse_same_snapshot,
+    workflow_activity,
+)
+from repro.metrics.reuse import _mean_pairwise_overlap
+
+
+@pytest.fixture(scope="module")
+def sssp():
+    return get_algorithm("sssp")
+
+
+def test_batch_touch_sets_shape(small_scenario, sssp):
+    sets = batch_touch_sets(small_scenario, sssp)
+    n = small_scenario.n_snapshots
+    # Direct-Hop chains: snapshot k applies n-1 batches
+    assert len(sets) == n * (n - 1)
+    for snapshot, batch_id, mask in sets:
+        assert 0 <= snapshot < n
+        assert mask.dtype == bool
+        assert mask.shape == (small_scenario.unified.n_union_edges,)
+
+
+def test_reuse_asymmetry(small_scenario, sssp):
+    """The paper's core motivation: Fig. 5 >> Fig. 4."""
+    same = edge_reuse_same_snapshot(small_scenario, sssp)
+    across = edge_reuse_across_snapshots(small_scenario, sssp)
+    assert across > 0.9
+    assert same < 0.2
+    assert across > 5 * same
+
+
+def test_reuse_fractions_bounded(tiny_scenario, sssp):
+    assert 0.0 <= edge_reuse_same_snapshot(tiny_scenario, sssp) <= 1.0
+    assert 0.0 <= edge_reuse_across_snapshots(tiny_scenario, sssp) <= 1.0
+
+
+def test_mean_pairwise_overlap_basics():
+    a = np.array([True, True, False, False])
+    b = np.array([True, False, True, False])
+    assert _mean_pairwise_overlap([a, b]) == pytest.approx(0.5)
+    assert _mean_pairwise_overlap([a]) == 1.0
+    empty = np.zeros(4, dtype=bool)
+    assert _mean_pairwise_overlap([empty, empty]) == 1.0
+
+
+def test_applied_edge_counts_ratios(small_scenario):
+    counts = applied_edge_counts(small_scenario)
+    n = small_scenario.n_snapshots
+    dh_ratio = counts["direct-hop"] / counts["streaming"]
+    assert dh_ratio == pytest.approx(n / 2, rel=0.05)  # the Fig. 3 "8x"
+    assert 1.5 <= counts["work-sharing"] / counts["streaming"] <= 3.5
+
+
+def test_workflow_activity_ordering(small_scenario, sssp):
+    """Figs. 16-18: BOE < WS < DH on all three memory metrics."""
+    acts = {
+        wf: workflow_activity(small_scenario, sssp, wf)
+        for wf in ("direct-hop", "work-sharing", "boe")
+    }
+    for attr in ("edge_reads", "vertex_reads", "vertex_writes", "events"):
+        boe = getattr(acts["boe"], attr)
+        ws = getattr(acts["work-sharing"], attr)
+        dh = getattr(acts["direct-hop"], attr)
+        assert boe < ws < dh, attr
+
+
+def test_workflow_activity_fields(tiny_scenario, sssp):
+    act = workflow_activity(tiny_scenario, sssp, "boe")
+    assert act.workflow == "boe"
+    assert act.rounds > 0
+    assert act.vertex_reads >= act.vertex_writes

@@ -1,0 +1,116 @@
+"""Tests for the MinLabel (connected components) extension algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.extensions import MinLabel, symmetrize
+from repro.engines import MultiVersionEngine, PlanExecutor
+from repro.engines.validation import validate_workflow
+from repro.evolving import synthesize_scenario
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+from repro.schedule import (
+    boe_plan,
+    direct_hop_plan,
+    streaming_plan,
+    work_sharing_plan,
+)
+
+
+def make_static(graph: CSRGraph) -> UnifiedCSR:
+    none = np.full(graph.n_edges, -1, dtype=np.int32)
+    return UnifiedCSR(graph, none, none.copy(), 1)
+
+
+def reference_components(n, pairs):
+    """Union-find ground truth: min vertex id per component."""
+    parent = list(range(n))
+
+    def find(x):
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    for a, b in pairs:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[max(ra, rb)] = min(ra, rb)
+    return np.array([find(v) for v in range(n)], dtype=np.float64)
+
+
+def test_components_on_symmetric_graph():
+    from repro.graph.edges import EdgeList
+
+    pairs = [(0, 1), (1, 2), (4, 5), (7, 7)]
+    edges = symmetrize(
+        EdgeList.from_tuples(8, [(a, b) for a, b in pairs if a != b])
+    )
+    g = CSRGraph.from_edges(edges)
+    engine = MultiVersionEngine(MinLabel(), make_static(g))
+    vals = engine.evaluate_full(np.ones(g.n_edges, dtype=bool), 0)
+    expected = reference_components(8, pairs)
+    assert np.array_equal(vals, expected)
+    assert vals[3] == 3.0  # isolated vertex keeps its own label
+
+
+def test_components_random_graph():
+    edges = symmetrize(rmat_edges(80, 240, seed=6))
+    g = CSRGraph.from_edges(edges)
+    engine = MultiVersionEngine(MinLabel(), make_static(g))
+    vals = engine.evaluate_full(np.ones(g.n_edges, dtype=bool), 0)
+    pairs = list(zip(g.src_of_edge.tolist(), g.dst.tolist()))
+    assert np.array_equal(vals, reference_components(80, pairs))
+
+
+def test_directed_min_reaching_label():
+    g = CSRGraph.from_tuples(4, [(2, 3), (0, 3)])
+    engine = MultiVersionEngine(MinLabel(), make_static(g))
+    vals = engine.evaluate_full(np.ones(2, dtype=bool), 0)
+    assert vals.tolist() == [0.0, 1.0, 2.0, 0.0]
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [streaming_plan, direct_hop_plan, work_sharing_plan, boe_plan],
+    ids=lambda f: f.__name__,
+)
+def test_minlabel_on_every_workflow(factory):
+    """Evolving connected components: all workflows, ground truth, with
+    deletions splitting components (the streaming baseline repairs them)."""
+    pool = symmetrize(rmat_edges(48, 180, seed=8))
+    scenario = synthesize_scenario(pool, n_snapshots=4, batch_pct=0.04, seed=3)
+    algo = MinLabel()
+    result = PlanExecutor(scenario, algo).run(factory(scenario.unified))
+    validate_workflow(scenario, algo, result)
+
+
+def test_minlabel_deletion_splits_component():
+    """Deleting the only bridge splits the component; repair must find the
+    new labels (including re-propagating reset vertices' own ids)."""
+    # 0-1-2   bridge (1,2); symmetric edges
+    g = CSRGraph.from_tuples(
+        3, [(0, 1), (1, 0), (1, 2), (2, 1)]
+    )
+    u = make_static(g)
+    engine = MultiVersionEngine(MinLabel(), u, track_parents=True)
+    vals = engine.evaluate_full(
+        np.ones(g.n_edges, dtype=bool), 0, parent_row=0
+    )
+    assert vals.tolist() == [0.0, 0.0, 0.0]
+
+    from repro.engines import DeletionRepair
+
+    presence_after = np.ones(g.n_edges, dtype=bool)
+    # delete both directions of the bridge 1-2
+    bridge = [
+        i
+        for i in range(g.n_edges)
+        if {int(g.src_of_edge[i]), int(g.dst[i])} == {1, 2}
+    ]
+    presence_after[bridge] = False
+    DeletionRepair(engine).apply_deletions(
+        vals, np.array(bridge), presence_after, 0
+    )
+    assert vals.tolist() == [0.0, 0.0, 2.0]

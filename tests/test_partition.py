@@ -1,0 +1,90 @@
+"""Unit tests for vertex-range partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+from repro.graph.partition import VertexPartitioner
+
+
+@pytest.fixture
+def graph():
+    return CSRGraph.from_edges(rmat_edges(256, 2048, seed=4))
+
+
+def test_ranges_cover_all_vertices(graph):
+    p = VertexPartitioner(graph.indptr, 4)
+    lo0, __ = p.vertex_range(0)
+    assert lo0 == 0
+    __, hi_last = p.vertex_range(p.n_partitions - 1)
+    assert hi_last == graph.n_vertices
+    assert int(p.sizes().sum()) == graph.n_vertices
+
+
+def test_ranges_are_disjoint_and_ordered(graph):
+    p = VertexPartitioner(graph.indptr, 5)
+    prev_hi = 0
+    for i in range(p.n_partitions):
+        lo, hi = p.vertex_range(i)
+        assert lo == prev_hi
+        assert hi >= lo
+        prev_hi = hi
+
+
+def test_partition_of_consistent_with_ranges(graph):
+    p = VertexPartitioner(graph.indptr, 4)
+    for i in range(p.n_partitions):
+        lo, hi = p.vertex_range(i)
+        if hi > lo:
+            ids = p.partition_of(np.arange(lo, hi))
+            assert np.all(ids == i)
+
+
+def test_edge_balance(graph):
+    """Each partition should hold a comparable share of edges."""
+    p = VertexPartitioner(graph.indptr, 4)
+    for i in range(4):
+        lo, hi = p.vertex_range(i)
+        edges = int(graph.indptr[hi] - graph.indptr[lo])
+        # power-law graphs cannot be split perfectly; allow 2.5x of fair share
+        assert edges <= 2.5 * graph.n_edges / 4 + graph.n_edges * 0.05
+
+
+def test_single_partition(graph):
+    p = VertexPartitioner(graph.indptr, 1)
+    assert p.n_partitions == 1
+    assert p.vertex_range(0) == (0, graph.n_vertices)
+    assert p.cross_fraction(graph.src_of_edge, graph.dst) == 0.0
+
+
+def test_more_partitions_than_vertices():
+    g = CSRGraph.from_tuples(3, [(0, 1), (1, 2)])
+    p = VertexPartitioner(g.indptr, 10)
+    assert p.n_partitions <= 3
+
+
+def test_invalid_partition_count(graph):
+    with pytest.raises(ValueError):
+        VertexPartitioner(graph.indptr, 0)
+
+
+def test_partition_index_out_of_range(graph):
+    p = VertexPartitioner(graph.indptr, 2)
+    with pytest.raises(IndexError):
+        p.vertex_range(2)
+
+
+def test_cross_fraction_bounds(graph):
+    p = VertexPartitioner(graph.indptr, 4)
+    f = p.cross_fraction(graph.src_of_edge, graph.dst)
+    assert 0.0 <= f <= 1.0
+    # with 4 partitions of a random-ish graph, some edges must cross
+    assert f > 0.0
+
+
+def test_cross_fraction_empty():
+    g = CSRGraph.from_tuples(3, [(0, 1)])
+    p = VertexPartitioner(g.indptr, 2)
+    empty = np.empty(0, dtype=np.int64)
+    assert p.cross_fraction(empty, empty) == 0.0

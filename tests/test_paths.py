@@ -1,0 +1,90 @@
+"""Tests for witness-path extraction and verification."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import all_algorithms, get_algorithm
+from repro.algorithms.extensions import MinLabel, symmetrize
+from repro.analysis.paths import extract_path, verify_path, witness_paths
+from repro.engines import MultiVersionEngine
+from repro.graph.generators import rmat_edges
+from repro.evolving import synthesize_scenario
+from repro.workloads import load_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return load_scenario("PK", "tiny", n_snapshots=6)
+
+
+def test_requires_parent_tracking(scenario):
+    engine = MultiVersionEngine(get_algorithm("sssp"), scenario.unified)
+    with pytest.raises(ValueError, match="track_parents"):
+        extract_path(engine, 3)
+
+
+@pytest.mark.parametrize("algo", all_algorithms(), ids=lambda a: a.name)
+def test_witness_paths_verify(scenario, algo):
+    """Every reached vertex's extracted path independently reproduces its
+    value — for all five Table 1 algorithms."""
+    engine = MultiVersionEngine(algo, scenario.unified, track_parents=True)
+    values = engine.evaluate_full(
+        scenario.unified.presence_mask(2), scenario.source, parent_row=0
+    )
+    reached = np.flatnonzero(algo.reached(values[None, :])[0])
+    sample = reached[:: max(1, reached.size // 12)]
+    for v in sample:
+        path = extract_path(engine, int(v))
+        assert path[0] == scenario.source or path == [int(v)]
+        assert path[-1] == int(v)
+        assert verify_path(scenario, algo, 2, path, float(values[v]))
+
+
+def test_witness_paths_api(scenario):
+    algo = get_algorithm("sssp")
+    reachable = witness_paths(scenario, algo, 0, [scenario.source, 1, 2])
+    assert reachable[scenario.source] == [scenario.source]
+    for v, path in reachable.items():
+        if path:
+            assert path[-1] == v
+
+
+def test_unreached_vertex_has_empty_path():
+    pool = rmat_edges(32, 120, seed=2)
+    scenario = synthesize_scenario(pool, n_snapshots=3, batch_pct=0.05, seed=1)
+    algo = get_algorithm("sssp")
+    engine = MultiVersionEngine(algo, scenario.unified, track_parents=True)
+    values = engine.evaluate_full(
+        scenario.unified.presence_mask(0), scenario.source, parent_row=0
+    )
+    unreached = np.flatnonzero(~algo.reached(values[None, :])[0])
+    if unreached.size == 0:
+        pytest.skip("everything reachable for this seed")
+    paths = witness_paths(scenario, algo, 0, [int(unreached[0])])
+    assert paths[int(unreached[0])] == []
+
+
+def test_verify_rejects_fabricated_paths(scenario):
+    algo = get_algorithm("sssp")
+    # nonexistent edge sequence
+    assert not verify_path(scenario, algo, 0, [scenario.source, 99999 % scenario.n_vertices], 1.0)
+    # right path shape, wrong value
+    paths = witness_paths(scenario, algo, 0, [scenario.source])
+    assert not verify_path(scenario, algo, 0, paths[scenario.source], -5.0)
+    assert not verify_path(scenario, algo, 0, [], 0.0)
+
+
+def test_minlabel_witness_paths():
+    """Label-propagation paths root at the component representative."""
+    pool = symmetrize(rmat_edges(40, 140, seed=4))
+    scenario = synthesize_scenario(pool, n_snapshots=3, batch_pct=0.04, seed=2)
+    algo = MinLabel()
+    engine = MultiVersionEngine(algo, scenario.unified, track_parents=True)
+    values = engine.evaluate_full(
+        scenario.unified.presence_mask(1), scenario.source, parent_row=0
+    )
+    for v in range(0, scenario.n_vertices, 7):
+        path = extract_path(engine, v)
+        assert path[-1] == v
+        assert values[path[0]] == path[0]  # roots carry their own label
+        assert verify_path(scenario, algo, 1, path, float(values[v]))

@@ -1,0 +1,111 @@
+"""Tests for the PE cluster and prefetcher models."""
+
+import numpy as np
+import pytest
+
+from repro.accel.config import mega_config
+from repro.accel.eventsim import EventLevelSimulator
+from repro.accel.prefetch import PrefetchModel
+from repro.accel.processor import PECluster, ProcessingEngine
+from repro.algorithms import SSSP
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_edges
+
+
+# -- ProcessingEngine -----------------------------------------------------------
+
+
+def test_pe_execute_cycle_arithmetic():
+    pe = ProcessingEngine(0, gen_units=4)
+    assert pe.execute(0) == 1      # pop + apply only
+    assert pe.execute(4) == 2      # one generation wave
+    assert pe.execute(5) == 3      # two waves
+    assert pe.busy_cycles == 6
+    assert pe.events_executed == 3
+    assert pe.events_generated == 9
+
+
+def test_pe_rejects_negative_degree():
+    with pytest.raises(ValueError):
+        ProcessingEngine(0).execute(-1)
+
+
+# -- PECluster -------------------------------------------------------------------
+
+
+def test_cluster_balances_events():
+    cluster = PECluster(n_pes=4, gen_units=4)
+    cycles = cluster.dispatch_round([0] * 8)  # 8 unit events over 4 PEs
+    assert cycles == 2
+    assert cluster.utilization() == 1.0
+
+
+def test_cluster_high_degree_skew():
+    """One whale vertex dominates the round's makespan (why the paper
+    gives each PE four generation streams)."""
+    cluster = PECluster(n_pes=4, gen_units=4)
+    cycles = cluster.dispatch_round([400, 0, 0, 0])
+    assert cycles == 1 + 100
+    assert cluster.load_imbalance() > 2.0
+
+
+def test_cluster_rounds_are_barriers():
+    cluster = PECluster(n_pes=2, gen_units=4)
+    first = cluster.dispatch_round([8, 0])
+    second = cluster.dispatch_round([0, 0])
+    assert cluster.makespan == first + second
+
+
+def test_cluster_empty_round():
+    cluster = PECluster(n_pes=2)
+    assert cluster.dispatch_round([]) == 0
+    assert cluster.utilization() == 0.0
+    assert cluster.load_imbalance() == 1.0
+
+
+def test_cluster_validates():
+    with pytest.raises(ValueError):
+        PECluster(n_pes=0)
+
+
+def test_eventsim_reports_pe_cycles():
+    g = CSRGraph.from_edges(rmat_edges(48, 300, seed=5))
+    none = np.full(g.n_edges, -1, dtype=np.int32)
+    u = UnifiedCSR(g, none, none.copy(), 1)
+    sim = EventLevelSimulator(SSSP(), u)
+    sim.set_graph(0, np.ones(g.n_edges, dtype=bool))
+    sim.set_source(0)
+    sim.run()
+    assert sim.stats.pe_cycles > 0
+    assert sim.pes.total_busy >= sim.stats.events_processed
+
+
+# -- prefetcher ----------------------------------------------------------------
+
+
+def test_prefetch_coverage_monotone():
+    model = PrefetchModel(mega_config())
+    prev = -1.0
+    for events in (0, 1, 10, 100, 1000):
+        c = model.coverage(events)
+        assert 0.0 <= c <= model.max_coverage
+        assert c >= prev
+        prev = c
+
+
+def test_prefetch_saturates():
+    model = PrefetchModel(mega_config())
+    assert model.coverage(10**9) == pytest.approx(model.max_coverage)
+
+
+def test_prefetch_latency_shrinks_with_occupancy():
+    model = PrefetchModel(mega_config())
+    big = model.latency_cycles(10_000)
+    small = model.latency_cycles(2)
+    assert big < small <= mega_config().dram_latency_cycles
+
+
+def test_prefetch_zero_events_full_latency():
+    model = PrefetchModel(mega_config())
+    assert model.latency_cycles(0) == mega_config().dram_latency_cycles

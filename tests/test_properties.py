@@ -1,0 +1,361 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Random graphs, random batch schedules, random windows — the invariants
+DESIGN.md commits to:
+
+* every workflow equals from-scratch evaluation on every snapshot;
+* monotone convergence (values only ever improve toward the fixpoint);
+* CommonGraph set identities; plan/batch structural invariants;
+* queue coalescing never loses the best delta.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.accel.event import Event
+from repro.accel.queue import EventQueue
+from repro.algorithms import all_algorithms, get_algorithm
+from repro.engines import MultiVersionEngine, PlanExecutor
+from repro.engines.validation import validate_workflow
+from repro.evolving import synthesize_scenario
+from repro.evolving.common_graph import range_common_mask
+from repro.evolving.snapshots import batch_sizes
+from repro.evolving.window import extract_window
+from repro.graph.csr import CSRGraph, gather_out_edges
+from repro.graph.edges import EdgeList
+from repro.graph.generators import rmat_edges, uniform_edges
+from repro.schedule import WORKFLOWS, plan_for
+
+SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+ALGO_NAMES = [a.name for a in all_algorithms()]
+
+
+@st.composite
+def scenarios(draw):
+    seed = draw(st.integers(0, 10_000))
+    n_vertices = draw(st.sampled_from([32, 48, 64, 96]))
+    n_edges = n_vertices * draw(st.sampled_from([4, 6, 8]))
+    n_snapshots = draw(st.integers(2, 7))
+    batch_pct = draw(st.sampled_from([0.02, 0.04, 0.08]))
+    imbalance = draw(st.sampled_from([1.0, 2.0, 4.0]))
+    gen = rmat_edges if draw(st.booleans()) else uniform_edges
+    pool = gen(n_vertices, n_edges, seed=seed)
+    return synthesize_scenario(
+        pool,
+        n_snapshots=n_snapshots,
+        batch_pct=batch_pct,
+        imbalance=imbalance,
+        seed=seed + 1,
+    )
+
+
+@st.composite
+def edge_lists(draw):
+    n = draw(st.integers(2, 64))
+    m = draw(st.integers(0, min(200, n * (n - 1))))
+    if m == 0:
+        return EdgeList.from_tuples(n, [])
+    return uniform_edges(n, m, seed=draw(st.integers(0, 1000)))
+
+
+# -- workflow correctness ------------------------------------------------------
+
+
+@SETTINGS
+@given(scenario=scenarios(), algo_name=st.sampled_from(ALGO_NAMES),
+       workflow=st.sampled_from(sorted(WORKFLOWS)))
+def test_any_workflow_any_algorithm_matches_ground_truth(
+    scenario, algo_name, workflow
+):
+    algo = get_algorithm(algo_name)
+    result = PlanExecutor(scenario, algo).run(
+        plan_for(workflow, scenario.unified)
+    )
+    validate_workflow(scenario, algo, result)
+
+
+@SETTINGS
+@given(scenario=scenarios(), algo_name=st.sampled_from(ALGO_NAMES))
+def test_monotone_convergence(scenario, algo_name):
+    """Along any addition-only schedule, values never get worse."""
+    algo = get_algorithm(algo_name)
+    u = scenario.unified
+    engine = MultiVersionEngine(algo, u)
+    presence = u.common_mask.copy()
+    values = engine.evaluate_full(presence, scenario.source)
+    missing = np.flatnonzero(~presence & u.presence_mask(u.n_snapshots - 1))
+    for chunk in np.array_split(missing, 3):
+        if chunk.size == 0:
+            continue
+        before = values.copy()
+        presence = presence.copy()
+        presence[chunk] = True
+        engine.apply_additions(values[None, :], chunk, presence[None, :])
+        assert not np.any(algo.better(before, values))
+
+
+# -- structural invariants --------------------------------------------------------
+
+
+@SETTINGS
+@given(scenario=scenarios())
+def test_common_graph_identities(scenario):
+    u = scenario.unified
+    inter = np.ones(u.n_union_edges, dtype=bool)
+    union = np.zeros(u.n_union_edges, dtype=bool)
+    for k in range(u.n_snapshots):
+        mask = u.presence_mask(k)
+        inter &= mask
+        union |= mask
+    assert np.array_equal(inter, u.common_mask)
+    assert bool(union.all())
+
+
+@SETTINGS
+@given(scenario=scenarios())
+def test_batches_partition_tagged_edges(scenario):
+    u = scenario.unified
+    seen = np.zeros(u.n_union_edges, dtype=int)
+    for b in u.addition_batches() + u.deletion_batches():
+        seen[b.edge_idx] += 1
+    assert np.all(seen <= 1)
+    assert np.array_equal(seen == 0, u.common_mask)
+
+
+@SETTINGS
+@given(scenario=scenarios(), data=st.data())
+def test_window_extraction_preserves_snapshots(scenario, data):
+    u = scenario.unified
+    lo = data.draw(st.integers(0, u.n_snapshots - 1))
+    hi = data.draw(st.integers(lo, u.n_snapshots - 1))
+    w = extract_window(u, lo, hi)
+    for k in range(lo, hi + 1):
+        a = u.snapshot_graph(k)
+        b = w.snapshot_graph(k - lo)
+        assert a.n_edges == b.n_edges
+        pairs_a = set(zip(a.src_of_edge.tolist(), a.dst.tolist()))
+        pairs_b = set(zip(b.src_of_edge.tolist(), b.dst.tolist()))
+        assert pairs_a == pairs_b
+
+
+@SETTINGS
+@given(scenario=scenarios(), data=st.data())
+def test_range_common_monotone(scenario, data):
+    """Narrowing a snapshot range only adds common edges."""
+    u = scenario.unified
+    lo = data.draw(st.integers(0, u.n_snapshots - 1))
+    hi = data.draw(st.integers(lo, u.n_snapshots - 1))
+    outer = range_common_mask(u, lo, hi)
+    lo2 = data.draw(st.integers(lo, hi))
+    hi2 = data.draw(st.integers(lo2, hi))
+    inner = range_common_mask(u, lo2, hi2)
+    assert np.all(outer <= inner)
+
+
+@SETTINGS
+@given(edges=edge_lists())
+def test_csr_roundtrip(edges):
+    dedup = edges.deduplicate().without_self_loops()
+    graph = CSRGraph.from_edges(dedup)
+    back = graph.to_edge_list()
+    assert sorted(back.as_tuples()) == sorted(dedup.as_tuples())
+    # transpose twice is identity on the edge set
+    twice = graph.reverse().reverse()
+    assert sorted(twice.to_edge_list().as_tuples()) == sorted(
+        dedup.as_tuples()
+    )
+
+
+@SETTINGS
+@given(edges=edge_lists(), data=st.data())
+def test_gather_out_edges_property(edges, data):
+    dedup = edges.deduplicate().without_self_loops()
+    graph = CSRGraph.from_edges(dedup)
+    k = data.draw(st.integers(0, graph.n_vertices))
+    frontier = np.unique(
+        data.draw(
+            st.lists(
+                st.integers(0, graph.n_vertices - 1),
+                min_size=0,
+                max_size=k,
+            )
+        )
+    ).astype(np.int64)
+    idx, src = gather_out_edges(graph.indptr, frontier)
+    assert idx.shape == src.shape
+    assert np.all(graph.src_of_edge[idx] == src)
+    expected_total = int(
+        sum(graph.out_degree(int(u)) for u in frontier)
+    )
+    assert idx.size == expected_total
+
+
+@SETTINGS
+@given(
+    total=st.integers(0, 5000),
+    n=st.integers(1, 40),
+    imbalance=st.floats(1.0, 8.0),
+    seed=st.integers(0, 100),
+)
+def test_batch_sizes_always_sum(total, n, imbalance, seed):
+    rng = np.random.default_rng(seed)
+    sizes = batch_sizes(total, n, imbalance, rng)
+    assert sizes.shape == (n,)
+    assert int(sizes.sum()) == total
+    assert np.all(sizes >= 0)
+
+
+# -- queue coalescing ----------------------------------------------------------
+
+
+@SETTINGS
+@given(
+    payloads=st.lists(
+        st.floats(0.1, 100.0, allow_nan=False), min_size=1, max_size=30
+    ),
+    algo_name=st.sampled_from(ALGO_NAMES),
+    vertex=st.integers(0, 63),
+)
+def test_queue_keeps_best_payload(payloads, algo_name, vertex):
+    algo = get_algorithm(algo_name)
+    q = EventQueue(algo, n_bins=4)
+    for p in payloads:
+        q.insert(Event(vertex, p))
+    [event] = q.pop_round()
+    best = min(payloads) if algo.minimize else max(payloads)
+    assert event.payload == best
+
+
+@SETTINGS
+@given(data=st.data())
+def test_window_split_greedy_is_maximal(data):
+    """Each produced window (except the last) cannot absorb the next
+    transition — the greedy split is locally maximal, hence minimal in
+    window count for this interval constraint."""
+    from repro.evolving.builder import EdgeEvent
+    from repro.evolving.windows_split import change_steps, split_boundaries
+
+    n = 12
+    n_events = data.draw(st.integers(1, 40))
+    events = [
+        EdgeEvent(
+            time=data.draw(st.floats(0.0, 10.0, allow_nan=False)),
+            src=data.draw(st.integers(0, n - 1)),
+            dst=data.draw(st.integers(0, n - 1)),
+            add=data.draw(st.booleans()),
+        )
+        for __ in range(n_events)
+    ]
+    boundaries = np.linspace(0.0, 10.0, 8)[1:]
+    initially = {
+        data.draw(st.integers(0, n * n - 1)) for __ in range(5)
+    }
+    windows = split_boundaries(events, boundaries, n, initially)
+    flips = change_steps(events, boundaries, n, initially)
+
+    # validity: at most one flip per edge inside each window
+    for key, steps in flips.items():
+        for lo, hi in windows:
+            assert sum(1 for j in steps if lo <= j < hi) <= 1
+
+    # maximality: extending any non-final window by one transition breaks it
+    for (lo, hi) in windows[:-1]:
+        extended_bad = any(
+            sum(1 for j in steps if lo <= j <= hi) > 1
+            for steps in flips.values()
+        )
+        assert extended_bad, (lo, hi)
+
+
+@SETTINGS
+@given(data=st.data())
+def test_window_server_random_slides_match_scratch(data):
+    """Random slide sequences keep every snapshot at ground truth."""
+    from repro.core import WindowServer
+    from repro.engines.validation import evaluate_reference
+    from repro.graph.edges import edge_keys as ek
+
+    seed = data.draw(st.integers(0, 500))
+    pool = rmat_edges(40, 280, seed=seed)
+    scenario = synthesize_scenario(
+        pool, n_snapshots=4, batch_pct=0.05, seed=seed + 1
+    )
+    algo = get_algorithm(data.draw(st.sampled_from(ALGO_NAMES)))
+    server = WindowServer(scenario, algo)
+
+    for __ in range(data.draw(st.integers(1, 3))):
+        u = server.scenario.unified
+        n = u.n_vertices
+        taken = set(ek(u.graph.src_of_edge, u.graph.dst, n).tolist())
+        adds = []
+        for ___ in range(data.draw(st.integers(0, 4))):
+            s = data.draw(st.integers(0, n - 1))
+            d = data.draw(st.integers(0, n - 1))
+            if s == d or s * n + d in taken:
+                continue
+            taken.add(s * n + d)
+            adds.append((s, d, float(data.draw(st.integers(1, 8)))))
+        deletable = np.flatnonzero(
+            u.presence_mask(u.n_snapshots - 1) & (u.add_step < 1)
+        )
+        n_dels = min(data.draw(st.integers(0, 4)), deletable.size)
+        dels = [
+            (int(u.graph.src_of_edge[e]), int(u.graph.dst[e]))
+            for e in deletable[:n_dels]
+        ]
+        from repro.graph.edges import EdgeList
+
+        server.advance(EdgeList.from_tuples(n, adds), dels)
+        for k in range(server.n_snapshots):
+            expected = evaluate_reference(server.scenario, algo, k)
+            assert np.allclose(
+                server.values(k), expected, equal_nan=True
+            ), k
+
+
+@SETTINGS
+@given(data=st.data())
+def test_event_level_equals_round_engine_property(data):
+    """The exact event-level datapath and the vectorized round engine
+    compute identical fixpoints on random graphs and batch orders."""
+    from repro.accel.eventsim import EventLevelSimulator
+
+    seed = data.draw(st.integers(0, 1000))
+    n = data.draw(st.sampled_from([16, 24, 32]))
+    m = n * data.draw(st.sampled_from([3, 5]))
+    algo = get_algorithm(data.draw(st.sampled_from(ALGO_NAMES)))
+    order = data.draw(st.sampled_from(["fifo", "best-first"]))
+    edges = uniform_edges(n, m, seed=seed)
+    graph = CSRGraph.from_edges(edges)
+
+    import numpy as _np
+
+    none = _np.full(graph.n_edges, -1, dtype=_np.int32)
+    from repro.evolving.unified_csr import UnifiedCSR
+
+    u = UnifiedCSR(graph, none, none.copy(), 1)
+    rng = _np.random.default_rng(seed)
+    base = _np.ones(graph.n_edges, dtype=bool)
+    missing = rng.choice(
+        graph.n_edges, size=graph.n_edges // 4, replace=False
+    )
+    base[missing] = False
+
+    sim = EventLevelSimulator(algo, u)
+    sim.set_graph(0, base.copy())
+    sim.set_source(0)
+    sim.run(order=order)
+    sim.seed_batch(missing, versions=[0])
+    values = sim.run(order=order)
+
+    engine = MultiVersionEngine(algo, u)
+    expected = engine.evaluate_full(_np.ones(graph.n_edges, dtype=bool), 0)
+    assert _np.allclose(values[0], expected, equal_nan=True)

@@ -1,0 +1,68 @@
+"""The public API surface stays importable and coherent."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.accel",
+    "repro.algorithms",
+    "repro.analysis",
+    "repro.baselines",
+    "repro.core",
+    "repro.engines",
+    "repro.evolving",
+    "repro.experiments",
+    "repro.graph",
+    "repro.metrics",
+    "repro.schedule",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_all_resolves(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), name
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol}"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_package_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__ and module.__doc__.strip(), name
+
+
+def test_every_module_has_docstring():
+    import pathlib
+
+    root = pathlib.Path(__file__).parent.parent / "src" / "repro"
+    for path in sorted(root.rglob("*.py")):
+        text = path.read_text()
+        if not text.strip():
+            continue
+        assert text.lstrip().startswith('"""'), path
+
+
+def test_version_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_no_circular_import_surprises():
+    # importing the deepest consumers first must work in a fresh process
+    import subprocess
+    import sys
+
+    code = (
+        "import repro.experiments, repro.core, repro.accel; "
+        "print('ok')"
+    )
+    proc = subprocess.run(
+        [sys.executable, "-c", code], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout.strip() == "ok"

@@ -1,0 +1,107 @@
+"""Tests for the binned coalescing event queue (Fig. 13)."""
+
+import pytest
+
+from repro.accel.event import Event
+from repro.accel.queue import EventQueue, QueueDecoder
+from repro.algorithms import SSSP, SSWP
+
+
+def test_decoder_interleaves_banks():
+    d = QueueDecoder(n_bins=4, n_versions=2)
+    assert d.locate(0, 0) == (0, 0, 0)
+    assert d.locate(5, 1) == (1, 1, 1)
+    assert d.locate(8, 0) == (0, 2, 0)
+
+
+def test_decoder_version_bounds():
+    d = QueueDecoder(n_bins=4, n_versions=2)
+    with pytest.raises(ValueError):
+        d.locate(0, 2)
+
+
+def test_insert_and_pop_round():
+    q = EventQueue(SSSP(), n_bins=4)
+    q.insert(Event(3, 1.0))
+    q.insert(Event(7, 2.0))
+    events = q.pop_round()
+    assert [(e.vertex, e.payload) for e in events] == [(3, 1.0), (7, 2.0)]
+    assert q.occupancy() == 0
+
+
+def test_coalescing_keeps_minimum_for_min_algorithms():
+    q = EventQueue(SSSP(), n_bins=2)
+    q.insert(Event(5, 9.0))
+    coalesced = q.insert(Event(5, 4.0))
+    assert coalesced
+    [e] = q.pop_round()
+    assert e.payload == 4.0
+    assert q.coalesced == 1
+    assert q.inserts == 2
+
+
+def test_coalescing_keeps_maximum_for_max_algorithms():
+    q = EventQueue(SSWP(), n_bins=2)
+    q.insert(Event(5, 4.0))
+    q.insert(Event(5, 9.0))
+    [e] = q.pop_round()
+    assert e.payload == 9.0
+
+
+def test_coalescing_is_worse_payload_safe():
+    """A worse delta arriving later never overwrites a better one."""
+    q = EventQueue(SSSP(), n_bins=2)
+    q.insert(Event(5, 4.0))
+    q.insert(Event(5, 9.0))
+    [e] = q.pop_round()
+    assert e.payload == 4.0
+
+
+def test_versions_do_not_coalesce_together():
+    q = EventQueue(SSSP(), n_bins=2, n_versions=3)
+    q.insert(Event(5, 4.0, version=0))
+    q.insert(Event(5, 9.0, version=2))
+    events = q.pop_round()
+    assert len(events) == 2
+    assert {(e.version, e.payload) for e in events} == {(0, 4.0), (2, 9.0)}
+
+
+def test_at_most_one_live_event_per_cell():
+    q = EventQueue(SSSP(), n_bins=4, n_versions=2)
+    for payload in (5.0, 3.0, 8.0, 1.0):
+        q.insert(Event(9, payload, version=1))
+    assert q.occupancy() == 1
+
+
+def test_delete_event_replaces_value_event():
+    q = EventQueue(SSSP(), n_bins=2)
+    q.insert(Event(5, 4.0))
+    q.insert(Event(5, 0.0, is_delete=True))
+    [e] = q.pop_round()
+    assert e.is_delete
+
+
+def test_pop_bin_drains_only_that_bin():
+    q = EventQueue(SSSP(), n_bins=2)
+    q.insert(Event(0, 1.0))  # bank 0
+    q.insert(Event(1, 2.0))  # bank 1
+    bin0 = q.pop_bin(0)
+    assert [e.vertex for e in bin0] == [0]
+    assert q.occupancy() == 1
+
+
+def test_bin_occupancy_accounts_all_banks():
+    q = EventQueue(SSSP(), n_bins=4)
+    for v in range(8):
+        q.insert(Event(v, 1.0))
+    assert q.bin_occupancy() == [2, 2, 2, 2]
+    assert len(q) == 8
+
+
+def test_pop_round_is_sorted_by_version_then_vertex():
+    q = EventQueue(SSSP(), n_bins=3, n_versions=2)
+    q.insert(Event(5, 1.0, version=1))
+    q.insert(Event(2, 1.0, version=0))
+    q.insert(Event(9, 1.0, version=0))
+    events = q.pop_round()
+    assert [(e.version, e.vertex) for e in events] == [(0, 2), (0, 9), (1, 5)]

@@ -1,0 +1,187 @@
+"""Integration tests for the JetStream and MEGA simulators."""
+
+import numpy as np
+import pytest
+
+from repro.accel import JetStreamSimulator, MegaSimulator, mega_config
+from repro.algorithms import get_algorithm
+from repro.workloads import load_scenario
+
+
+@pytest.fixture(scope="module")
+def pk_scenario():
+    # paper defaults: 16 snapshots, 1% batches
+    return load_scenario("PK", "tiny")
+
+
+@pytest.fixture(scope="module")
+def sssp():
+    return get_algorithm("sssp")
+
+
+@pytest.fixture(scope="module")
+def reports(pk_scenario, sssp):
+    js = JetStreamSimulator().run(pk_scenario, sssp, validate=True)
+    out = {"jetstream": js}
+    for wf, bp in [
+        ("direct-hop", False),
+        ("work-sharing", False),
+        ("boe", False),
+        ("boe", True),
+    ]:
+        key = wf + ("+bp" if bp else "")
+        out[key] = MegaSimulator(wf, pipeline=bp).run(
+            pk_scenario, sssp, validate=True
+        )
+    return out
+
+
+def test_all_runs_produce_cycles(reports):
+    for name, r in reports.items():
+        assert r.cycles > 0, name
+        assert r.update_cycles > 0, name
+        assert r.update_cycles <= r.cycles
+
+
+def test_mega_workflows_all_beat_or_match_ordering(reports):
+    """The Table 4 ordering: BOE+BP fastest, then BOE, then WS."""
+    assert reports["boe+bp"].update_cycles <= reports["boe"].update_cycles
+    assert reports["boe"].update_cycles < reports["work-sharing"].update_cycles
+    assert (
+        reports["work-sharing"].update_cycles
+        < reports["direct-hop"].update_cycles
+    )
+
+
+def test_boe_beats_jetstream_substantially(reports):
+    speedup = reports["boe+bp"].speedup_over(reports["jetstream"])
+    assert speedup > 2.0
+
+
+def test_jetstream_deletions_dominate(reports):
+    """Fig. 2: the deletion phase costs several times the addition phase."""
+    js = reports["jetstream"]
+    assert js.phase_cycles["del"] > 2.0 * js.phase_cycles["add"]
+
+
+def test_boe_lowest_edge_reads(reports):
+    """Fig. 16 ordering: BOE < WS < DH edge reads."""
+    boe = reports["boe"].counters.edges_fetched
+    ws = reports["work-sharing"].counters.edges_fetched
+    dh = reports["direct-hop"].counters.edges_fetched
+    assert boe < ws < dh
+
+
+def test_boe_lowest_vertex_writes(reports):
+    """Fig. 18 ordering."""
+    boe = reports["boe"].counters.vertex_writes
+    ws = reports["work-sharing"].counters.vertex_writes
+    dh = reports["direct-hop"].counters.vertex_writes
+    assert boe < ws < dh
+
+
+def test_pipelining_never_hurts(reports):
+    assert reports["boe+bp"].cycles <= reports["boe"].cycles * 1.001
+
+
+def test_pipelining_flag_recorded(reports):
+    assert reports["boe+bp"].pipelined
+    assert not reports["boe"].pipelined
+    assert reports["boe+bp"].workflow == "boe+bp"
+
+
+def test_round_series_available(reports):
+    series = reports["jetstream"].round_series
+    assert series and any(len(s) > 1 for s in series)
+
+
+def test_mega_rejects_unknown_workflow():
+    with pytest.raises(ValueError):
+        MegaSimulator("bogus")
+    with pytest.raises(ValueError):
+        MegaSimulator("direct-hop", pipeline=True)
+
+
+def test_memory_size_sweep_monotone(pk_scenario, sssp):
+    """Fig. 15: more on-chip memory never slows MEGA down (BOE)."""
+    cycles = []
+    for mb in (4, 16, 64):
+        cfg = mega_config().with_onchip_mb(mb)
+        r = MegaSimulator("boe", config=cfg).run(pk_scenario, sssp)
+        cycles.append(r.update_cycles)
+    assert cycles[0] >= cycles[1] >= cycles[2]
+
+
+def test_partition_count_drops_with_memory(pk_scenario, sssp):
+    small = MegaSimulator(
+        "boe", config=mega_config().with_onchip_mb(4)
+    ).run(pk_scenario, sssp)
+    big = MegaSimulator(
+        "boe", config=mega_config().with_onchip_mb(256)
+    ).run(pk_scenario, sssp)
+    assert small.n_partitions > big.n_partitions
+
+
+def test_capacity_scale_comes_from_scenario(pk_scenario, sssp):
+    """config_for_scenario applies the proxy scale automatically."""
+    r = MegaSimulator("boe").run(pk_scenario, sssp)
+    # PK tiny: 80 vertices of a 1.6M-vertex graph -> tiny effective memory,
+    # hence more than one partition for 8 concurrent snapshots
+    assert r.n_partitions >= 2
+
+
+def test_explicit_config_scale_respected(pk_scenario, sssp):
+    cfg = mega_config(capacity_scale=1.0).scaled(1.0)
+    r = MegaSimulator("boe", config=cfg).run(pk_scenario, sssp)
+    # unscaled 64 MB swallows the tiny proxy: no partitioning at all
+    assert r.n_partitions == 1
+
+
+def test_jetstream_unpartitioned_single_snapshot(pk_scenario, sssp):
+    js = JetStreamSimulator().run(pk_scenario, sssp)
+    assert js.n_partitions == 1
+
+
+def test_counters_are_consistent(reports):
+    for name, r in reports.items():
+        c = r.counters
+        assert c.edge_block_hits + c.edge_block_misses > 0, name
+        assert c.dram_bytes >= c.spill_bytes, name
+        assert c.events_generated >= 0 and c.rounds > 0, name
+
+
+def test_report_summary_strings(reports):
+    s = reports["boe"].summary()
+    assert "mega" in s and "boe" in s
+
+
+def test_all_algorithms_simulate(pk_scenario):
+    """Every Table 1 algorithm runs and validates on both simulators."""
+    for name in ("bfs", "sswp", "ssnp", "viterbi"):
+        algo = get_algorithm(name)
+        JetStreamSimulator().run(pk_scenario, algo, validate=True)
+        MegaSimulator("boe", pipeline=True).run(
+            pk_scenario, algo, validate=True
+        )
+
+
+def test_validation_tolerance_parameters(pk_scenario, sssp):
+    """validate_workflow's tolerances are honored (tight rtol flags a
+    value nudged within default tolerance)."""
+    import numpy as np
+
+    from repro.engines import PlanExecutor
+    from repro.engines.validation import validate_workflow
+    from repro.schedule import boe_plan
+
+    result = PlanExecutor(pk_scenario, sssp).run(
+        boe_plan(pk_scenario.unified)
+    )
+    finite = np.isfinite(result.snapshot_values[0])
+    v = int(np.flatnonzero(finite)[1])
+    result.snapshot_values[0][v] *= 1 + 1e-10
+    # passes at default tolerance ...
+    validate_workflow(pk_scenario, sssp, result)
+    # ... and fails when asked to be strict
+    with pytest.raises(AssertionError):
+        validate_workflow(pk_scenario, sssp, result, rtol=1e-14, atol=0.0)

@@ -1,0 +1,115 @@
+"""Stateful property tests (hypothesis rule-based machines).
+
+Random interleavings of operations against the microarchitectural state
+holders — the coalescing event queue and the version table — checked
+against simple reference models.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.accel.event import Event
+from repro.accel.queue import EventQueue
+from repro.accel.version_table import VersionTable
+from repro.algorithms import SSSP
+from repro.evolving.batches import BatchId, BatchKind
+
+N_VERTICES = 16
+N_VERSIONS = 3
+
+
+class QueueMachine(RuleBasedStateMachine):
+    """The banked queue behaves like a dict keyed by (vertex, version)
+    holding the best payload seen since the last pop."""
+
+    def __init__(self):
+        super().__init__()
+        self.queue = EventQueue(SSSP(), n_bins=4, n_versions=N_VERSIONS)
+        self.model: dict[tuple[int, int], float] = {}
+
+    @rule(
+        vertex=st.integers(0, N_VERTICES - 1),
+        version=st.integers(0, N_VERSIONS - 1),
+        payload=st.floats(0.0, 100.0, allow_nan=False),
+    )
+    def insert(self, vertex, version, payload):
+        self.queue.insert(Event(vertex, payload, version=version))
+        key = (vertex, version)
+        best = self.model.get(key)
+        self.model[key] = payload if best is None else min(best, payload)
+
+    @rule()
+    def pop_round(self):
+        events = self.queue.pop_round()
+        got = {(e.vertex, e.version): e.payload for e in events}
+        assert got == self.model
+        self.model = {}
+
+    @invariant()
+    def occupancy_matches(self):
+        assert self.queue.occupancy() == len(self.model)
+
+
+class VersionTableMachine(RuleBasedStateMachine):
+    """Aliasing + batch composition agree with a per-snapshot set model."""
+
+    def __init__(self):
+        super().__init__()
+        self.n = 5
+        self.table = VersionTable(self.n)
+        self.model = [set() for __ in range(self.n)]
+        # snapshots aliasing the chain share composition with snapshot 0
+        self.aliased = set(range(1, self.n))
+        self.counter = 0
+
+    @rule(snapshot=st.integers(1, 4))
+    def peel(self, snapshot):
+        if snapshot in self.aliased:
+            self.model[snapshot] = set(self.model[0])
+            self.aliased.discard(snapshot)
+        self.table.peel(snapshot)
+
+    @rule(data=st.data())
+    def apply_batch(self, data):
+        # pick a target group: the chain (0 + aliased) or a peeled snapshot
+        peeled = sorted(set(range(self.n)) - self.aliased - {0})
+        choices = ["chain"] + peeled
+        target = data.draw(st.sampled_from(choices))
+        self.counter += 1
+        batch = BatchId(BatchKind.ADDITION, self.counter % 1000)
+        if self.table.batch_status.get(batch) is not None:
+            return
+        if target == "chain":
+            targets = [0] + sorted(self.aliased)
+            self.table.begin_batch(batch, targets)
+            self.table.finish_batch(batch, targets)
+            self.model[0].add(batch)
+        else:
+            self.table.begin_batch(batch, [target])
+            self.table.finish_batch(batch, [target])
+            self.model[target].add(batch)
+
+    @invariant()
+    def compositions_agree(self):
+        for k in range(self.n):
+            expected = (
+                self.model[0] if k in self.aliased or k == 0 else self.model[k]
+            )
+            assert self.table.composition(k) == expected, k
+
+
+TestQueueMachine = QueueMachine.TestCase
+TestQueueMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestVersionTableMachine = VersionTableMachine.TestCase
+TestVersionTableMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,108 @@
+"""Unit tests for the unified evolving-graph CSR (paper Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.evolving.batches import BatchId, BatchKind
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.graph.csr import CSRGraph
+
+
+@pytest.fixture
+def unified():
+    """Hand-built 3-snapshot window over 4 vertices.
+
+    Edges: (0,1) common; (1,2) deleted at step 0; (2,3) deleted at step 1;
+    (0,2) added at step 0; (1,3) added at step 1.
+    """
+    g = CSRGraph.from_tuples(
+        4,
+        [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 3.0), (1, 3, 4.0), (2, 3, 5.0)],
+    )
+    # CSR order: (0,1), (0,2), (1,2), (1,3), (2,3)
+    add_step = np.array([-1, 0, -1, 1, -1], dtype=np.int32)
+    del_step = np.array([-1, -1, 0, -1, 1], dtype=np.int32)
+    return UnifiedCSR(g, add_step, del_step, n_snapshots=3)
+
+
+def test_common_mask(unified):
+    assert unified.common_mask.tolist() == [True, False, False, False, False]
+
+
+def test_presence_masks_match_interval_semantics(unified):
+    # snapshot 0: common + all future deletions, no additions yet
+    assert unified.presence_mask(0).tolist() == [True, False, True, False, True]
+    # snapshot 1: del@0 gone, add@0 arrived
+    assert unified.presence_mask(1).tolist() == [True, True, False, False, True]
+    # snapshot 2: del@1 gone, add@1 arrived
+    assert unified.presence_mask(2).tolist() == [True, True, False, True, False]
+
+
+def test_presence_of_subset(unified):
+    idx = np.array([1, 4])
+    assert unified.presence_of(0, idx).tolist() == [False, True]
+    assert unified.presence_of(2, idx).tolist() == [True, False]
+
+
+def test_snapshot_graph_materialization(unified):
+    g1 = unified.snapshot_graph(1)
+    assert g1.n_edges == 3
+    assert g1.has_edge(0, 2)
+    assert not g1.has_edge(1, 2)
+
+
+def test_snapshot_graph_cached(unified):
+    assert unified.snapshot_graph(1) is unified.snapshot_graph(1)
+
+
+def test_common_graph(unified):
+    gc = unified.common_graph()
+    assert gc.n_edges == 1
+    assert gc.has_edge(0, 1)
+
+
+def test_batches(unified):
+    add0 = unified.batch(BatchId(BatchKind.ADDITION, 0))
+    assert add0.edge_idx.tolist() == [1]
+    del1 = unified.batch(BatchId(BatchKind.DELETION, 1))
+    assert del1.edge_idx.tolist() == [4]
+    assert len(unified.addition_batches()) == 2
+    assert len(unified.deletion_batches()) == 2
+
+
+def test_batch_target_snapshots(unified):
+    add0 = unified.batch(BatchId(BatchKind.ADDITION, 0))
+    assert list(add0.target_snapshots(3)) == [1, 2]
+    del1 = unified.batch(BatchId(BatchKind.DELETION, 1))
+    assert list(del1.target_snapshots(3)) == [0, 1]
+
+
+def test_snapshot_out_of_range(unified):
+    with pytest.raises(IndexError):
+        unified.presence_mask(3)
+    with pytest.raises(IndexError):
+        unified.snapshot_graph(-1)
+
+
+def test_rejects_edge_both_added_and_deleted():
+    g = CSRGraph.from_tuples(2, [(0, 1)])
+    with pytest.raises(ValueError):
+        UnifiedCSR(g, np.array([0]), np.array([0]), 3)
+
+
+def test_rejects_step_out_of_range():
+    g = CSRGraph.from_tuples(2, [(0, 1)])
+    with pytest.raises(ValueError):
+        UnifiedCSR(g, np.array([2]), np.array([-1]), 3)
+
+
+def test_reverse_graph_origin_mapping(unified):
+    rev = unified.reverse_graph()
+    origin = unified.reverse_edge_origin
+    g = unified.graph
+    # every reverse slot maps back to a union slot with swapped endpoints
+    for r_slot in range(rev.n_edges):
+        u_slot = origin[r_slot]
+        assert g.dst[u_slot] == rev.src_of_edge[r_slot]
+        assert g.src_of_edge[u_slot] == rev.dst[r_slot]
+        assert g.wt[u_slot] == rev.wt[r_slot]

@@ -1,0 +1,111 @@
+"""Tests for the hardware version table (§4.3)."""
+
+import pytest
+
+from repro.accel.version_table import BatchStatus, VersionTable
+from repro.evolving.batches import BatchId, BatchKind
+
+
+def bid(kind, step):
+    return BatchId(BatchKind.ADDITION if kind == "+" else BatchKind.DELETION, step)
+
+
+def test_initial_aliasing():
+    vt = VersionTable(4)
+    assert vt.alias_group(0) == [0, 1, 2, 3]
+    assert vt.resolve(3) == 0
+
+
+def test_peel_gives_own_state():
+    vt = VersionTable(4)
+    vt.peel(3)
+    assert vt.resolve(3) == 3
+    assert vt.alias_group(0) == [0, 1, 2]
+    assert vt.alias_group(3) == [3]
+
+
+def test_peel_copies_composition():
+    vt = VersionTable(3)
+    b = bid("-", 1)
+    vt.begin_batch(b, [0])
+    vt.finish_batch(b, [0])
+    vt.peel(2)
+    assert vt.composition(2) == {b}
+    # chain updates after the peel do not affect the peeled snapshot
+    b2 = bid("-", 0)
+    vt.begin_batch(b2, [0])
+    vt.finish_batch(b2, [0])
+    assert vt.composition(0) == {b, b2}
+    assert vt.composition(2) == {b}
+
+
+def test_shared_batch_updates_whole_alias_group():
+    vt = VersionTable(4)
+    b = bid("-", 2)
+    vt.begin_batch(b, [0, 1, 2])
+    vt.finish_batch(b, [0, 1, 2])
+    for k in range(4):
+        assert b in vt.composition(k)  # all alias state 0
+
+
+def test_double_begin_rejected():
+    vt = VersionTable(2)
+    b = bid("+", 0)
+    vt.begin_batch(b, [1])
+    with pytest.raises(RuntimeError):
+        vt.begin_batch(b, [1])
+
+
+def test_finish_requires_active():
+    vt = VersionTable(2)
+    with pytest.raises(RuntimeError):
+        vt.finish_batch(bid("+", 0), [1])
+
+
+def test_batch_status_lifecycle():
+    vt = VersionTable(2)
+    b = bid("+", 0)
+    assert vt.batch_status.get(b) is None
+    vt.begin_batch(b, [1])
+    assert vt.batch_status[b] is BatchStatus.ACTIVE
+    vt.finish_batch(b, [1])
+    assert vt.batch_status[b] is BatchStatus.COMPLETE
+
+
+def test_complete_snapshot_rejects_new_batches():
+    vt = VersionTable(2)
+    vt.mark_complete(1)
+    with pytest.raises(RuntimeError):
+        vt.begin_batch(bid("+", 0), [1])
+
+
+def test_all_complete():
+    vt = VersionTable(2)
+    assert not vt.all_complete()
+    vt.mark_complete(0)
+    vt.mark_complete(1)
+    assert vt.all_complete()
+
+
+def test_needs_at_least_one_snapshot():
+    with pytest.raises(ValueError):
+        VersionTable(0)
+
+
+def test_boe_peel_sequence_matches_algorithm1():
+    """Replay Algorithm 1's stage structure through the version table."""
+    n = 5
+    vt = VersionTable(n)
+    for i in range(n - 2, -1, -1):
+        vt.peel(i + 1)
+        add = bid("+", i)
+        vt.begin_batch(add, list(range(i + 1, n)))
+        vt.finish_batch(add, list(range(i + 1, n)))
+        dele = bid("-", i)
+        vt.begin_batch(dele, list(range(0, i + 1)))
+        vt.finish_batch(dele, list(range(0, i + 1)))
+    for k in range(n):
+        expected = {bid("-", j) for j in range(k, n - 1)} | {
+            bid("+", j) for j in range(0, k)
+        }
+        assert vt.composition(k) == expected, k

@@ -1,0 +1,89 @@
+"""Tests for ad-hoc time-window extraction."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import get_algorithm
+from repro.engines import PlanExecutor
+from repro.engines.validation import evaluate_reference, validate_workflow
+from repro.evolving.window import extract_window, window_scenario
+from repro.schedule import boe_plan, work_sharing_plan
+
+
+def edge_set(graph):
+    return set(zip(graph.src_of_edge.tolist(), graph.dst.tolist()))
+
+
+def test_window_snapshots_match_original(small_scenario):
+    u = small_scenario.unified
+    lo, hi = 2, 5
+    w = extract_window(u, lo, hi)
+    assert w.n_snapshots == hi - lo + 1
+    for k in range(lo, hi + 1):
+        assert edge_set(w.snapshot_graph(k - lo)) == edge_set(
+            u.snapshot_graph(k)
+        )
+
+
+def test_window_common_graph_is_range_common(small_scenario):
+    u = small_scenario.unified
+    lo, hi = 1, 6
+    w = extract_window(u, lo, hi)
+    inter = None
+    for k in range(lo, hi + 1):
+        s = edge_set(u.snapshot_graph(k))
+        inter = s if inter is None else inter & s
+    assert edge_set(w.common_graph()) == inter
+
+
+def test_window_drops_outside_edges(small_scenario):
+    u = small_scenario.unified
+    w = extract_window(u, 3, 4)
+    union = set()
+    for k in (3, 4):
+        union |= edge_set(u.snapshot_graph(k))
+    assert edge_set(w.graph) == union
+
+
+def test_full_window_is_identity(small_scenario):
+    u = small_scenario.unified
+    w = extract_window(u, 0, u.n_snapshots - 1)
+    assert w.n_union_edges == u.n_union_edges
+    assert np.array_equal(w.add_step, u.add_step)
+    assert np.array_equal(w.del_step, u.del_step)
+
+
+def test_single_snapshot_window(small_scenario):
+    u = small_scenario.unified
+    w = extract_window(u, 4, 4)
+    assert w.n_snapshots == 1
+    assert bool(w.common_mask.all())
+    assert edge_set(w.snapshot_graph(0)) == edge_set(u.snapshot_graph(4))
+
+
+def test_window_bounds_checked(small_scenario):
+    u = small_scenario.unified
+    with pytest.raises(IndexError):
+        extract_window(u, 3, 2)
+    with pytest.raises(IndexError):
+        extract_window(u, 0, u.n_snapshots)
+
+
+@pytest.mark.parametrize("factory", [boe_plan, work_sharing_plan])
+def test_workflows_run_on_windows(small_scenario, factory):
+    """Every workflow evaluates a sub-window correctly."""
+    algo = get_algorithm("sssp")
+    sub = window_scenario(small_scenario, 2, 6)
+    result = PlanExecutor(sub, algo).run(factory(sub.unified))
+    validate_workflow(sub, algo, result)
+    # and window values equal the original scenario's snapshot values
+    for k in range(2, 7):
+        expected = evaluate_reference(small_scenario, algo, k)
+        assert np.allclose(result.values(k - 2), expected, equal_nan=True)
+
+
+def test_window_scenario_metadata(small_scenario):
+    sub = window_scenario(small_scenario, 1, 3)
+    assert sub.metadata["window"] == (1, 3)
+    assert sub.source == small_scenario.source
+    assert "[1:3]" in sub.name

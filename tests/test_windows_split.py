@@ -1,0 +1,94 @@
+"""Tests for splitting event logs into CommonGraph-valid windows."""
+
+import numpy as np
+
+from repro.evolving.builder import EdgeEvent
+from repro.evolving.windows_split import change_steps, split_boundaries
+from repro.graph.edges import EdgeList
+
+
+def key_of(src, dst, n):
+    return src * n + dst
+
+
+def test_change_steps_basic():
+    events = [
+        EdgeEvent(0.5, 0, 1, add=True),    # flips at step 0
+        EdgeEvent(2.5, 0, 1, add=False),   # flips at step 2
+        EdgeEvent(1.5, 2, 3, add=True),    # flips at step 1
+    ]
+    boundaries = np.array([1.0, 2.0, 3.0])
+    steps = change_steps(events, boundaries, n_vertices=4)
+    assert steps[key_of(0, 1, 4)] == [0, 2]
+    assert steps[key_of(2, 3, 4)] == [1]
+
+
+def test_change_steps_ignores_net_noops():
+    events = [
+        EdgeEvent(0.2, 0, 1, add=True),
+        EdgeEvent(0.8, 0, 1, add=False),  # same transition: net no-op
+    ]
+    steps = change_steps(events, np.array([1.0]), n_vertices=2)
+    assert steps == {}
+
+
+def test_change_steps_respects_initial_presence():
+    events = [EdgeEvent(0.5, 0, 1, add=False)]
+    n = 2
+    steps = change_steps(
+        events, np.array([1.0]), n, initially_present={key_of(0, 1, n)}
+    )
+    assert steps[key_of(0, 1, n)] == [0]
+    # without initial presence a 'remove' of an absent edge is a no-op
+    assert change_steps(events, np.array([1.0]), n) == {}
+
+
+def test_split_single_window_when_valid():
+    events = [
+        EdgeEvent(0.5, 0, 1, add=True),
+        EdgeEvent(1.5, 2, 3, add=True),
+    ]
+    boundaries = np.array([1.0, 2.0])
+    assert split_boundaries(events, boundaries, 4) == [(0, 2)]
+
+
+def test_split_on_double_change():
+    events = [
+        EdgeEvent(0.5, 0, 1, add=True),    # step 0
+        EdgeEvent(2.5, 0, 1, add=False),   # step 2 -> must split before
+    ]
+    boundaries = np.array([1.0, 2.0, 3.0])
+    windows = split_boundaries(events, boundaries, 4)
+    assert windows == [(0, 2), (2, 3)]
+    # windows cover the range and chain at shared snapshots
+    assert windows[0][1] == windows[1][0]
+
+
+def test_split_windows_are_buildable():
+    """Every produced window passes the builder's validity check."""
+    rng = np.random.default_rng(4)
+    n = 24
+    base = EdgeList.from_tuples(
+        n, [(i, (i + 1) % n, 1.0) for i in range(n)]
+    )
+    events = []
+    for t in range(40):
+        s, d = int(rng.integers(n)), int(rng.integers(n))
+        if s == d:
+            continue
+        events.append(EdgeEvent(float(t), s, d, add=bool(rng.random() < 0.6)))
+    boundaries = np.linspace(0, 40, 9)[1:]
+    initially = set(base.keys.tolist())
+    windows = split_boundaries(events, boundaries, n, initially)
+    assert windows[0][0] == 0
+    assert windows[-1][1] == len(boundaries)
+    # adjacent windows chain at a shared snapshot
+    for (___, a_hi), (b_lo, __) in zip(windows, windows[1:]):
+        assert a_hi == b_lo
+    # the defining invariant: no edge flips twice inside one window —
+    # window (lo, hi) covers transitions lo .. hi-1
+    flips = change_steps(events, boundaries, n, initially)
+    for key, steps in flips.items():
+        for lo, hi in windows:
+            inside = [j for j in steps if lo <= j < hi]
+            assert len(inside) <= 1, (key, (lo, hi))

@@ -1,0 +1,119 @@
+"""Tests for the Table 2 dataset proxies."""
+
+import pytest
+
+from repro.workloads import DATASETS, SCALES, load_pool, load_scenario
+
+
+def test_all_six_paper_graphs_present():
+    assert set(DATASETS) == {"PK", "LJ", "OR", "DL", "UK", "Wen"}
+
+
+def test_paper_sizes_recorded():
+    assert DATASETS["PK"].paper_edges == 30_000_000
+    assert DATASETS["Wen"].paper_vertices == 13_000_000
+    assert DATASETS["UK"].paper_edges == 260_000_000
+
+
+def test_proxy_preserves_density_ordering():
+    """Orkut is denser than DBpedia at any scale, as in the paper."""
+    okr = load_pool("OR", "tiny")
+    dbp = load_pool("DL", "tiny")
+    assert len(okr) / okr.n_vertices > len(dbp) / dbp.n_vertices
+
+
+def test_scales_are_ordered():
+    assert SCALES["tiny"] < SCALES["small"] < SCALES["medium"]
+
+
+def test_load_by_long_name():
+    a = load_pool("wikipedia-en", "tiny")
+    b = load_pool("Wen", "tiny")
+    assert a.as_tuples() == b.as_tuples()
+
+
+def test_unknown_dataset():
+    with pytest.raises(KeyError):
+        load_pool("twitter")
+
+
+def test_numeric_scale():
+    pool = load_pool("PK", 1 / 10_000)
+    assert len(pool) == 3_000
+
+
+def test_scenario_defaults_match_paper():
+    s = load_scenario("PK", "tiny")
+    assert s.n_snapshots == 16
+    assert s.metadata["batch_pct"] == 0.01
+    assert s.metadata["dataset"] == "PK"
+
+
+def test_capacity_scale_metadata():
+    s = load_scenario("LJ", "tiny")
+    expected = s.n_vertices / DATASETS["LJ"].paper_vertices
+    assert s.metadata["capacity_scale"] == pytest.approx(expected)
+
+
+def test_scenario_determinism():
+    a = load_scenario("OR", "tiny", seed=5)
+    b = load_scenario("OR", "tiny", seed=5)
+    assert a.unified.graph.dst.tolist() == b.unified.graph.dst.tolist()
+    assert a.unified.add_step.tolist() == b.unified.add_step.tolist()
+
+
+def test_scenario_kwargs_forwarded():
+    s = load_scenario("PK", "tiny", n_snapshots=4, batch_pct=0.02)
+    assert s.n_snapshots == 4
+    assert s.metadata["batch_pct"] == 0.02
+
+
+def test_minimum_proxy_sizes():
+    spec = DATASETS["PK"]
+    n_v, n_e = spec.proxy_sizes(1e-9)
+    assert n_v >= 64 and n_e >= 256
+
+
+def test_karate_club_structure():
+    from repro.workloads import karate_club_edges
+
+    edges = karate_club_edges()
+    assert edges.n_vertices == 34
+    assert len(edges) == 2 * 78  # both directions of 78 friendships
+    assert edges.has_unique_pairs()
+    # instructor (0) and administrator (33) are the hubs
+    import numpy as np
+
+    deg = np.bincount(edges.src, minlength=34)
+    assert set(np.argsort(-deg)[:2].tolist()) == {0, 33}
+
+
+def test_karate_club_is_one_component():
+    import numpy as np
+
+    from repro.algorithms import MinLabel
+    from repro.engines import MultiVersionEngine
+    from repro.evolving.unified_csr import UnifiedCSR
+    from repro.graph.csr import CSRGraph
+    from repro.workloads import karate_club_edges
+
+    g = CSRGraph.from_edges(karate_club_edges())
+    none = np.full(g.n_edges, -1, dtype=np.int32)
+    u = UnifiedCSR(g, none, none.copy(), 1)
+    vals = MultiVersionEngine(MinLabel(), u).evaluate_full(
+        np.ones(g.n_edges, dtype=bool), 0
+    )
+    assert np.all(vals == 0.0)  # the club is connected
+
+
+def test_karate_club_scenario_runs_workflows():
+    from repro.algorithms import get_algorithm
+    from repro.engines import PlanExecutor
+    from repro.engines.validation import validate_workflow
+    from repro.schedule import boe_plan
+    from repro.workloads import karate_club_scenario
+
+    scenario = karate_club_scenario()
+    algo = get_algorithm("bfs")
+    result = PlanExecutor(scenario, algo).run(boe_plan(scenario.unified))
+    validate_workflow(scenario, algo, result)
