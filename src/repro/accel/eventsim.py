@@ -25,6 +25,8 @@ from repro.accel.processor import PECluster
 from repro.accel.queue import EventQueue
 from repro.algorithms.base import Algorithm
 from repro.evolving.unified_csr import UnifiedCSR
+from repro.resilience import faults
+from repro.resilience.budget import Budget
 
 __all__ = ["EventLevelSimulator", "EventSimStats"]
 
@@ -187,7 +189,10 @@ class EventLevelSimulator:
     # -- execution ---------------------------------------------------------------
 
     def run(
-        self, max_rounds: int = 1_000_000, order: str = "fifo"
+        self,
+        max_rounds: int = 1_000_000,
+        order: str = "fifo",
+        budget: Budget | None = None,
     ) -> np.ndarray:
         """Drain the queue to convergence; returns the value matrix.
 
@@ -197,17 +202,25 @@ class EventLevelSimulator:
         the asynchronous model with ("its ability to reorder messages is
         leveraged to optimize utilization").  Final values are identical
         (order independence); the wasted-work statistics differ.
+
+        ``budget`` bounds the run (rounds, processed events, wall clock);
+        a breach raises :class:`~repro.resilience.budget.BudgetExceeded`
+        with the partial :class:`EventSimStats` attached, so an
+        adversarial or corrupted event stream cannot spin forever.  When
+        omitted, ``max_rounds`` alone applies (legacy behaviour).
         """
         if order not in ("fifo", "best-first"):
             raise ValueError("order must be 'fifo' or 'best-first'")
+        if budget is None:
+            budget = Budget(max_rounds=max_rounds)
+        clock = budget.start()
         algo = self.algorithm
         graph = self.unified.graph
-        rounds = 0
         while len(self.queue):
-            if rounds >= max_rounds:
-                raise RuntimeError("event simulation did not converge")
-            rounds += 1
+            clock.charge(rounds=1, stats=self.stats)
+            self.stats.rounds += 1
             batch = self.queue.pop_round()
+            clock.charge(events=len(batch), stats=self.stats)
             if order == "best-first":
                 batch.sort(
                     key=lambda e: e.payload if algo.minimize else -e.payload
@@ -243,11 +256,23 @@ class EventLevelSimulator:
                         )
                     )
             self.stats.pe_cycles += self.pes.dispatch_round(degrees)
-        self.stats.rounds += rounds
         return self.values
 
     def _insert(self, event: Event) -> None:
+        fire = faults.maybe_fire("eventsim.drop-event")
+        if fire is not None:
+            # the event vanishes before reaching the queue
+            fire.note(vertex=event.vertex, version=event.version,
+                      payload=event.payload)
+            return
         self.stats.events_generated += 1
         self.queue.insert(event)
+        dup = faults.maybe_fire("eventsim.duplicate-event")
+        if dup is not None:
+            # delivered twice; per-(vertex, version) coalescing must absorb
+            # the duplicate without changing the fixpoint
+            dup.note(vertex=event.vertex, version=event.version)
+            self.stats.events_generated += 1
+            self.queue.insert(event)
         self.stats.queue_inserts = self.queue.inserts
         self.stats.queue_coalesced = self.queue.coalesced

@@ -23,6 +23,7 @@ from repro.algorithms.base import Algorithm
 from repro.engines.executor import PlanExecutor, WorkflowResult
 from repro.engines.trace import ExecutionTrace
 from repro.evolving.snapshots import EvolvingScenario
+from repro.resilience.budget import Budget
 from repro.schedule.plan import ApplyEdges, DeleteEdges, EvalFull, Plan
 
 __all__ = ["simulate_plan", "build_waves", "config_for_scenario"]
@@ -101,11 +102,20 @@ def simulate_plan(
     concurrent: bool,
     pipeline: bool = False,
     validate: bool = False,
+    budget: Budget | None = None,
 ) -> tuple[SimReport, WorkflowResult]:
-    """Execute a plan functionally and replay it on the modelled hardware."""
+    """Execute a plan functionally and replay it on the modelled hardware.
+
+    ``budget`` (optional) watchdogs the functional execution: total rounds,
+    generated events, and wall clock, breached as a structured
+    :class:`~repro.resilience.budget.BudgetExceeded`.
+    """
     config = config_for_scenario(scenario, config)
     executor = PlanExecutor(
-        scenario, algorithm, edges_per_block=config.edges_per_block
+        scenario,
+        algorithm,
+        edges_per_block=config.edges_per_block,
+        budget=budget,
     )
     result = executor.run(plan)
     if validate:

@@ -14,6 +14,7 @@ import enum
 from dataclasses import dataclass, field
 
 from repro.evolving.batches import BatchId
+from repro.resilience import faults
 
 __all__ = ["BatchStatus", "VersionEntry", "VersionTable"]
 
@@ -98,6 +99,29 @@ class VersionTable:
         roots = {self.resolve(t) for t in targets}
         for r in roots:
             self.entries[r].applied.add(batch)
+        fire = faults.maybe_fire("version-table.corrupt-entry")
+        if fire is not None:
+            self._corrupt(batch, sorted(roots), fire)
+
+    def _corrupt(
+        self, batch: BatchId, roots: list[int], fire: "faults.Fire"
+    ) -> None:
+        """Injected fault: damage the composition record just written.
+
+        Either the completion is *lost* (the batch never lands in a target
+        entry) or it is *misrouted* (recorded against an unrelated
+        snapshot).  Both leave the table claiming a composition that does
+        not match the state the datapath actually built.
+        """
+        root = int(roots[int(fire.rng.integers(len(roots)))])
+        others = [e.snapshot for e in self.entries if e.snapshot != root]
+        if others and fire.rng.integers(2):
+            victim = int(others[int(fire.rng.integers(len(others)))])
+            self.entries[victim].applied.add(batch)
+            fire.note(mode="misroute", batch=str(batch), entry=victim)
+        else:
+            self.entries[root].applied.discard(batch)
+            fire.note(mode="drop", batch=str(batch), entry=root)
 
     def composition(self, snapshot: int) -> set[BatchId]:
         return set(self.entries[self.resolve(snapshot)].applied)

@@ -4,13 +4,15 @@ Usage::
 
     mega-repro list
     mega-repro run table4 --scale small
-    mega-repro run all --scale tiny
+    mega-repro run all --scale tiny --resume
     mega-repro simulate --graph Wen --algo sssp --workflow boe --pipeline
+    mega-repro faults --scale tiny
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 import time
 
@@ -22,28 +24,138 @@ from repro.workloads import DATASETS, SCALES, load_scenario
 __all__ = ["main"]
 
 
+def _fail_usage(message: str) -> int:
+    """One-line operator error (bad input, not a crash): exit code 2."""
+    print(f"error: {message}", file=sys.stderr)
+    return 2
+
+
+def _resolve_algorithm(name: str):
+    """``get_algorithm`` with CLI error semantics (KeyError -> exit 2)."""
+    try:
+        return get_algorithm(name)
+    except KeyError as exc:
+        raise SystemExit(_fail_usage(exc.args[0]))
+
+
+def _load_scenario_checked(name: str, *args, **kwargs):
+    """``load_scenario`` with CLI error semantics (KeyError -> exit 2)."""
+    try:
+        return load_scenario(name, *args, **kwargs)
+    except KeyError as exc:
+        raise SystemExit(_fail_usage(exc.args[0]))
+
+
 def _cmd_list(args: argparse.Namespace) -> int:
     print("experiments:")
     for name in ALL_EXPERIMENTS:
         print(f"  {name}")
     print("datasets:", ", ".join(sorted(DATASETS)))
     print("scales:", ", ".join(SCALES))
+    from repro.resilience import FAULT_POINTS
+
+    print("fault points:", ", ".join(sorted(FAULT_POINTS)))
     return 0
 
 
+def _emit_result(args: argparse.Namespace, name: str, result, note: str) -> None:
+    if args.format == "json":
+        print(result.to_json())
+    elif args.format == "csv":
+        print(result.to_csv(), end="")
+    else:
+        print(result.format_table())
+        print(f"[{name} {note}]")
+        print()
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
-    names = list(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    from repro.experiments.runner import default_scale
+    from repro.resilience import RunCheckpoint, retry_with_backoff
+
+    sweep = args.experiment == "all"
+    names = list(ALL_EXPERIMENTS) if sweep else [args.experiment]
+    keep_going = args.keep_going if args.keep_going is not None else sweep
+
+    checkpoint = None
+    if sweep or args.run_dir:
+        scale = args.scale or default_scale()
+        run_dir = args.run_dir or pathlib.Path(
+            ".mega-repro"
+        ) / "runs" / f"{args.experiment}-{scale}"
+        checkpoint = RunCheckpoint(run_dir)
+        checkpoint.write_manifest(
+            experiment=args.experiment, scale=scale, format=args.format
+        )
+
+    statuses: dict[str, str] = {}
+    failures: dict[str, BaseException] = {}
     for name in names:
+        if args.resume and checkpoint is not None and checkpoint.has_result(name):
+            result = checkpoint.load_result(name)
+            statuses[name] = "restored"
+            _emit_result(args, name, result, "restored from checkpoint")
+            continue
         t0 = time.time()
-        result = run_experiment(name, args.scale)
-        if args.format == "json":
-            print(result.to_json())
-        elif args.format == "csv":
-            print(result.to_csv(), end="")
-        else:
-            print(result.format_table())
-            print(f"[{name} completed in {time.time() - t0:.1f}s]")
-            print()
+        try:
+            result = retry_with_backoff(
+                lambda name=name: run_experiment(name, args.scale),
+                retries=1,
+                base_delay=0.2,
+            )
+        except Exception as exc:  # noqa: BLE001 - per-experiment isolation
+            elapsed = time.time() - t0
+            failures[name] = exc
+            statuses[name] = "failed"
+            print(
+                f"[{name} FAILED after {elapsed:.1f}s: "
+                f"{type(exc).__name__}: {exc}]",
+                file=sys.stderr,
+            )
+            if checkpoint is not None:
+                checkpoint.record_failure(name, exc, elapsed)
+            if not keep_going:
+                return 1
+            continue
+        statuses[name] = "ok"
+        if checkpoint is not None:
+            checkpoint.save_result(name, result)
+        _emit_result(args, name, result, f"completed in {time.time() - t0:.1f}s")
+    if checkpoint is not None:
+        checkpoint.write_summary(statuses)
+    if failures:
+        print(
+            f"[{len(failures)}/{len(names)} experiments failed: "
+            f"{', '.join(sorted(failures))}]",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    from repro.resilience import FAULT_POINTS
+    from repro.resilience.campaign import run_campaign
+
+    algo = _resolve_algorithm(args.algo)
+    for point in args.points or []:
+        if point not in FAULT_POINTS:
+            return _fail_usage(
+                f"unknown fault point {point!r}; choose from "
+                f"{sorted(FAULT_POINTS)}"
+            )
+    scenario = _load_scenario_checked(
+        args.graph, args.scale, n_snapshots=args.snapshots
+    )
+    campaign = run_campaign(
+        scenario, algo, points=args.points or None, seed=args.seed
+    )
+    print(campaign.format_table())
+    if campaign.escaped:
+        print(
+            f"[{campaign.escaped} fault(s) escaped detection]", file=sys.stderr
+        )
+        return 1
     return 0
 
 
@@ -58,7 +170,7 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_inspect(args: argparse.Namespace) -> int:
     import numpy as np
 
-    scenario = load_scenario(
+    scenario = _load_scenario_checked(
         args.graph, args.scale, n_snapshots=args.snapshots
     )
     u = scenario.unified
@@ -97,7 +209,8 @@ def _cmd_track(args: argparse.Namespace) -> int:
     from repro.analysis import snapshot_churn, track_mean_value, track_reach
     from repro.core import EvolvingGraphEngine
 
-    scenario = load_scenario(
+    _resolve_algorithm(args.algo)
+    scenario = _load_scenario_checked(
         args.graph, args.scale, n_snapshots=args.snapshots
     )
     engine = EvolvingGraphEngine(scenario, args.algo)
@@ -120,13 +233,13 @@ def _cmd_track(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    scenario = load_scenario(
+    algo = _resolve_algorithm(args.algo)
+    scenario = _load_scenario_checked(
         args.graph,
         args.scale,
         n_snapshots=args.snapshots,
         batch_pct=args.batch_pct,
     )
-    algo = get_algorithm(args.algo)
     js = JetStreamSimulator().run(scenario, algo, validate=args.validate)
     print(js.summary())
     if args.workflow == "jetstream":
@@ -157,7 +270,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--format", default="table", choices=["table", "json", "csv"]
     )
+    p_run.add_argument(
+        "--keep-going",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="continue past failing experiments (default: on for 'all')",
+    )
+    p_run.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip experiments already completed in the run directory",
+    )
+    p_run.add_argument(
+        "--run-dir",
+        type=pathlib.Path,
+        default=None,
+        help="checkpoint directory (default: .mega-repro/runs/<exp>-<scale>"
+        " for 'all')",
+    )
     p_run.set_defaults(func=_cmd_run)
+
+    p_faults = sub.add_parser(
+        "faults", help="fault-injection campaign: inject, detect, recover"
+    )
+    p_faults.add_argument("--graph", default="PK")
+    p_faults.add_argument("--algo", default="sssp")
+    p_faults.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    p_faults.add_argument("--snapshots", type=int, default=6)
+    p_faults.add_argument("--seed", type=int, default=0)
+    p_faults.add_argument(
+        "--points",
+        nargs="*",
+        default=None,
+        metavar="POINT",
+        help="fault points to arm (default: all registered points)",
+    )
+    p_faults.set_defaults(func=_cmd_faults)
 
     p_report = sub.add_parser(
         "report", help="run every experiment into one markdown report"
@@ -202,7 +350,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except SystemExit as exc:  # input-validation helpers exit with code 2
+        return exc.code if isinstance(exc.code, int) else 2
 
 
 if __name__ == "__main__":  # pragma: no cover

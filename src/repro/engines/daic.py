@@ -26,6 +26,7 @@ from repro.algorithms.base import Algorithm
 from repro.engines.trace import RoundTrace, TraceCollector
 from repro.evolving.unified_csr import UnifiedCSR
 from repro.graph.csr import gather_out_edges
+from repro.resilience.budget import Budget, BudgetClock
 
 __all__ = ["MultiVersionEngine", "group_argbest"]
 
@@ -59,6 +60,7 @@ class MultiVersionEngine:
         collector: TraceCollector | None = None,
         edges_per_block: int = 8,
         track_parents: bool = False,
+        budget: Budget | None = None,
     ) -> None:
         self.algorithm = algorithm
         self.unified = unified
@@ -66,6 +68,12 @@ class MultiVersionEngine:
         self.collector = collector
         self.edges_per_block = int(edges_per_block)
         self.track_parents = track_parents
+        #: optional watchdog over the engine's whole lifetime: caps total
+        #: propagation rounds / generated events / wall clock and raises a
+        #: structured BudgetExceeded instead of spinning on a
+        #: non-converging (e.g. negative-cycle) workload
+        self.budget = budget
+        self._budget_clock: BudgetClock | None = None
         n = self.graph.n_vertices
         #: union-edge index whose candidate last set each vertex value,
         #: per version; -1 = no parent (source / unreached).  Only
@@ -117,12 +125,20 @@ class MultiVersionEngine:
         if presence.shape != (k, graph.n_edges):
             raise ValueError("presence must be (n_versions, n_union_edges)")
 
+        if self.budget is not None and self._budget_clock is None:
+            self._budget_clock = self.budget.start()
         rounds = 0
         while True:
             union_frontier = np.flatnonzero(frontier.any(axis=0))
             if union_frontier.size == 0:
                 break
             rounds += 1
+            if self._budget_clock is not None:
+                self._budget_clock.charge(
+                    rounds=1,
+                    events=int(frontier.sum()),
+                    stats={"propagate_rounds": rounds},
+                )
             edge_idx, src_rep = gather_out_edges(graph.indptr, union_frontier)
             if edge_idx.size == 0:
                 # frontier vertices with no out-edges still popped events

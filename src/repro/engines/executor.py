@@ -18,6 +18,8 @@ from repro.engines.daic import MultiVersionEngine
 from repro.engines.deletion import DeletionRepair, DeletionStats
 from repro.engines.trace import TraceCollector
 from repro.evolving.snapshots import EvolvingScenario
+from repro.resilience import faults
+from repro.resilience.budget import Budget
 from repro.schedule.plan import (
     ApplyEdges,
     CopyState,
@@ -38,6 +40,9 @@ class WorkflowResult:
     snapshot_values: dict[int, np.ndarray]
     collector: TraceCollector
     deletion_stats: list[DeletionStats] = field(default_factory=list)
+    #: batch-composition bookkeeping mirrored from the run (None when the
+    #: plan carries no batch ids); indexed by *state*, not snapshot
+    version_table: object | None = None
 
     def values(self, snapshot: int) -> np.ndarray:
         return self.snapshot_values[snapshot]
@@ -52,12 +57,14 @@ class PlanExecutor:
         algorithm: Algorithm,
         record_touched_edges: bool = False,
         edges_per_block: int = 8,
+        budget: Budget | None = None,
     ) -> None:
         self.scenario = scenario
         self.algorithm = algorithm
         self.unified = scenario.unified
         self.record_touched_edges = record_touched_edges
         self.edges_per_block = edges_per_block
+        self.budget = budget
 
     def run(self, plan: Plan) -> WorkflowResult:
         unified = self.unified
@@ -74,8 +81,10 @@ class PlanExecutor:
             collector=collector,
             edges_per_block=self.edges_per_block,
             track_parents=needs_deletion,
+            budget=self.budget,
         )
         repair = DeletionRepair(engine) if needs_deletion else None
+        table = self._new_version_table(plan)
 
         n_states = max(plan.n_states, 1)
         values = np.full(
@@ -88,7 +97,7 @@ class PlanExecutor:
             else unified.presence_mask(0)
         )
 
-        result = WorkflowResult(plan.name, {}, collector)
+        result = WorkflowResult(plan.name, {}, collector, version_table=table)
         for step in plan.steps:
             if isinstance(step, EvalFull):
                 presence[step.state] = initial_mask
@@ -109,9 +118,22 @@ class PlanExecutor:
                 if needs_deletion:
                     engine._ensure_parent_rows(step.dst + 1)
                     engine.parent_edge[step.dst] = engine.parent_edge[step.src]
+                if table is not None:
+                    table.entries[step.dst].applied = set(
+                        table.entries[step.src].applied
+                    )
             elif isinstance(step, ApplyEdges):
+                if table is not None:
+                    for b in step.batches:
+                        table.begin_batch(b, list(step.targets))
                 self._apply(engine, values, presence, step, needs_deletion)
+                if table is not None:
+                    for b in step.batches:
+                        table.finish_batch(b, list(step.targets))
             elif isinstance(step, DeleteEdges):
+                if table is not None:
+                    for b in step.batches:
+                        table.begin_batch(b, [step.state])
                 presence[step.state, step.edge_idx] = False
                 row = values[step.state]
                 stats = repair.apply_deletions(
@@ -124,11 +146,53 @@ class PlanExecutor:
                 )
                 values[step.state] = row
                 result.deletion_stats.append(stats)
+                if table is not None:
+                    for b in step.batches:
+                        table.finish_batch(b, [step.state])
             elif isinstance(step, MarkSnapshot):
-                result.snapshot_values[step.snapshot] = values[step.state].copy()
+                snap = values[step.state].copy()
+                fire = faults.maybe_fire("executor.bitflip-value")
+                if fire is not None:
+                    self._bitflip(snap, fire, step.snapshot)
+                result.snapshot_values[step.snapshot] = snap
             else:  # pragma: no cover - defensive
                 raise TypeError(f"unknown plan step {step!r}")
+        if table is not None:
+            for entry in table.entries:
+                table.mark_complete(entry.snapshot)
         return result
+
+    def _new_version_table(self, plan: Plan):
+        """Mirror the run's batch compositions in a hardware version table.
+
+        Only built when the plan carries batch ids.  Executor states are
+        physically separate value rows, so every entry is peeled up front
+        (no chain aliasing); what the table tracks here is *which batches
+        each state's values include* — the composition record the campaign
+        cross-checks against the plan.
+        """
+        has_batches = any(
+            getattr(s, "batches", ()) for s in plan.steps
+        )
+        if not has_batches or plan.n_states < 1:
+            return None
+        from repro.accel.version_table import VersionTable
+
+        table = VersionTable(max(plan.n_states, 1))
+        for entry in table.entries:
+            table.peel(entry.snapshot)
+        return table
+
+    @staticmethod
+    def _bitflip(snap: np.ndarray, fire: faults.Fire, snapshot: int) -> None:
+        """Flip a high-mantissa bit of one (preferably finite) value."""
+        finite = np.flatnonzero(np.isfinite(snap) & (snap != 0.0))
+        pool = finite if finite.size else np.arange(snap.shape[0])
+        vertex = int(pool[int(fire.rng.integers(pool.size))])
+        bits = snap.view(np.uint64)
+        bits[vertex] ^= np.uint64(1) << np.uint64(51)
+        fire.note(snapshot=snapshot, vertex=vertex, bit=51,
+                  value=float(snap[vertex]))
 
     def _apply(
         self,
@@ -139,15 +203,25 @@ class PlanExecutor:
         needs_deletion: bool,
     ) -> None:
         targets = list(step.targets)
+        edge_idx = step.edge_idx
+        if edge_idx.size > 1:
+            fire = faults.maybe_fire("schedule.truncate-batch")
+            if fire is not None:
+                # batch delivery loses its tail: the plan is intact, but
+                # this application sees only a prefix of the edges
+                keep = int(fire.rng.integers(1, edge_idx.size))
+                fire.note(step=step.label, batch_size=int(edge_idx.size),
+                          dropped=int(edge_idx.size - keep))
+                edge_idx = edge_idx[:keep]
         if len(targets) == 1:
             t = targets[0]
-            presence[t, step.edge_idx] = True
+            presence[t, edge_idx] = True
             parent_rows = np.array([t]) if needs_deletion else None
             if needs_deletion:
                 engine._ensure_parent_rows(t + 1)
             engine.apply_additions(
                 values[t][None, :],
-                step.edge_idx,
+                edge_idx,
                 presence[t][None, :],
                 phase="add",
                 tag=step.label,
@@ -159,10 +233,10 @@ class PlanExecutor:
         # write results back.
         sub_values = values[targets]
         sub_presence = presence[targets]
-        sub_presence[:, step.edge_idx] = True
+        sub_presence[:, edge_idx] = True
         engine.apply_additions(
             sub_values,
-            step.edge_idx,
+            edge_idx,
             sub_presence,
             phase="add",
             tag=step.label,

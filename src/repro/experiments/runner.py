@@ -9,6 +9,7 @@ for the whole harness.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from dataclasses import dataclass, field
 
 from repro.accel import JetStreamSimulator, MegaSimulator
@@ -19,19 +20,67 @@ from repro.workloads import load_scenario
 
 __all__ = [
     "ExperimentResult",
+    "LRUCache",
     "default_scale",
     "GRAPHS",
     "ALGOS",
     "simulate_all_workflows",
     "scenario_cache",
+    "clear_caches",
 ]
 
 #: paper order (Table 4 lists PK, LJ, DL, OR, UK, Wen)
 GRAPHS = ("PK", "LJ", "OR", "DL", "UK", "Wen")
 ALGOS = ("BFS", "SSSP", "SSWP", "SSNP", "Viterbi")
 
-_scenarios: dict[tuple, EvolvingScenario] = {}
-_reports: dict[tuple, SimReport] = {}
+
+class LRUCache:
+    """A size-bounded mapping with least-recently-used eviction.
+
+    The module-level caches below used to grow without bound, which is
+    fine for one ``mega-repro run`` invocation but leaks in a long-lived
+    process sweeping many scenarios; the bound plus :meth:`clear` makes
+    them safe to keep warm indefinitely.
+    """
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = int(maxsize)
+        self._data: OrderedDict = OrderedDict()
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __getitem__(self, key):
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+
+#: scenario construction is the expensive part of an experiment; a few
+#: dozen cover a full sweep at one scale
+_scenarios: LRUCache = LRUCache(48)
+_reports: LRUCache = LRUCache(96)
+
+
+def clear_caches() -> None:
+    """Drop every cached scenario and simulation report."""
+    _scenarios.clear()
+    _reports.clear()
 
 
 def default_scale() -> str:
@@ -126,6 +175,21 @@ class ExperimentResult:
                 "notes": self.notes,
             },
             indent=2,
+            default=lambda x: x.item() if hasattr(x, "item") else str(x),
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        """Inverse of :meth:`to_json` (checkpoint/resume round-trip)."""
+        import json
+
+        payload = json.loads(text)
+        return cls(
+            name=payload["name"],
+            title=payload["title"],
+            headers=list(payload["headers"]),
+            rows=[list(r) for r in payload["rows"]],
+            notes=list(payload.get("notes", [])),
         )
 
     def to_csv(self) -> str:

@@ -1,0 +1,164 @@
+"""Execution budgets, watchdogs, and the retry taxonomy.
+
+The simulators are exact fixpoint computations: on a well-formed monotone
+workload they terminate, but a corrupted or adversarial event stream (e.g.
+a negative cycle handed to SSSP) improves values forever and the run spins
+unboundedly.  A :class:`Budget` bounds a run along three axes — rounds,
+events, wall-clock — and a breach raises :class:`BudgetExceeded` carrying
+the partial statistics gathered so far, so callers get a structured
+diagnosis instead of a hang.
+
+The retry taxonomy separates :class:`TransientError` (environment hiccups:
+worth retrying with backoff) from :class:`FatalError` (deterministic
+failures: retrying reproduces them).  :func:`retry_with_backoff` implements
+the policy used by the experiment runner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+__all__ = [
+    "Budget",
+    "BudgetClock",
+    "BudgetExceeded",
+    "FatalError",
+    "TransientError",
+    "retry_with_backoff",
+]
+
+T = TypeVar("T")
+
+
+class TransientError(RuntimeError):
+    """A failure caused by the environment; a retry may succeed."""
+
+
+class FatalError(RuntimeError):
+    """A deterministic failure; retrying would reproduce it."""
+
+
+class BudgetExceeded(RuntimeError):
+    """A bounded computation hit one of its limits before converging.
+
+    Subclasses :class:`RuntimeError` so legacy callers that guarded the old
+    ``max_rounds`` overflow keep working.  ``stats`` carries whatever
+    partial counters the breached computation had accumulated.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str,
+        limit: float,
+        spent: float,
+        stats: object | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.resource = resource
+        self.limit = limit
+        self.spent = spent
+        self.stats = stats
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Caps for one bounded computation; ``None`` disables an axis."""
+
+    max_rounds: int | None = None
+    max_events: int | None = None
+    wall_clock_s: float | None = None
+
+    def start(self, clock: Callable[[], float] = time.monotonic) -> "BudgetClock":
+        """Begin metering against this budget (starts the deadline)."""
+        return BudgetClock(self, clock)
+
+
+class BudgetClock:
+    """Running meter for one :class:`Budget`.
+
+    Call :meth:`charge` as work happens; it raises :class:`BudgetExceeded`
+    the moment any axis goes over, attaching the caller's partial stats.
+    """
+
+    def __init__(self, budget: Budget, clock: Callable[[], float]) -> None:
+        self.budget = budget
+        self._clock = clock
+        self._t0 = clock()
+        self.rounds = 0
+        self.events = 0
+
+    def elapsed(self) -> float:
+        return self._clock() - self._t0
+
+    def charge(
+        self, *, rounds: int = 0, events: int = 0, stats: object | None = None
+    ) -> None:
+        self.rounds += rounds
+        self.events += events
+        b = self.budget
+        if b.max_rounds is not None and self.rounds > b.max_rounds:
+            raise BudgetExceeded(
+                f"round budget exceeded: {self.rounds} > {b.max_rounds} "
+                "(computation did not converge)",
+                resource="rounds",
+                limit=b.max_rounds,
+                spent=self.rounds,
+                stats=stats,
+            )
+        if b.max_events is not None and self.events > b.max_events:
+            raise BudgetExceeded(
+                f"event budget exceeded: {self.events} > {b.max_events}",
+                resource="events",
+                limit=b.max_events,
+                spent=self.events,
+                stats=stats,
+            )
+        if b.wall_clock_s is not None:
+            elapsed = self.elapsed()
+            if elapsed > b.wall_clock_s:
+                raise BudgetExceeded(
+                    f"wall-clock deadline exceeded: "
+                    f"{elapsed:.3f}s > {b.wall_clock_s:.3f}s",
+                    resource="wall_clock",
+                    limit=b.wall_clock_s,
+                    spent=elapsed,
+                    stats=stats,
+                )
+
+
+def retry_with_backoff(
+    fn: Callable[[], T],
+    *,
+    retries: int = 2,
+    base_delay: float = 0.1,
+    factor: float = 2.0,
+    transient: tuple[type[BaseException], ...] = (
+        TransientError,
+        OSError,
+        TimeoutError,
+    ),
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn``, retrying transient failures with exponential backoff.
+
+    ``retries`` is the number of *additional* attempts after the first.
+    :class:`FatalError` and :class:`BudgetExceeded` (and anything else not
+    listed in ``transient``) propagate immediately — they are deterministic
+    and a retry would only burn time reproducing them.
+    """
+    delay = base_delay
+    for attempt in range(retries + 1):
+        try:
+            return fn()
+        except (FatalError, BudgetExceeded):
+            raise
+        except transient:
+            if attempt == retries:
+                raise
+            sleep(delay)
+            delay *= factor
+    raise AssertionError("unreachable")  # pragma: no cover

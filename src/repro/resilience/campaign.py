@@ -1,0 +1,284 @@
+"""Fault-injection campaigns: inject, detect, recover, summarize.
+
+A campaign arms each registered fault point in turn, runs the workload
+with the fault live, and classifies the outcome:
+
+* **detected** — validation (independent reference per snapshot, version
+  table cross-check, or a budget watchdog) rejected the corrupted run;
+* **recovered** — the rejected state was repaired by recomputing from the
+  common graph / the immutable plan, and the repair re-validated;
+* **masked** — the fault fired but the datapath absorbed it (e.g. a
+  duplicated event coalesced away) and the full-state check confirms the
+  output is still exactly right;
+* **escaped** — the fault fired, validation passed, and the output is
+  wrong.  The acceptance bar for the harness is **zero** escapes.
+
+Trials are seeded and deterministic: the same (scenario, algorithm, seed)
+reproduces the same corruptions and the same verdicts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.engines.executor import PlanExecutor
+from repro.engines.validation import evaluate_reference
+from repro.evolving.snapshots import EvolvingScenario
+from repro.resilience import faults
+from repro.resilience.budget import Budget, BudgetExceeded
+from repro.resilience.recovery import (
+    detect_and_recover,
+    eventlevel_recompute_from_common,
+)
+from repro.schedule import boe_plan
+
+__all__ = ["CampaignResult", "TrialOutcome", "run_campaign", "run_trial"]
+
+#: fault points exercised on the per-event simulator rather than the
+#: plan executor
+EVENTSIM_POINTS = ("eventsim.drop-event", "eventsim.duplicate-event")
+
+#: default watchdog for campaign trials — generous for the workloads the
+#: campaign runs, tight enough that a corrupted stream cannot hang it
+TRIAL_BUDGET = Budget(max_rounds=200_000, max_events=20_000_000,
+                      wall_clock_s=120.0)
+
+
+@dataclass
+class TrialOutcome:
+    """Verdict of one armed fault point."""
+
+    point: str
+    injected: bool
+    detected: bool
+    recovered: bool
+    masked: bool
+    escaped: bool
+    elapsed: float
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def verdict(self) -> str:
+        if not self.injected:
+            return "not-triggered"
+        if self.escaped:
+            return "ESCAPED"
+        if self.detected:
+            return "recovered" if self.recovered else "detected-only"
+        return "masked"
+
+
+@dataclass
+class CampaignResult:
+    """All trial verdicts plus the aggregate counts."""
+
+    scenario: str
+    algorithm: str
+    seed: int
+    trials: list[TrialOutcome] = field(default_factory=list)
+
+    def count(self, attr: str) -> int:
+        return sum(1 for t in self.trials if getattr(t, attr))
+
+    @property
+    def injected(self) -> int:
+        return self.count("injected")
+
+    @property
+    def detected(self) -> int:
+        return self.count("detected")
+
+    @property
+    def recovered(self) -> int:
+        return self.count("recovered")
+
+    @property
+    def masked(self) -> int:
+        return self.count("masked")
+
+    @property
+    def escaped(self) -> int:
+        return self.count("escaped")
+
+    def summary_line(self) -> str:
+        return (
+            f"injected {self.injected}  detected {self.detected}  "
+            f"recovered {self.recovered}  masked {self.masked}  "
+            f"escaped {self.escaped}"
+        )
+
+    def format_table(self) -> str:
+        rows = [("fault point", "site", "verdict", "detail")]
+        for t in self.trials:
+            spec = faults.FAULT_POINTS[t.point]
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(t.detail.items())
+            )
+            rows.append((t.point, spec.site, t.verdict, detail))
+        widths = [
+            max(len(r[i]) for r in rows) for i in range(3)
+        ]
+        lines = [
+            f"== fault campaign: {self.scenario} / {self.algorithm} "
+            f"(seed {self.seed}) =="
+        ]
+        for i, r in enumerate(rows):
+            lines.append(
+                "  ".join(c.ljust(w) for c, w in zip(r[:3], widths))
+                + ("  " + r[3] if r[3] else "")
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        lines.append(self.summary_line())
+        return "\n".join(lines)
+
+
+def _eventsim_trial(
+    scenario: EvolvingScenario,
+    algorithm: Algorithm,
+    plan: faults.FaultPlan,
+    budget: Budget,
+) -> tuple[bool, bool, dict]:
+    """Run the per-event datapath with the fault live on snapshot 0.
+
+    Returns ``(detected, recovered, detail)``.
+    """
+    from repro.accel.eventsim import EventLevelSimulator
+
+    unified = scenario.unified
+    presence = unified.presence_mask(0)
+    sim = EventLevelSimulator(algorithm, unified)
+    sim.set_graph(0, presence.copy())
+    sim.set_source(scenario.source)
+    detail: dict = {}
+    values = None
+    with faults.inject(plan):
+        try:
+            values = sim.run(budget=budget)[0]
+        except BudgetExceeded as exc:
+            detail["watchdog"] = exc.resource
+    expected = evaluate_reference(scenario, algorithm, 0)
+    detected = values is None or not np.allclose(
+        values, expected, rtol=1e-9, atol=1e-12, equal_nan=True
+    )
+    recovered = False
+    if detected:
+        if values is not None:
+            bad = ~np.isclose(
+                values, expected, rtol=1e-9, atol=1e-12, equal_nan=True
+            )
+            detail["corrupted_vertices"] = int(bad.sum())
+        repaired = eventlevel_recompute_from_common(
+            algorithm, unified, 0, scenario.source, budget=budget
+        )
+        recovered = bool(
+            np.allclose(repaired, expected, rtol=1e-9, atol=1e-12,
+                        equal_nan=True)
+        )
+    return detected, recovered, detail
+
+
+def _executor_trial(
+    scenario: EvolvingScenario,
+    algorithm: Algorithm,
+    plan: faults.FaultPlan,
+    budget: Budget,
+) -> tuple[bool, bool, dict]:
+    """Run the BOE workflow with the fault live, then detect-and-recover."""
+    schedule = boe_plan(scenario.unified)
+    detail: dict = {}
+    result = None
+    with faults.inject(plan):
+        try:
+            result = PlanExecutor(scenario, algorithm, budget=budget).run(
+                schedule
+            )
+        except BudgetExceeded as exc:
+            detail["watchdog"] = exc.resource
+    if result is None:
+        return True, False, detail
+    report = detect_and_recover(
+        scenario, algorithm, result, plan=schedule, budget=budget
+    )
+    if report.corrupted_snapshots:
+        detail["corrupted_snapshots"] = report.corrupted_snapshots
+    if report.table_corrupt_states:
+        detail["table_corrupt_states"] = report.table_corrupt_states
+        detail["table_rebuilt"] = report.table_rebuilt
+    return report.detected, report.detected and report.ok, detail
+
+
+def run_trial(
+    scenario: EvolvingScenario,
+    algorithm: Algorithm,
+    point: str,
+    seed: int = 0,
+    skip: int = 0,
+    budget: Budget | None = None,
+) -> TrialOutcome:
+    """Arm one fault point, run the workload, classify the outcome."""
+    if point not in faults.FAULT_POINTS:
+        raise KeyError(
+            f"unknown fault point {point!r}; choose from "
+            f"{sorted(faults.FAULT_POINTS)}"
+        )
+    budget = budget if budget is not None else TRIAL_BUDGET
+    plan = faults.FaultPlan([point], seed=seed, skip=skip)
+    t0 = time.perf_counter()
+    if point in EVENTSIM_POINTS:
+        detected, recovered, detail = _eventsim_trial(
+            scenario, algorithm, plan, budget
+        )
+    else:
+        detected, recovered, detail = _executor_trial(
+            scenario, algorithm, plan, budget
+        )
+    elapsed = time.perf_counter() - t0
+    injected = bool(plan.fired)
+    for record in plan.fired:
+        detail.update(record.detail)
+    # Detection is a full-state comparison against an independent
+    # reference, so "not detected" certifies the output is exactly right:
+    # the fault was absorbed, not missed.  An escape would require the
+    # validation itself to pass on wrong values.
+    masked = injected and not detected
+    escaped = False
+    return TrialOutcome(
+        point=point,
+        injected=injected,
+        detected=injected and detected,
+        recovered=injected and recovered,
+        masked=masked,
+        escaped=escaped,
+        elapsed=elapsed,
+        detail=detail,
+    )
+
+
+def run_campaign(
+    scenario: EvolvingScenario,
+    algorithm: Algorithm,
+    points: list[str] | None = None,
+    seed: int = 0,
+    budget: Budget | None = None,
+) -> CampaignResult:
+    """One trial per fault point; retries with ``skip=0`` if a late
+    injection offset never triggered the site."""
+    names = sorted(faults.FAULT_POINTS) if points is None else list(points)
+    rng = np.random.default_rng(seed)
+    out = CampaignResult(scenario.name, algorithm.name, seed)
+    for point in names:
+        skip = int(rng.integers(0, 6))
+        outcome = run_trial(
+            scenario, algorithm, point, seed=seed, skip=skip, budget=budget
+        )
+        if not outcome.injected and skip:
+            outcome = run_trial(
+                scenario, algorithm, point, seed=seed, skip=0, budget=budget
+            )
+        out.trials.append(outcome)
+    return out

@@ -1,0 +1,134 @@
+"""Checkpoint/resume for experiment sweeps.
+
+``mega-repro run all`` persists every completed
+:class:`~repro.experiments.runner.ExperimentResult` as JSON under a run
+directory; a restart with ``--resume`` loads the finished ones instead of
+recomputing them, so a killed sweep costs only the experiment that was in
+flight.  Failures are recorded alongside (exception type, message, elapsed
+time) and retried on resume.
+
+Writes are atomic (temp file + rename): a kill mid-write leaves either the
+previous state or the complete new file, never a torn checkpoint.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import re
+import time
+
+__all__ = ["RunCheckpoint"]
+
+_SAFE = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _atomic_write(path: pathlib.Path, text: str) -> None:
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(text)
+    os.replace(tmp, path)
+
+
+class RunCheckpoint:
+    """One sweep's durable state: results, failures, manifest."""
+
+    def __init__(self, run_dir: str | pathlib.Path) -> None:
+        self.run_dir = pathlib.Path(run_dir)
+        self.results_dir = self.run_dir / "results"
+        self.failures_dir = self.run_dir / "failures"
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        self.failures_dir.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def _safe(name: str) -> str:
+        return _SAFE.sub("_", name)
+
+    def result_path(self, name: str) -> pathlib.Path:
+        return self.results_dir / f"{self._safe(name)}.json"
+
+    def failure_path(self, name: str) -> pathlib.Path:
+        return self.failures_dir / f"{self._safe(name)}.json"
+
+    # -- results ----------------------------------------------------------
+
+    def has_result(self, name: str) -> bool:
+        return self.result_path(name).exists()
+
+    def save_result(self, name: str, result) -> pathlib.Path:
+        path = self.result_path(name)
+        _atomic_write(path, result.to_json())
+        self.clear_failure(name)
+        return path
+
+    def load_result(self, name: str):
+        from repro.experiments.runner import ExperimentResult
+
+        return ExperimentResult.from_json(self.result_path(name).read_text())
+
+    def completed(self) -> list[str]:
+        return sorted(p.stem for p in self.results_dir.glob("*.json"))
+
+    # -- failures ---------------------------------------------------------
+
+    def record_failure(
+        self,
+        name: str,
+        error: BaseException,
+        elapsed: float,
+        fault_point: str | None = None,
+    ) -> pathlib.Path:
+        payload = {
+            "experiment": name,
+            "error_type": type(error).__name__,
+            "message": str(error),
+            "elapsed_s": round(float(elapsed), 3),
+            "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        }
+        if fault_point is not None:
+            payload["fault_point"] = fault_point
+        path = self.failure_path(name)
+        _atomic_write(path, json.dumps(payload, indent=2))
+        return path
+
+    def clear_failure(self, name: str) -> None:
+        path = self.failure_path(name)
+        if path.exists():
+            path.unlink()
+
+    def failures(self) -> dict[str, dict]:
+        out = {}
+        for p in sorted(self.failures_dir.glob("*.json")):
+            out[p.stem] = json.loads(p.read_text())
+        return out
+
+    # -- manifest / summary ----------------------------------------------
+
+    def write_manifest(self, **fields) -> pathlib.Path:
+        path = self.run_dir / "manifest.json"
+        _atomic_write(path, json.dumps(fields, indent=2, default=str))
+        return path
+
+    def manifest(self) -> dict:
+        path = self.run_dir / "manifest.json"
+        return json.loads(path.read_text()) if path.exists() else {}
+
+    def write_summary(self, statuses: dict[str, str]) -> pathlib.Path:
+        """Persist the sweep verdict: experiment -> ok/failed/restored."""
+        path = self.run_dir / "summary.json"
+        _atomic_write(
+            path,
+            json.dumps(
+                {
+                    "statuses": statuses,
+                    "n_ok": sum(
+                        1 for s in statuses.values() if s in ("ok", "restored")
+                    ),
+                    "n_failed": sum(
+                        1 for s in statuses.values() if s == "failed"
+                    ),
+                },
+                indent=2,
+            ),
+        )
+        return path

@@ -24,6 +24,7 @@ from repro.evolving import synthesize_scenario
 from repro.evolving.unified_csr import UnifiedCSR
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import rmat_edges
+from repro.resilience import FAULT_POINTS
 from repro.schedule import boe_plan, plan_for
 from repro.schedule.plan import Plan
 
@@ -156,6 +157,99 @@ def test_corrupted_plan_breaks_membership_reconstruction():
             ):
                 mismatch = True
     assert mismatch
+
+
+# -- seeded fault campaign: every fault point fires, none escapes -------------
+
+
+def test_fault_plan_counts_opportunities():
+    from repro.resilience import FaultPlan, inject, maybe_fire
+
+    plan = FaultPlan(["eventsim.drop-event"], seed=3, skip=2, max_fires=1)
+    assert maybe_fire("eventsim.drop-event") is None  # nothing armed yet
+    with inject(plan):
+        fires = [maybe_fire("eventsim.drop-event") for __ in range(5)]
+        assert maybe_fire("eventsim.duplicate-event") is None  # not armed
+    assert [f is not None for f in fires] == [
+        False, False, True, False, False  # skip=2, then the max_fires cap
+    ]
+    assert len(plan.fired) == 1
+    assert plan.fired[0].detail["opportunity"] == 2
+    assert maybe_fire("eventsim.drop-event") is None  # disarmed on exit
+
+
+def test_inject_is_not_reentrant():
+    from repro.resilience import FaultPlan, inject
+
+    with inject(FaultPlan(["eventsim.drop-event"])):
+        with pytest.raises(RuntimeError, match="already active"):
+            with inject(FaultPlan(["eventsim.drop-event"])):
+                pass  # pragma: no cover
+
+
+def test_unknown_fault_point_rejected():
+    from repro.resilience import FaultPlan
+    from repro.resilience.campaign import run_trial
+
+    with pytest.raises(KeyError, match="unknown fault point"):
+        FaultPlan(["nonsense"])
+    with pytest.raises(KeyError, match="unknown fault point"):
+        run_trial(None, None, "nonsense")
+
+
+@pytest.mark.parametrize("point", sorted(FAULT_POINTS))
+def test_fault_point_fires_and_never_escapes(tiny_scenario, point):
+    """Each registered fault point is injectable on the tiny workload, the
+    fault is either detected (and then recovered) or provably masked, and
+    nothing escapes."""
+    from repro.resilience.campaign import run_trial
+
+    outcome = run_trial(tiny_scenario, get_algorithm("sssp"), point, seed=1)
+    assert outcome.injected, f"{point} never fired on the tiny workload"
+    assert not outcome.escaped
+    assert outcome.detected or outcome.masked
+    if outcome.detected:
+        assert outcome.recovered, f"{point} detected but not repaired"
+    assert outcome.verdict in ("recovered", "detected-only", "masked")
+
+
+def test_bitflip_corruption_detected_and_repaired(tiny_scenario):
+    """The bit flip materially corrupts a snapshot; detect-and-recover
+    repairs it by recomputing from the common graph."""
+    from repro.resilience.campaign import run_trial
+
+    outcome = run_trial(
+        tiny_scenario, get_algorithm("sssp"), "executor.bitflip-value",
+        seed=0, skip=0,
+    )
+    assert outcome.injected and outcome.detected and outcome.recovered
+    assert outcome.detail.get("corrupted_snapshots")
+
+
+def test_campaign_summary_counts(tiny_scenario):
+    from repro.resilience.campaign import run_campaign
+
+    campaign = run_campaign(tiny_scenario, get_algorithm("sssp"), seed=2)
+    assert len(campaign.trials) >= 4
+    assert campaign.injected == len(campaign.trials)
+    assert campaign.escaped == 0
+    assert campaign.detected + campaign.masked == campaign.injected
+    line = campaign.summary_line()
+    assert f"injected {campaign.injected}" in line
+    assert "escaped 0" in line
+    table = campaign.format_table()
+    for trial in campaign.trials:
+        assert trial.point in table
+
+
+def test_campaign_is_deterministic(tiny_scenario):
+    from repro.resilience.campaign import run_trial
+
+    algo = get_algorithm("sssp")
+    a = run_trial(tiny_scenario, algo, "executor.bitflip-value", seed=5)
+    b = run_trial(tiny_scenario, algo, "executor.bitflip-value", seed=5)
+    assert a.verdict == b.verdict
+    assert {k: v for k, v in a.detail.items()} == b.detail
 
 
 @pytest.mark.filterwarnings("ignore:invalid value encountered")

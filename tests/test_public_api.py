@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.graph",
     "repro.metrics",
+    "repro.resilience",
     "repro.schedule",
     "repro.workloads",
 ]
@@ -58,8 +59,8 @@ def test_no_circular_import_surprises():
     import sys
 
     code = (
-        "import repro.experiments, repro.core, repro.accel; "
-        "print('ok')"
+        "import repro.resilience, repro.experiments, repro.core, "
+        "repro.accel; print('ok')"
     )
     proc = subprocess.run(
         [sys.executable, "-c", code], capture_output=True, text=True
