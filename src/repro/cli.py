@@ -7,6 +7,8 @@ Usage::
     mega-repro run all --scale tiny --resume
     mega-repro simulate --graph Wen --algo sssp --workflow boe --pipeline
     mega-repro faults --scale tiny
+    mega-repro serve --scale tiny --workers 4
+    mega-repro serve-bench --scale tiny --duration 5 --rate 50
 """
 
 from __future__ import annotations
@@ -232,6 +234,93 @@ def _cmd_track(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_names(raw: str) -> list[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def _service_config(args: argparse.Namespace):
+    """Shared serve/serve-bench validation; bad names exit 2."""
+    from repro.service import ServiceConfig
+
+    for graph in _parse_names(args.graphs):
+        if graph not in DATASETS:
+            raise SystemExit(_fail_usage(
+                f"unknown graph {graph!r}; choose from {sorted(DATASETS)}"
+            ))
+    for algo in _parse_names(args.algos):
+        _resolve_algorithm(algo)
+    if args.workers < 1:
+        raise SystemExit(_fail_usage("--workers must be >= 1"))
+    if args.max_batch < 1:
+        raise SystemExit(_fail_usage("--max-batch must be >= 1"))
+    inject = tuple(args.inject_fault) if args.inject_fault else ()
+    if inject:
+        from repro.resilience import FAULT_POINTS
+
+        for point in inject:
+            if point not in FAULT_POINTS:
+                raise SystemExit(_fail_usage(
+                    f"unknown fault point {point!r}; choose from "
+                    f"{sorted(FAULT_POINTS)}"
+                ))
+    return ServiceConfig(
+        scale=args.scale,
+        n_snapshots=args.snapshots,
+        workers=args.workers,
+        batching=args.batching,
+        max_batch=args.max_batch,
+        coalesce_ms=args.coalesce_ms,
+        mode=args.mode,
+        budget_s=args.budget_s,
+        cache_size=max(1, args.cache_size),
+        inject_fault=inject,
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import QueryService, serve_stdio
+
+    service = QueryService(_service_config(args))
+    print(
+        f"[serving on stdin/stdout: scale={args.scale} "
+        f"snapshots={args.snapshots} workers={args.workers} "
+        f"batching={'on' if args.batching else 'off'}]",
+        file=sys.stderr,
+    )
+    return serve_stdio(service)
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.service import LoadSpec, QueryService, run_load
+
+    config = _service_config(args)
+    spec = LoadSpec(
+        duration_s=args.duration,
+        rate_qps=args.rate,
+        seed=args.seed,
+        graphs=tuple(_parse_names(args.graphs)),
+        algos=tuple(_parse_names(args.algos)),
+        n_sources=args.sources,
+        zipf_s=args.zipf,
+        window_fraction=args.window_fraction,
+        ingest_every_s=args.ingest_every,
+    )
+    with QueryService(config) as service:
+        report = run_load(service, spec)
+    print(report.format_table())
+    if args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(report.to_json() + "\n")
+        print(f"[wrote {path}]")
+    if report.degraded:
+        print(
+            "[degraded run: dropped/errored queries or unrecovered fault]",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     algo = _resolve_algorithm(args.algo)
     scenario = _load_scenario_checked(
@@ -330,6 +419,66 @@ def build_parser() -> argparse.ArgumentParser:
     p_track.add_argument("--scale", default="tiny", choices=sorted(SCALES))
     p_track.add_argument("--snapshots", type=int, default=16)
     p_track.set_defaults(func=_cmd_track)
+
+    def add_service_options(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+        p.add_argument("--snapshots", type=int, default=8)
+        p.add_argument("--workers", type=int, default=2)
+        p.add_argument("--graphs", default="PK",
+                       help="comma-separated Table 2 short names")
+        p.add_argument("--algos", default="sssp",
+                       help="comma-separated algorithm names")
+        p.add_argument(
+            "--batching",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="coalesce compatible queries into shared BOE plans",
+        )
+        p.add_argument("--max-batch", type=int, default=8,
+                       help="max distinct sources per coalesced plan")
+        p.add_argument("--coalesce-ms", type=float, default=4.0,
+                       help="coalescing window in milliseconds")
+        p.add_argument("--mode", default="eval", choices=["eval", "simulate"],
+                       help="functional executor or accelerator model")
+        p.add_argument("--budget-s", type=float, default=60.0,
+                       help="per-plan wall-clock budget (watchdog)")
+        p.add_argument("--cache-size", type=int, default=512,
+                       help="result-cache entries (1 ~= disabled)")
+        p.add_argument(
+            "--inject-fault",
+            nargs="*",
+            default=None,
+            metavar="POINT",
+            help="arm these fault points on the first executed plan "
+            "(resilience drill)",
+        )
+
+    p_serve = sub.add_parser(
+        "serve", help="JSON-lines query service on stdin/stdout"
+    )
+    add_service_options(p_serve)
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_bench = sub.add_parser(
+        "serve-bench", help="open-loop load harness for the query service"
+    )
+    add_service_options(p_bench)
+    p_bench.add_argument("--duration", type=float, default=5.0,
+                         help="open-loop arrival window in seconds")
+    p_bench.add_argument("--rate", type=float, default=50.0,
+                         help="offered load in queries/second")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument("--sources", type=int, default=16,
+                         help="size of the per-graph source pool")
+    p_bench.add_argument("--zipf", type=float, default=1.3,
+                         help="source-skew exponent (0 = uniform)")
+    p_bench.add_argument("--window-fraction", type=float, default=0.2,
+                         help="fraction of queries over a random sub-window")
+    p_bench.add_argument("--ingest-every", type=float, default=0.0,
+                         help="ingest a synthesized delta every N seconds")
+    p_bench.add_argument("--out", default="BENCH_service.json",
+                         help="write the JSON report here ('' to skip)")
+    p_bench.set_defaults(func=_cmd_serve_bench)
 
     p_sim = sub.add_parser("simulate", help="run one simulation")
     p_sim.add_argument("--graph", default="PK")

@@ -112,15 +112,20 @@ def evaluate_multi_query(
     scenario: EvolvingScenario,
     algorithm: Algorithm,
     sources: list[int],
+    budget=None,
 ) -> MultiQueryResult:
     """Evaluate one algorithm from many sources over every snapshot.
 
     All queries share each batch's edge fetches (one multi-target step per
     batch), so the trace-level fetch cost is independent of the number of
     queries — the multi-query analogue of Fig. 5's ~98% reuse.
+
+    ``budget`` (a :class:`repro.resilience.Budget`) watchdogs the run; the
+    query service uses it so one pathological plan breaches loudly instead
+    of stalling a worker.
     """
     plan = multi_query_boe_plan(scenario.unified, sources)
-    result = PlanExecutor(scenario, algorithm).run(plan)
+    result = PlanExecutor(scenario, algorithm, budget=budget).run(plan)
     return MultiQueryResult(scenario.n_snapshots, sources, result)
 
 
@@ -130,6 +135,7 @@ def simulate_multi_query(
     sources: list[int],
     config=None,
     pipeline: bool = True,
+    budget=None,
 ):
     """Run the multi-query plan on the MEGA accelerator model.
 
@@ -149,5 +155,6 @@ def simulate_multi_query(
         config if config is not None else mega_config(),
         concurrent=True,
         pipeline=pipeline,
+        budget=budget,
     )
     return report, MultiQueryResult(scenario.n_snapshots, sources, raw)

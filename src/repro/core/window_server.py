@@ -29,9 +29,8 @@ from repro.engines.daic import MultiVersionEngine
 from repro.engines.deletion import DeletionRepair, reconstruct_parents
 from repro.engines.executor import PlanExecutor
 from repro.evolving.snapshots import EvolvingScenario
-from repro.evolving.unified_csr import UnifiedCSR
-from repro.graph.csr import CSRGraph
-from repro.graph.edges import EdgeList, edge_keys
+from repro.evolving.window import slide_window
+from repro.graph.edges import EdgeList
 from repro.schedule.boe import boe_plan
 
 __all__ = ["WindowServer"]
@@ -86,63 +85,16 @@ class WindowServer:
     ) -> None:
         """Apply one new transition and slide the window by one snapshot."""
         u = self.scenario.unified
-        graph = u.graph
         n = u.n_snapshots
         n_vertices = u.n_vertices
         additions = additions or EdgeList.from_tuples(n_vertices, [])
         deletions = deletions or []
-        if additions.n_vertices != n_vertices:
-            raise ValueError("additions must share the window's vertex set")
 
-        # CSR order sorts by (src, dst), so the union keys are sorted and
-        # slot lookup is a binary search.
-        union_keys = edge_keys(graph.src_of_edge, graph.dst, n_vertices)
-
-        def slots_of(keys: np.ndarray) -> np.ndarray:
-            """Union slot per key; -1 where the key is not in the union."""
-            pos = np.searchsorted(union_keys, keys)
-            pos = np.minimum(pos, union_keys.size - 1)
-            hit = union_keys.size > 0
-            found = hit & (union_keys[pos] == keys)
-            return np.where(found, pos, -1)
-
-        # -- validate the new batches against the CommonGraph rule --------
+        # Validate against the CommonGraph rule and rebuild the union with
+        # shifted tags (pure; the old unified stays usable for repair).
         last_presence = u.presence_mask(n - 1)
-        del_pairs = np.asarray(deletions, dtype=np.int64).reshape(-1, 2)
-        del_slot_arr = slots_of(
-            del_pairs[:, 0] * n_vertices + del_pairs[:, 1]
-        )
-        bad = (del_slot_arr < 0) | ~last_presence[
-            np.maximum(del_slot_arr, 0)
-        ]
-        if np.any(bad):
-            s, d = del_pairs[np.flatnonzero(bad)[0]]
-            raise ValueError(
-                f"cannot delete edge ({s}, {d}): not present in the "
-                "latest snapshot"
-            )
-        internal = u.add_step[del_slot_arr] >= 1
-        if np.any(internal):
-            s, d = del_pairs[np.flatnonzero(internal)[0]]
-            raise ValueError(
-                f"edge ({s}, {d}) was added inside the current window; "
-                "one state change per edge per window — split the "
-                "window before deleting it"
-            )
-        del_slots = del_slot_arr.tolist()
-
-        add_key_arr = additions.keys
-        if np.unique(add_key_arr).size != len(additions):
-            raise ValueError("additions contain duplicate pairs")
-        add_existing = slots_of(add_key_arr)
-        known = add_existing >= 0
-        if np.any(known & last_presence[np.maximum(add_existing, 0)]):
-            raise ValueError("additions duplicate a live edge")
-        if np.any(known & (u.del_step[np.maximum(add_existing, 0)] >= 1)):
-            raise ValueError(
-                "re-adding an edge deleted inside the current window; "
-                "split the window first"
-            )
+        slide = slide_window(u, additions, deletions)
+        del_slots = slide.del_slots.tolist()
 
         # -- compute the new latest snapshot's values ----------------------
         latest = self._values[-1].copy()
@@ -162,36 +114,7 @@ class WindowServer:
                 self.scenario.source,
             )
 
-        # -- rebuild the union with shifted tags ---------------------------
-        keep = u.del_step != 0  # snapshot-0-only edges leave the window
-        add_step = u.add_step[keep].astype(np.int64)
-        del_step = u.del_step[keep].astype(np.int64)
-        add_step = np.where(add_step > 0, add_step - 1, -1)
-        del_step = np.where(del_step > 0, del_step - 1, del_step)
-        # deletions of the new transition: locate slots post-filter
-        old_to_new = np.cumsum(keep) - 1
-        for slot in del_slots:
-            del_step[old_to_new[slot]] = n - 2
-
-        pool = EdgeList(
-            n_vertices,
-            np.concatenate([graph.src_of_edge[keep], additions.src]),
-            np.concatenate([graph.dst[keep], additions.dst]),
-            np.concatenate([graph.wt[keep], additions.wt]),
-        )
-        add_step = np.concatenate(
-            [add_step, np.full(len(additions), n - 2, dtype=np.int64)]
-        )
-        del_step = np.concatenate(
-            [del_step, np.full(len(additions), -1, dtype=np.int64)]
-        )
-        order = np.lexsort((pool.dst, pool.src))
-        new_unified = UnifiedCSR(
-            CSRGraph.from_edges(pool),
-            add_step[order].astype(np.int32),
-            del_step[order].astype(np.int32),
-            n,
-        )
+        new_unified = slide.unified
         self.scenario = EvolvingScenario(
             new_unified,
             source=self.scenario.source,
@@ -201,16 +124,10 @@ class WindowServer:
 
         # -- apply the additions on the new union, then slide results ------
         if len(additions):
-            new_keys = edge_keys(
-                new_unified.graph.src_of_edge,
-                new_unified.graph.dst,
-                n_vertices,
-            )
-            add_slots = np.searchsorted(new_keys, additions.keys)
             engine2 = MultiVersionEngine(self.algorithm, new_unified)
             engine2.apply_additions(
                 latest[None, :],
-                add_slots,
+                slide.add_slots,
                 new_unified.presence_mask(n - 1)[None, :],
             )
 

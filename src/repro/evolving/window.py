@@ -13,13 +13,16 @@ simulator and metric applies unchanged to the sub-window.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.evolving.snapshots import EvolvingScenario
 from repro.evolving.unified_csr import UnifiedCSR
 from repro.graph.csr import CSRGraph
+from repro.graph.edges import EdgeList, edge_keys
 
-__all__ = ["extract_window", "window_scenario"]
+__all__ = ["extract_window", "window_scenario", "SlideResult", "slide_window"]
 
 
 def extract_window(unified: UnifiedCSR, lo: int, hi: int) -> UnifiedCSR:
@@ -53,6 +56,130 @@ def extract_window(unified: UnifiedCSR, lo: int, hi: int) -> UnifiedCSR:
         new_add[keep].astype(np.int32),
         new_del[keep].astype(np.int32),
         hi - lo + 1,
+    )
+
+
+@dataclass
+class SlideResult:
+    """Outcome of sliding a window forward by one transition.
+
+    ``del_slots`` index the *old* union (for value repair against the
+    pre-slide state); ``add_slots`` index the *new* union (for applying
+    the additions once the rebuilt window is in place).
+    """
+
+    unified: UnifiedCSR
+    del_slots: np.ndarray
+    add_slots: np.ndarray
+
+
+def slide_window(
+    unified: UnifiedCSR,
+    additions: EdgeList | None = None,
+    deletions: list[tuple[int, int]] | None = None,
+) -> SlideResult:
+    """Advance a window ``[0..N-1]`` to ``[1..N]`` with one new transition.
+
+    Pure function: validates the new batches against the CommonGraph
+    one-change-per-edge rule, then rebuilds the union CSR with shifted
+    batch tags — snapshot-0-only edges leave the union, additions that
+    arrived at the first transition join the common graph, the new
+    ``Δ+/Δ-`` arrive at the last transition.  Value maintenance is the
+    caller's business (:class:`repro.core.window_server.WindowServer`
+    repairs in place; the query service recomputes on demand).
+    """
+    graph = unified.graph
+    n = unified.n_snapshots
+    n_vertices = unified.n_vertices
+    additions = additions or EdgeList.from_tuples(n_vertices, [])
+    deletions = deletions or []
+    if additions.n_vertices != n_vertices:
+        raise ValueError("additions must share the window's vertex set")
+
+    # CSR order sorts by (src, dst), so the union keys are sorted and
+    # slot lookup is a binary search.
+    union_keys = edge_keys(graph.src_of_edge, graph.dst, n_vertices)
+
+    def slots_of(keys: np.ndarray) -> np.ndarray:
+        """Union slot per key; -1 where the key is not in the union."""
+        pos = np.searchsorted(union_keys, keys)
+        pos = np.minimum(pos, union_keys.size - 1)
+        hit = union_keys.size > 0
+        found = hit & (union_keys[pos] == keys)
+        return np.where(found, pos, -1)
+
+    # -- validate the new batches against the CommonGraph rule --------
+    last_presence = unified.presence_mask(n - 1)
+    del_pairs = np.asarray(deletions, dtype=np.int64).reshape(-1, 2)
+    del_slot_arr = slots_of(del_pairs[:, 0] * n_vertices + del_pairs[:, 1])
+    bad = (del_slot_arr < 0) | ~last_presence[np.maximum(del_slot_arr, 0)]
+    if np.any(bad):
+        s, d = del_pairs[np.flatnonzero(bad)[0]]
+        raise ValueError(
+            f"cannot delete edge ({s}, {d}): not present in the "
+            "latest snapshot"
+        )
+    internal = unified.add_step[del_slot_arr] >= 1
+    if np.any(internal):
+        s, d = del_pairs[np.flatnonzero(internal)[0]]
+        raise ValueError(
+            f"edge ({s}, {d}) was added inside the current window; "
+            "one state change per edge per window — split the "
+            "window before deleting it"
+        )
+    del_slots = del_slot_arr.tolist()
+
+    add_key_arr = additions.keys
+    if np.unique(add_key_arr).size != len(additions):
+        raise ValueError("additions contain duplicate pairs")
+    add_existing = slots_of(add_key_arr)
+    known = add_existing >= 0
+    if np.any(known & last_presence[np.maximum(add_existing, 0)]):
+        raise ValueError("additions duplicate a live edge")
+    if np.any(known & (unified.del_step[np.maximum(add_existing, 0)] >= 1)):
+        raise ValueError(
+            "re-adding an edge deleted inside the current window; "
+            "split the window first"
+        )
+
+    # -- rebuild the union with shifted tags ---------------------------
+    keep = unified.del_step != 0  # snapshot-0-only edges leave the window
+    add_step = unified.add_step[keep].astype(np.int64)
+    del_step = unified.del_step[keep].astype(np.int64)
+    add_step = np.where(add_step > 0, add_step - 1, -1)
+    del_step = np.where(del_step > 0, del_step - 1, del_step)
+    # deletions of the new transition: locate slots post-filter
+    old_to_new = np.cumsum(keep) - 1
+    for slot in del_slots:
+        del_step[old_to_new[slot]] = n - 2
+
+    pool = EdgeList(
+        n_vertices,
+        np.concatenate([graph.src_of_edge[keep], additions.src]),
+        np.concatenate([graph.dst[keep], additions.dst]),
+        np.concatenate([graph.wt[keep], additions.wt]),
+    )
+    add_step = np.concatenate(
+        [add_step, np.full(len(additions), n - 2, dtype=np.int64)]
+    )
+    del_step = np.concatenate(
+        [del_step, np.full(len(additions), -1, dtype=np.int64)]
+    )
+    order = np.lexsort((pool.dst, pool.src))
+    new_unified = UnifiedCSR(
+        CSRGraph.from_edges(pool),
+        add_step[order].astype(np.int32),
+        del_step[order].astype(np.int32),
+        n,
+    )
+    new_keys = edge_keys(
+        new_unified.graph.src_of_edge, new_unified.graph.dst, n_vertices
+    )
+    add_slots = np.searchsorted(new_keys, additions.keys)
+    return SlideResult(
+        new_unified,
+        np.asarray(del_slots, dtype=np.int64),
+        add_slots.astype(np.int64),
     )
 
 

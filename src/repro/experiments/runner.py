@@ -67,6 +67,13 @@ class LRUCache:
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 
+    def keys(self) -> list:
+        """Current keys, least-recently-used first."""
+        return list(self._data)
+
+    def pop(self, key, default=None):
+        return self._data.pop(key, default)
+
     def clear(self) -> None:
         self._data.clear()
 
@@ -78,7 +85,14 @@ _reports: LRUCache = LRUCache(96)
 
 
 def clear_caches() -> None:
-    """Drop every cached scenario and simulation report."""
+    """Drop every cached scenario and simulation report.
+
+    The caches are **process-local** module state.  Service workers
+    (:mod:`repro.service.pool`) call this between epochs so a long-lived
+    worker's memory stays bounded by the LRU limits above rather than by
+    the lifetime of the pool; see :func:`scenario_cache` for the fork /
+    spawn semantics.
+    """
     _scenarios.clear()
     _reports.clear()
 
@@ -89,7 +103,19 @@ def default_scale() -> str:
 
 
 def scenario_cache(name: str, scale: str, **kwargs) -> EvolvingScenario:
-    """Scenario construction cached across experiments in one process."""
+    """Scenario construction cached across experiments in one process.
+
+    **Process semantics** (the cache is plain module state, not shared
+    memory): a *forked* worker inherits a copy-on-write snapshot of
+    whatever the parent had cached at fork time — warm, but updates never
+    propagate in either direction; a *spawned* worker starts empty and
+    fills its own copy on first use.  Either way each process pays for and
+    owns its entries independently, so callers must never mutate a cached
+    scenario in place (the service ingest path derives *new* scenarios via
+    :func:`repro.evolving.window.slide_window` for exactly this reason).
+    Long-lived workers bound their footprint with the LRU limits plus
+    :func:`clear_caches`.
+    """
     key = (name, scale, tuple(sorted(kwargs.items())))
     if key not in _scenarios:
         _scenarios[key] = load_scenario(name, scale, **kwargs)

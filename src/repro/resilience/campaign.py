@@ -42,6 +42,10 @@ __all__ = ["CampaignResult", "TrialOutcome", "run_campaign", "run_trial"]
 #: plan executor
 EVENTSIM_POINTS = ("eventsim.drop-event", "eventsim.duplicate-event")
 
+#: fault points that live in the serving layer (repro.service.pool);
+#: their workload is a tiny end-to-end service burst, not the executor
+SERVICE_POINTS = ("service.worker-fault", "service.plan-poison")
+
 #: default watchdog for campaign trials — generous for the workloads the
 #: campaign runs, tight enough that a corrupted stream cannot hang it
 TRIAL_BUDGET = Budget(max_rounds=200_000, max_events=20_000_000,
@@ -212,6 +216,49 @@ def _executor_trial(
     return report.detected, report.detected and report.ok, detail
 
 
+def _service_trial(
+    point: str, seed: int, budget: Budget
+) -> tuple[bool, bool, bool, dict]:
+    """Drive a one-worker query-service burst with ``point`` armed.
+
+    The service points fire inside pool workers, so the trial runs the
+    real serving path end to end: a transient fault must be recovered by
+    the in-worker retry, a poisoned plan must be degraded into singleton
+    retries by the coordinator — either way every query must still get
+    an ``ok`` response.  Returns ``(injected, detected, recovered,
+    detail)``; the injection offset (``skip``) does not apply here — the
+    service arms the fault on its first plan.
+    """
+    from repro.service import QueryRequest, QueryService, ServiceConfig
+
+    config = ServiceConfig(
+        scale="tiny",
+        n_snapshots=4,
+        workers=1,
+        inject_fault=(point,),
+        fault_seed=seed,
+        budget_s=budget.wall_clock_s or 120.0,
+    )
+    service = QueryService(config)
+    handles = [
+        service.submit(QueryRequest("PK", "sssp", s)) for s in (1, 2, 3)
+    ]
+    with service:  # submitted pre-start: one coalesced (armed) plan
+        responses = [h.wait(timeout=budget.wall_clock_s or 120.0)
+                     for h in handles]
+    stats = service.service_stats()
+    detail = {
+        "faults_recovered": stats["faults_recovered"],
+        "plan_retries": stats["retries"],
+        "errored": stats["errored"],
+    }
+    injected = bool(
+        stats["faults_recovered"] or stats["retries"] or stats["errored"]
+    )
+    recovered = injected and all(r is not None and r.ok for r in responses)
+    return injected, injected, recovered, detail
+
+
 def run_trial(
     scenario: EvolvingScenario,
     algorithm: Algorithm,
@@ -227,6 +274,21 @@ def run_trial(
             f"{sorted(faults.FAULT_POINTS)}"
         )
     budget = budget if budget is not None else TRIAL_BUDGET
+    if point in SERVICE_POINTS:
+        t0 = time.perf_counter()
+        injected, detected, recovered, detail = _service_trial(
+            point, seed, budget
+        )
+        return TrialOutcome(
+            point=point,
+            injected=injected,
+            detected=detected,
+            recovered=recovered,
+            masked=False,
+            escaped=False,
+            elapsed=time.perf_counter() - t0,
+            detail=detail,
+        )
     plan = faults.FaultPlan([point], seed=seed, skip=skip)
     t0 = time.perf_counter()
     if point in EVENTSIM_POINTS:
@@ -268,6 +330,11 @@ def run_campaign(
 ) -> CampaignResult:
     """One trial per fault point; retries with ``skip=0`` if a late
     injection offset never triggered the site."""
+    if points is None:
+        # the serving layer registers its points on import; pull them in
+        # so a default campaign drills the whole surface
+        import repro.service.pool  # noqa: F401
+
     names = sorted(faults.FAULT_POINTS) if points is None else list(points)
     rng = np.random.default_rng(seed)
     out = CampaignResult(scenario.name, algorithm.name, seed)

@@ -1,0 +1,60 @@
+"""Concurrent evolving-graph query service.
+
+The serving layer over the reproduction: accept many concurrent queries
+(graph, algorithm, source, snapshot window), coalesce the compatible ones
+into shared multi-query BOE plans (``repro.core.multi_query``), execute
+them on a process pool with per-worker scenario caches, cache results
+until the next ingested delta invalidates them, and measure the whole
+thing with a seeded open-loop load harness.
+
+Modules:
+
+* :mod:`repro.service.request` — query/response dataclasses, validation;
+* :mod:`repro.service.batcher` — admission queue + coalescing rules;
+* :mod:`repro.service.pool`    — worker pool, per-worker caches, budgets,
+  fault points;
+* :mod:`repro.service.cache`   — LRU result cache, ingest invalidation;
+* :mod:`repro.service.ingest`  — delta batches: synthesize, apply (slide);
+* :mod:`repro.service.core`    — the :class:`QueryService` orchestrator;
+* :mod:`repro.service.server`  — JSON-lines front end (``mega-repro serve``);
+* :mod:`repro.service.loadgen` — load harness (``mega-repro serve-bench``).
+"""
+
+from repro.service.batcher import AdmissionQueue, PendingQuery, coalesce
+from repro.service.cache import ResultCache
+from repro.service.core import QueryService, ServiceConfig, ServiceStats
+from repro.service.ingest import DeltaBatch, apply_delta, synthesize_delta
+from repro.service.loadgen import BenchReport, LoadSpec, run_load
+from repro.service.pool import PlanPayload, PlanResult, WorkerPool
+from repro.service.request import (
+    QueryRequest,
+    QueryResponse,
+    SnapshotSummary,
+    validate_request,
+)
+from repro.service.server import ServiceFrontend, serve_stdio
+
+__all__ = [
+    "AdmissionQueue",
+    "BenchReport",
+    "DeltaBatch",
+    "LoadSpec",
+    "PendingQuery",
+    "PlanPayload",
+    "PlanResult",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryService",
+    "ResultCache",
+    "ServiceConfig",
+    "ServiceFrontend",
+    "ServiceStats",
+    "SnapshotSummary",
+    "WorkerPool",
+    "apply_delta",
+    "coalesce",
+    "run_load",
+    "serve_stdio",
+    "synthesize_delta",
+    "validate_request",
+]

@@ -1,0 +1,112 @@
+"""Admission queue and BOE coalescing rules.
+
+The paper's Batch-Oriented Execution applies one delta batch to every
+snapshot that needs it; the serving-layer generalization coalesces every
+*query* that can share a plan.  Two queries are compatible when they agree
+on everything the multi-query plan fixes — graph, algorithm, snapshot
+window, execution mode, and ingest epoch — and differ only in source
+vertex (:meth:`repro.service.request.QueryRequest.compat_key`).
+
+The batcher is time-and-size bounded: queries admitted within one
+coalescing window (``coalesce_ms``) are grouped, each group is split into
+plans of at most ``max_batch`` *distinct* sources, and duplicate sources
+within a plan share a single row of the (query, snapshot) value matrix —
+the degenerate but common case of many clients asking the same question.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.service.request import QueryRequest, QueryResponse
+
+__all__ = ["PendingQuery", "AdmissionQueue", "coalesce"]
+
+
+@dataclass
+class PendingQuery:
+    """A submitted request awaiting its response."""
+
+    request: QueryRequest
+    epoch: int
+    submitted_at: float = field(default_factory=time.monotonic)
+    #: set once, read by the submitter after ``done`` fires
+    response: QueryResponse | None = None
+    done: threading.Event = field(default_factory=threading.Event)
+    retried: bool = False
+
+    def resolve(self, response: QueryResponse) -> None:
+        response.latency_s = time.monotonic() - self.submitted_at
+        self.response = response
+        self.done.set()
+
+    def wait(self, timeout: float | None = None) -> QueryResponse | None:
+        self.done.wait(timeout)
+        return self.response
+
+
+class AdmissionQueue:
+    """Bounded FIFO between submitters and the batcher thread.
+
+    Overflow is *admission control*, not an error path: the service sheds
+    load with an immediate ``rejected`` response instead of queueing work
+    it cannot finish (the load harness counts these as dropped queries and
+    the CLI exits non-zero).
+    """
+
+    def __init__(self, max_pending: int = 1024) -> None:
+        self.max_pending = int(max_pending)
+        self._lock = threading.Lock()
+        self._items: list[PendingQuery] = []
+
+    def offer(self, pending: PendingQuery) -> bool:
+        with self._lock:
+            if len(self._items) >= self.max_pending:
+                return False
+            self._items.append(pending)
+            return True
+
+    def drain(self) -> list[PendingQuery]:
+        with self._lock:
+            items, self._items = self._items, []
+            return items
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+def coalesce(
+    pending: list[PendingQuery], max_batch: int
+) -> list[list[PendingQuery]]:
+    """Group compatible queries, then split into ≤ ``max_batch``-source
+    plans (FIFO within a group, so no query starves behind coalescing).
+
+    ``max_batch`` counts *distinct* sources: duplicates ride along free —
+    they share one plan row, the query-level analogue of BOE's shared
+    batch fetch.
+    """
+    groups: dict[tuple, list[PendingQuery]] = defaultdict(list)
+    for p in pending:
+        groups[p.request.compat_key(p.epoch)].append(p)
+
+    plans: list[list[PendingQuery]] = []
+    for group in groups.values():
+        plan: list[PendingQuery] = []
+        sources: set[int] = set()
+        for p in group:
+            if (
+                plan
+                and len(sources) >= max_batch
+                and p.request.source not in sources
+            ):
+                plans.append(plan)
+                plan, sources = [], set()
+            plan.append(p)
+            sources.add(p.request.source)
+        if plan:
+            plans.append(plan)
+    return plans

@@ -1,0 +1,78 @@
+"""LRU result cache with ingest-driven invalidation.
+
+Keys include the graph's *epoch* (how many delta batches have been
+ingested), so a result computed before an ingest can never satisfy a query
+admitted after it.  :meth:`ResultCache.invalidate_graph` additionally drops
+the now-stale entries eagerly so the LRU capacity is not wasted carrying
+results no future query can hit.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.experiments.runner import LRUCache
+from repro.service.request import QueryRequest, SnapshotSummary
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Thread-safe LRU of per-query snapshot summaries."""
+
+    def __init__(self, maxsize: int = 512) -> None:
+        self._lru = LRUCache(maxsize)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(request: QueryRequest, epoch: int) -> tuple:
+        return request.compat_key(epoch) + (int(request.source),)
+
+    def get(
+        self, request: QueryRequest, epoch: int
+    ) -> list[SnapshotSummary] | None:
+        with self._lock:
+            k = self.key(request, epoch)
+            if k in self._lru:
+                self.hits += 1
+                return self._lru[k]
+            self.misses += 1
+            return None
+
+    def put(
+        self,
+        request: QueryRequest,
+        epoch: int,
+        summaries: list[SnapshotSummary],
+    ) -> None:
+        with self._lock:
+            self._lru[self.key(request, epoch)] = summaries
+
+    def invalidate_graph(self, graph: str) -> int:
+        """Eagerly drop every entry for ``graph`` (any epoch).
+
+        Epoch-keyed entries could only go stale-but-resident; dropping
+        them keeps the LRU full of hittable results.  Returns the number
+        of entries removed.
+        """
+        with self._lock:
+            stale = [k for k in self._lru.keys() if k[0] == graph]
+            for k in stale:
+                self._lru.pop(k)
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._lru.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._lru),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": (self.hits / total) if total else 0.0,
+            }

@@ -1,0 +1,380 @@
+"""The query service: admission → coalescing → worker pool → responses.
+
+Dataflow (docs/SERVICE.md has the full picture)::
+
+    submit() ──► AdmissionQueue ──► batcher thread ──► WorkerPool
+       │cache hit                      │coalesce()        │ProcessPool
+       ▼                               ▼                  ▼
+    cached response            PlanPayload per plan   PlanResult
+                                                         │done callback
+                         responses + ResultCache  ◄──────┘
+
+Degradation policy: a failed multi-query plan is split and each of its
+queries retried as a singleton plan (without any armed fault, and only
+once); a failed singleton yields an ``error`` response.  Either way the
+pool, the other in-flight plans, and later traffic are unaffected.
+
+``ingest()`` appends a delta batch to a graph's log, bumps its epoch, and
+invalidates that graph's cache entries; queries already in flight complete
+against the epoch they were admitted under (their responses say which).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.service.batcher import AdmissionQueue, PendingQuery, coalesce
+from repro.service.cache import ResultCache
+from repro.service.ingest import DeltaBatch, synthesize_delta
+from repro.service.pool import PlanPayload, PlanResult, WorkerPool
+from repro.service.request import QueryRequest, QueryResponse, validate_request
+
+__all__ = ["ServiceConfig", "ServiceStats", "QueryService"]
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs for one service instance (CLI flags map 1:1)."""
+
+    scale: str = "tiny"
+    n_snapshots: int = 8
+    workers: int = 2
+    batching: bool = True
+    max_batch: int = 8
+    coalesce_ms: float = 4.0
+    max_pending: int = 4096
+    cache_size: int = 512
+    budget_s: float = 60.0
+    mode: str = "eval"
+    #: arm these fault points on plan ordinal ``inject_fault_plan``
+    inject_fault: tuple[str, ...] = ()
+    inject_fault_plan: int = 0
+    fault_seed: int = 0
+
+
+@dataclass
+class ServiceStats:
+    """Monotonic counters; ``snapshot()`` renders the derived rates."""
+
+    submitted: int = 0
+    completed: int = 0
+    cached: int = 0
+    errored: int = 0
+    rejected: int = 0
+    plans: int = 0
+    plan_queries: int = 0
+    retries: int = 0
+    faults_recovered: int = 0
+    ingests: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def snapshot(self, cache_stats: dict) -> dict:
+        with self.lock:
+            return {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "cached": self.cached,
+                "errored": self.errored,
+                "rejected": self.rejected,
+                "plans": self.plans,
+                "plan_queries": self.plan_queries,
+                "batching_factor": (
+                    self.plan_queries / self.plans if self.plans else 0.0
+                ),
+                "retries": self.retries,
+                "faults_recovered": self.faults_recovered,
+                "ingests": self.ingests,
+                "cache": cache_stats,
+            }
+
+
+class _LiveGraph:
+    """Coordinator-side state of one evolving graph: its ingest log."""
+
+    def __init__(self) -> None:
+        self.deltas: list[DeltaBatch] = []
+
+    @property
+    def epoch(self) -> int:
+        return len(self.deltas)
+
+
+class QueryService:
+    """Concurrent evolving-graph query service over a process pool."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.stats = ServiceStats()
+        self.cache = ResultCache(self.config.cache_size)
+        self.queue = AdmissionQueue(self.config.max_pending)
+        # warm the pool before the batcher thread exists so every worker
+        # is forked from a single-threaded coordinator
+        self.pool = WorkerPool(self.config.workers)
+        self._graphs: dict[str, _LiveGraph] = {}
+        self._graphs_lock = threading.Lock()
+        self._inflight: set[int] = set()
+        self._inflight_lock = threading.Lock()
+        self._plan_ids = iter(range(1, 1 << 62))
+        self._running = False
+        self._thread: threading.Thread | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "QueryService":
+        if self._running:
+            return self
+        self._running = True
+        self._thread = threading.Thread(
+            target=self._batch_loop, name="mega-batcher", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+        if drain:
+            self.drain(timeout)
+        self._running = False
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.pool.shutdown()
+
+    def drain(self, timeout: float = 60.0) -> bool:
+        """Block until the queue and all in-flight plans are empty."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._inflight_lock:
+                busy = bool(self._inflight)
+            if not busy and len(self.queue) == 0:
+                return True
+            time.sleep(0.01)
+        return False
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client surface ----------------------------------------------------
+
+    def epoch(self, graph: str) -> int:
+        with self._graphs_lock:
+            return self._graphs.setdefault(graph, _LiveGraph()).epoch
+
+    def submit(self, request: QueryRequest) -> PendingQuery:
+        """Admit one query; returns a handle to ``wait()`` on.
+
+        Terminal immediately on validation error, cache hit, or admission
+        overflow — only genuinely new work enters the queue.
+        """
+        epoch = self.epoch(request.graph)
+        pending = PendingQuery(request, epoch)
+        with self.stats.lock:
+            self.stats.submitted += 1
+        try:
+            validate_request(
+                request, self.config.n_snapshots, self.config.scale
+            )
+        except ValueError as exc:
+            with self.stats.lock:
+                self.stats.errored += 1
+            pending.resolve(
+                QueryResponse(request.id, "error", epoch=epoch, error=str(exc))
+            )
+            return pending
+
+        summaries = self.cache.get(request, epoch)
+        if summaries is not None:
+            with self.stats.lock:
+                self.stats.cached += 1
+                self.stats.completed += 1
+            pending.resolve(
+                QueryResponse(
+                    request.id, "cached", epoch=epoch, summaries=summaries
+                )
+            )
+            return pending
+
+        if not self.queue.offer(pending):
+            with self.stats.lock:
+                self.stats.rejected += 1
+            pending.resolve(
+                QueryResponse(
+                    request.id,
+                    "rejected",
+                    epoch=epoch,
+                    error="admission queue full (load shed)",
+                )
+            )
+        return pending
+
+    def ingest(
+        self,
+        graph: str,
+        delta: DeltaBatch | None = None,
+        seed: int | None = None,
+        n_add: int = 8,
+        n_del: int = 8,
+    ) -> int:
+        """Append ``Δ+/Δ-``, advance the graph's window, drop stale cache.
+
+        Either pass an explicit :class:`DeltaBatch` or a ``seed`` to
+        synthesize one from the graph's current epoch state.  Returns the
+        new epoch.
+        """
+        with self._graphs_lock:
+            live = self._graphs.setdefault(graph, _LiveGraph())
+            if delta is None:
+                if seed is None:
+                    raise ValueError("ingest needs a DeltaBatch or a seed")
+                # synthesize against the current live scenario so the
+                # delta respects the CommonGraph rule at this epoch
+                from repro.service.pool import _live_scenario
+
+                scenario = _live_scenario(
+                    PlanPayload(
+                        plan_id=0,
+                        graph=graph,
+                        scale=self.config.scale,
+                        n_snapshots=self.config.n_snapshots,
+                        algo="",
+                        sources=(),
+                        epoch=live.epoch,
+                        deltas=tuple(live.deltas),
+                    )
+                )
+                delta = synthesize_delta(
+                    scenario, seed=seed, n_add=n_add, n_del=n_del
+                )
+            live.deltas.append(delta)
+            epoch = live.epoch
+        self.cache.invalidate_graph(graph)
+        with self.stats.lock:
+            self.stats.ingests += 1
+        return epoch
+
+    def clear_caches(self) -> None:
+        """Coordinator cache + best-effort worker-side clear."""
+        self.cache.clear()
+        self.pool.clear_caches()
+
+    def service_stats(self) -> dict:
+        return self.stats.snapshot(self.cache.stats())
+
+    # -- batcher thread ----------------------------------------------------
+
+    def _batch_loop(self) -> None:
+        coalesce_s = max(self.config.coalesce_ms, 0.0) / 1e3
+        while self._running:
+            time.sleep(coalesce_s if coalesce_s > 0 else 0.0005)
+            pending = self.queue.drain()
+            if not pending:
+                continue
+            if self.config.batching:
+                for plan in coalesce(pending, self.config.max_batch):
+                    self._submit_plan(plan)
+            else:
+                # baseline: strictly one query per plan, no sharing at all
+                for p in pending:
+                    self._submit_plan([p])
+
+    def _submit_plan(
+        self, queries: list[PendingQuery], degraded: bool = False
+    ) -> None:
+        plan_id = next(self._plan_ids)
+        first = queries[0].request
+        epoch = queries[0].epoch
+        with self._graphs_lock:
+            deltas = tuple(
+                self._graphs.setdefault(first.graph, _LiveGraph()).deltas[:epoch]
+            )
+        fault_points: tuple[str, ...] = ()
+        if not degraded and self.config.inject_fault:
+            with self.stats.lock:
+                arm = self.stats.plans == self.config.inject_fault_plan
+            if arm:
+                fault_points = tuple(self.config.inject_fault)
+        sources = tuple(dict.fromkeys(q.request.source for q in queries))
+        payload = PlanPayload(
+            plan_id=plan_id,
+            graph=first.graph,
+            scale=self.config.scale,
+            n_snapshots=self.config.n_snapshots,
+            algo=first.algo,
+            sources=sources,
+            window=first.window,
+            mode=first.mode,
+            epoch=epoch,
+            deltas=deltas,
+            budget_s=self.config.budget_s,
+            fault_points=fault_points,
+            fault_seed=self.config.fault_seed,
+        )
+        with self.stats.lock:
+            self.stats.plans += 1
+            self.stats.plan_queries += len(queries)
+        with self._inflight_lock:
+            self._inflight.add(plan_id)
+        try:
+            future = self.pool.submit(payload)
+        except Exception as exc:  # pool unrecoverable: fail these queries
+            self._plan_failed(plan_id, queries, exc)
+            return
+        future.add_done_callback(
+            lambda fut, q=queries, pid=plan_id: self._on_plan_done(pid, q, fut)
+        )
+
+    # -- completion path (runs on executor callback threads) ---------------
+
+    def _on_plan_done(self, plan_id: int, queries, future) -> None:
+        try:
+            result: PlanResult = future.result()
+        except Exception as exc:  # noqa: BLE001 - plan-level isolation
+            self._plan_failed(plan_id, queries, exc)
+            return
+        with self.stats.lock:
+            self.stats.faults_recovered += len(result.recovered_faults)
+            self.stats.completed += len(queries)
+        for q in queries:
+            summaries = result.summaries.get(q.request.source, [])
+            self.cache.put(q.request, q.epoch, summaries)
+            q.resolve(
+                QueryResponse(
+                    q.request.id,
+                    "ok",
+                    epoch=q.epoch,
+                    plan_id=plan_id,
+                    summaries=summaries,
+                )
+            )
+        with self._inflight_lock:
+            self._inflight.discard(plan_id)
+
+    def _plan_failed(self, plan_id: int, queries, exc: BaseException) -> None:
+        retryable = [q for q in queries if not q.retried]
+        terminal = [q for q in queries if q.retried]
+        for q in retryable:
+            q.retried = True
+        if retryable:
+            with self.stats.lock:
+                self.stats.retries += len(retryable)
+            # degrade: one singleton plan per query, no armed faults
+            for q in retryable:
+                self._submit_plan([q], degraded=True)
+        for q in terminal:
+            with self.stats.lock:
+                self.stats.errored += 1
+            q.resolve(
+                QueryResponse(
+                    q.request.id,
+                    "error",
+                    epoch=q.epoch,
+                    plan_id=plan_id,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+            )
+        with self._inflight_lock:
+            self._inflight.discard(plan_id)

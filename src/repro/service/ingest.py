@@ -1,0 +1,152 @@
+"""The ingest path: append a delta batch and advance the window.
+
+An evolving-graph service is defined by serving *while the graph changes*.
+A :class:`DeltaBatch` is one transition's worth of edge churn (``Δ+`` and
+``Δ-``); applying it slides the window forward one snapshot via
+:func:`repro.evolving.window.slide_window`, exactly as
+:class:`~repro.core.window_server.WindowServer` does — but here the value
+maintenance is left to the workers, which recompute coalesced BOE plans on
+the slid scenario on demand.
+
+Because workers are separate processes, the live scenario is defined
+*reproducibly*: the base scenario (graph, scale, snapshots — deterministic
+by construction) plus the ordered list of ingested deltas.  Any worker can
+reconstruct epoch ``e`` by replaying ``deltas[:e]``, and an incremental
+worker only replays the suffix it has not seen (:mod:`repro.service.pool`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evolving.snapshots import EvolvingScenario
+from repro.evolving.window import slide_window
+from repro.graph.edges import EdgeList
+
+__all__ = ["DeltaBatch", "apply_delta", "synthesize_delta"]
+
+
+@dataclass
+class DeltaBatch:
+    """One transition of edge churn, in plain arrays (cheap to pickle)."""
+
+    add_src: np.ndarray
+    add_dst: np.ndarray
+    add_wt: np.ndarray
+    del_src: np.ndarray
+    del_dst: np.ndarray
+    #: provenance for logs/benchmarks (seeded synthesis or external feed)
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.add_src = np.asarray(self.add_src, dtype=np.int64)
+        self.add_dst = np.asarray(self.add_dst, dtype=np.int64)
+        self.add_wt = np.asarray(self.add_wt, dtype=np.float64)
+        self.del_src = np.asarray(self.del_src, dtype=np.int64)
+        self.del_dst = np.asarray(self.del_dst, dtype=np.int64)
+
+    @property
+    def n_additions(self) -> int:
+        return int(self.add_src.size)
+
+    @property
+    def n_deletions(self) -> int:
+        return int(self.del_src.size)
+
+    def additions(self, n_vertices: int) -> EdgeList:
+        return EdgeList(n_vertices, self.add_src, self.add_dst, self.add_wt)
+
+    def deletions(self) -> list[tuple[int, int]]:
+        return list(zip(self.del_src.tolist(), self.del_dst.tolist()))
+
+    @classmethod
+    def from_lists(cls, adds, dels, **meta) -> "DeltaBatch":
+        """Build from ``[[u, v, w?], ...]`` / ``[[u, v], ...]`` rows
+        (the JSON-lines front end's wire format)."""
+        adds = [tuple(a) for a in adds]
+        dels = [tuple(d) for d in dels]
+        return cls(
+            add_src=np.array([a[0] for a in adds], dtype=np.int64),
+            add_dst=np.array([a[1] for a in adds], dtype=np.int64),
+            add_wt=np.array(
+                [a[2] if len(a) > 2 else 1.0 for a in adds], dtype=np.float64
+            ),
+            del_src=np.array([d[0] for d in dels], dtype=np.int64),
+            del_dst=np.array([d[1] for d in dels], dtype=np.int64),
+            meta=dict(meta),
+        )
+
+
+def apply_delta(scenario: EvolvingScenario, delta: DeltaBatch) -> EvolvingScenario:
+    """Advance the window by ``delta``; returns a *new* scenario.
+
+    Pure — safe to apply to a scenario held in a shared cache (workers
+    must never mutate cached scenarios in place; see
+    :func:`repro.experiments.runner.scenario_cache`).
+    """
+    slide = slide_window(
+        scenario.unified,
+        delta.additions(scenario.n_vertices),
+        delta.deletions(),
+    )
+    meta = dict(scenario.metadata)
+    meta["epoch"] = meta.get("epoch", 0) + 1
+    return EvolvingScenario(
+        slide.unified,
+        source=scenario.source,
+        name=scenario.name,
+        metadata=meta,
+    )
+
+
+def synthesize_delta(
+    scenario: EvolvingScenario,
+    seed: int,
+    n_add: int = 8,
+    n_del: int = 8,
+) -> DeltaBatch:
+    """Seeded churn for the load harness (and `serve` without a feed).
+
+    Deletions are drawn from the scenario's *common* edges — present in
+    every snapshot and untouched inside the window, so the CommonGraph
+    one-change-per-edge rule can never reject them no matter how many
+    deltas have been applied before.  Additions are sampled pairs absent
+    from the union.
+    """
+    u = scenario.unified
+    rng = np.random.default_rng(seed)
+
+    common = np.flatnonzero((u.add_step < 0) & (u.del_step < 0))
+    n_del = min(n_del, common.size)
+    del_slots = rng.choice(common, size=n_del, replace=False)
+    del_src = u.graph.src_of_edge[del_slots]
+    del_dst = u.graph.dst[del_slots]
+
+    n_vertices = u.n_vertices
+    union_keys = set(
+        (u.graph.src_of_edge.astype(np.int64) * n_vertices + u.graph.dst).tolist()
+    )
+    add_src, add_dst = [], []
+    attempts = 0
+    while len(add_src) < n_add and attempts < 50 * max(n_add, 1):
+        attempts += 1
+        s = int(rng.integers(n_vertices))
+        d = int(rng.integers(n_vertices))
+        key = s * n_vertices + d
+        if s == d or key in union_keys:
+            continue
+        union_keys.add(key)
+        add_src.append(s)
+        add_dst.append(d)
+    add_wt = rng.uniform(1.0, 2.0, size=len(add_src))
+
+    return DeltaBatch(
+        add_src=np.array(add_src, dtype=np.int64),
+        add_dst=np.array(add_dst, dtype=np.int64),
+        add_wt=add_wt,
+        del_src=del_src.astype(np.int64),
+        del_dst=del_dst.astype(np.int64),
+        meta={"seed": int(seed), "synthetic": True},
+    )

@@ -1,0 +1,219 @@
+"""Seeded open-loop load harness for the query service.
+
+Open loop means arrivals follow a fixed schedule (Poisson at ``rate_qps``)
+regardless of how fast the service responds — the honest way to measure a
+server, since a closed loop self-throttles and hides queueing collapse.
+Sources are drawn Zipf-like from each graph's high-degree vertices, so the
+workload repeats itself the way real query traffic does and the result
+cache has something to hit.
+
+``run_load`` drives a :class:`~repro.service.core.QueryService` in
+process, then folds the service's counters and the per-query latencies
+into one JSON-able report (``BENCH_service.json``) so successive PRs have
+a perf trajectory to beat.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.service.core import QueryService, ServiceConfig
+from repro.service.request import QueryRequest
+
+__all__ = ["LoadSpec", "BenchReport", "run_load"]
+
+BENCH_SCHEMA_VERSION = 1
+
+
+@dataclass
+class LoadSpec:
+    """One open-loop workload (CLI flags map 1:1)."""
+
+    duration_s: float = 5.0
+    rate_qps: float = 50.0
+    seed: int = 0
+    graphs: tuple[str, ...] = ("PK",)
+    algos: tuple[str, ...] = ("sssp",)
+    #: queries draw their source from this many top-degree vertices
+    n_sources: int = 16
+    #: Zipf exponent for the source draw (higher = more repeats)
+    zipf_s: float = 1.3
+    #: probability a query asks for a random sub-window
+    window_fraction: float = 0.2
+    #: ingest a synthesized delta every this many seconds (0 = never)
+    ingest_every_s: float = 0.0
+    #: give up on stragglers this long after the last arrival
+    drain_timeout_s: float = 60.0
+
+
+@dataclass
+class BenchReport:
+    """Everything serve-bench measures, JSON-able."""
+
+    config: dict
+    workload: dict
+    results: dict
+
+    @property
+    def degraded(self) -> bool:
+        """Any dropped or errored query, or an injected fault that did not
+        recover, marks the run degraded (CLI exits non-zero)."""
+        r = self.results
+        unrecovered = r["faults"]["injected"] > 0 and (
+            r["faults"]["recovered"] == 0 and r["retries"] == 0
+        )
+        return bool(r["errored"] or r["rejected"] or unrecovered)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "bench": "service",
+                "schema_version": BENCH_SCHEMA_VERSION,
+                "config": self.config,
+                "workload": self.workload,
+                "results": self.results,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def format_table(self) -> str:
+        r = self.results
+        lat = r["latency_ms"]
+        lines = [
+            "== serve-bench: concurrent evolving-graph query service ==",
+            f"submitted {r['submitted']}  completed {r['completed']}  "
+            f"cached {r['cached']}  errored {r['errored']}  "
+            f"rejected {r['rejected']}",
+            f"throughput {r['throughput_qps']:.1f} q/s  "
+            f"(offered {r['offered_qps']:.1f} q/s "
+            f"over {r['duration_s']:.1f}s)",
+            f"latency ms  p50 {lat['p50']:.1f}  p95 {lat['p95']:.1f}  "
+            f"p99 {lat['p99']:.1f}  mean {lat['mean']:.1f}",
+            f"plans {r['plans']}  batching factor "
+            f"{r['batching_factor']:.2f} queries/plan",
+            f"cache hit rate {r['cache_hit_rate']:.1%}  "
+            f"ingests {r['ingests']}",
+            f"faults injected {r['faults']['injected']}  "
+            f"recovered {r['faults']['recovered']}  "
+            f"plan retries {r['retries']}",
+        ]
+        return "\n".join(lines)
+
+
+def _source_pool(graph: str, scale: str, n_snapshots: int, n: int) -> list[int]:
+    """Top-degree vertices of the graph's common graph (stable targets)."""
+    from repro.experiments.runner import scenario_cache
+
+    scenario = scenario_cache(graph, scale, n_snapshots=n_snapshots)
+    degrees = np.diff(scenario.common_graph().indptr)
+    ranked = np.argsort(-degrees)
+    return [int(v) for v in ranked[: max(1, min(n, len(ranked)))]]
+
+
+def _zipf_index(rng: np.random.Generator, n: int, s: float) -> int:
+    weights = 1.0 / np.arange(1, n + 1) ** s
+    return int(rng.choice(n, p=weights / weights.sum()))
+
+
+def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
+    """Drive ``service`` with ``spec``; both must already be configured.
+
+    The service must be started; this call blocks for the workload
+    duration plus drain time.
+    """
+    cfg = service.config
+    rng = np.random.default_rng(spec.seed)
+    pools = {
+        g: _source_pool(g, cfg.scale, cfg.n_snapshots, spec.n_sources)
+        for g in spec.graphs
+    }
+
+    # Pre-plan the arrival schedule so the submit loop does no RNG work.
+    arrivals: list[tuple[float, QueryRequest]] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / spec.rate_qps))
+        if t >= spec.duration_s:
+            break
+        graph = spec.graphs[int(rng.integers(len(spec.graphs)))]
+        algo = spec.algos[int(rng.integers(len(spec.algos)))]
+        pool = pools[graph]
+        source = pool[_zipf_index(rng, len(pool), spec.zipf_s)]
+        window = None
+        if spec.window_fraction > 0 and rng.random() < spec.window_fraction:
+            lo = int(rng.integers(cfg.n_snapshots - 1))
+            hi = int(rng.integers(lo, cfg.n_snapshots))
+            window = (lo, hi)
+        arrivals.append(
+            (t, QueryRequest(graph=graph, algo=algo, source=source,
+                             window=window, mode=cfg.mode))
+        )
+
+    next_ingest = spec.ingest_every_s if spec.ingest_every_s > 0 else None
+    ingest_seed = spec.seed
+    start = time.monotonic()
+    handles = []
+    for due, request in arrivals:
+        now = time.monotonic() - start
+        if next_ingest is not None and now >= next_ingest:
+            ingest_seed += 1
+            service.ingest(request.graph, seed=ingest_seed)
+            next_ingest += spec.ingest_every_s
+        if due > now:
+            time.sleep(due - now)
+        handles.append(service.submit(request))
+    submitted_window = time.monotonic() - start
+
+    deadline = time.monotonic() + spec.drain_timeout_s
+    responses = []
+    for h in handles:
+        r = h.wait(timeout=max(0.0, deadline - time.monotonic()))
+        responses.append((h, r))
+    end = time.monotonic()
+
+    latencies = [
+        r.latency_s * 1e3 for __, r in responses if r is not None and r.ok
+    ]
+    lost = sum(1 for __, r in responses if r is None)
+    stats = service.service_stats()
+    completed = stats["completed"]
+    duration = max(end - start, 1e-9)
+
+    def pct(p: float) -> float:
+        return float(np.percentile(latencies, p)) if latencies else 0.0
+
+    results = {
+        "submitted": stats["submitted"],
+        "completed": completed,
+        "cached": stats["cached"],
+        "errored": stats["errored"] + lost,
+        "rejected": stats["rejected"],
+        "offered_qps": len(arrivals) / max(spec.duration_s, 1e-9),
+        "throughput_qps": completed / duration,
+        "duration_s": duration,
+        "submit_window_s": submitted_window,
+        "latency_ms": {
+            "p50": pct(50), "p95": pct(95), "p99": pct(99),
+            "mean": float(np.mean(latencies)) if latencies else 0.0,
+        },
+        "plans": stats["plans"],
+        "batching_factor": stats["batching_factor"],
+        "cache_hit_rate": stats["cache"]["hit_rate"],
+        "retries": stats["retries"],
+        "ingests": stats["ingests"],
+        "faults": {
+            "injected": len(cfg.inject_fault),
+            "recovered": stats["faults_recovered"],
+        },
+    }
+    workload = asdict(spec)
+    workload["graphs"] = list(spec.graphs)
+    workload["algos"] = list(spec.algos)
+    config = asdict(cfg)
+    config["inject_fault"] = list(cfg.inject_fault)
+    return BenchReport(config=config, workload=workload, results=results)

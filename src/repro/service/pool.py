@@ -1,0 +1,333 @@
+"""Process-pool execution of coalesced BOE plans.
+
+One :class:`PlanPayload` is everything a worker needs to reproduce the
+computation in its own address space: the deterministic base-scenario
+coordinates (graph, scale, snapshots), the ingest log prefix defining the
+epoch, the algorithm, the coalesced source list, and the window.  Workers
+keep a process-local cache of live scenarios and advance them
+incrementally as epochs move, so steady-state serving pays only for the
+plan itself.
+
+Resilience wiring (PR 1):
+
+* every plan runs under a :class:`~repro.resilience.Budget` — a diverging
+  or hung computation breaches loudly instead of stalling the worker;
+* transient failures retry *inside* the worker via
+  :func:`~repro.resilience.retry_with_backoff`; deterministic ones
+  propagate so the coordinator can degrade (split the plan and retry the
+  queries individually);
+* two registered fault points make the whole path provable from the load
+  harness: ``service.worker-fault`` (transient — the worker itself
+  recovers) and ``service.plan-poison`` (fatal — the coordinator must
+  degrade around it).
+
+Per-worker memory stays bounded: the live-scenario cache is a small LRU,
+and the shared :func:`repro.experiments.runner.scenario_cache` /
+``clear_caches`` machinery is process-local (each worker owns its copy;
+see that module for fork/spawn semantics).  :meth:`WorkerPool.clear_caches`
+broadcasts a best-effort clear; :meth:`WorkerPool.restart` is the
+guaranteed reclaim (fresh processes start empty).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.resilience import (
+    Budget,
+    BudgetExceeded,
+    FatalError,
+    FaultPlan,
+    TransientError,
+    inject,
+    register_fault_point,
+    retry_with_backoff,
+)
+from repro.service.ingest import DeltaBatch, apply_delta
+from repro.service.request import SnapshotSummary
+
+__all__ = ["PlanPayload", "PlanResult", "WorkerPool"]
+
+register_fault_point(
+    "service.worker-fault",
+    "service/pool.py",
+    "a worker's plan execution fails transiently (in-worker retry recovers)",
+)
+register_fault_point(
+    "service.plan-poison",
+    "service/pool.py",
+    "a coalesced plan fails deterministically (coordinator must split it)",
+)
+
+#: plans whose budgets are not set explicitly get this wall-clock ceiling
+DEFAULT_BUDGET_S = 60.0
+
+
+@dataclass
+class PlanPayload:
+    """One coalesced multi-query BOE plan, ready to ship to a worker."""
+
+    plan_id: int
+    graph: str
+    scale: str
+    n_snapshots: int
+    algo: str
+    sources: tuple[int, ...]
+    window: tuple[int, int] | None = None
+    mode: str = "eval"
+    epoch: int = 0
+    deltas: tuple[DeltaBatch, ...] = ()
+    budget_s: float = DEFAULT_BUDGET_S
+    max_rounds: int = 200_000
+    #: armed fault points for this plan (resilience drills / load harness)
+    fault_points: tuple[str, ...] = ()
+    fault_seed: int = 0
+    kind: str = "plan"  # "plan" | "ping" | "clear"
+
+
+@dataclass
+class PlanResult:
+    """What a worker hands back: per-source digests plus provenance."""
+
+    plan_id: int
+    epoch: int
+    #: source vertex -> per-snapshot summaries
+    summaries: dict[int, list[SnapshotSummary]] = field(default_factory=dict)
+    worker_pid: int = 0
+    elapsed_s: float = 0.0
+    attempts: int = 1
+    recovered_faults: tuple[str, ...] = ()
+    #: accelerator update-phase cycles when mode == "simulate"
+    update_cycles: int | None = None
+
+
+# ---------------------------------------------------------------------------
+# worker side (runs in the pool processes)
+# ---------------------------------------------------------------------------
+
+#: (graph, scale, n_snapshots) -> (epoch, scenario); process-local
+_LIVE: dict = {}
+_LIVE_LIMIT = 8
+
+
+def _live_scenario(payload: PlanPayload):
+    """The scenario at ``payload.epoch``, advanced incrementally."""
+    from repro.experiments.runner import scenario_cache
+
+    key = (payload.graph, payload.scale, payload.n_snapshots)
+    cached = _LIVE.get(key)
+    if cached is not None and cached[0] == payload.epoch:
+        return cached[1]
+    if cached is not None and cached[0] < payload.epoch:
+        epoch, scenario = cached
+        for delta in payload.deltas[epoch: payload.epoch]:
+            scenario = apply_delta(scenario, delta)
+    else:
+        # fresh worker, or a payload admitted before the cache advanced:
+        # replay the ingest log from the deterministic base
+        scenario = scenario_cache(
+            payload.graph, payload.scale, n_snapshots=payload.n_snapshots
+        )
+        for delta in payload.deltas[: payload.epoch]:
+            scenario = apply_delta(scenario, delta)
+    if len(_LIVE) >= _LIVE_LIMIT and key not in _LIVE:
+        _LIVE.pop(next(iter(_LIVE)))
+    _LIVE[key] = (payload.epoch, scenario)
+    return scenario
+
+
+def _summarize(algorithm, values: np.ndarray, snapshot: int) -> SnapshotSummary:
+    finite = np.isfinite(values)
+    return SnapshotSummary(
+        snapshot=snapshot,
+        reached=int(algorithm.reached(values).sum()),
+        checksum=float(values[finite].sum()),
+    )
+
+
+def _worker_clear() -> None:
+    """Drop every process-local cache (bounded-memory escape hatch)."""
+    from repro.experiments.runner import clear_caches
+
+    _LIVE.clear()
+    clear_caches()
+
+
+def _execute(payload: PlanPayload) -> PlanResult:
+    from repro.algorithms import get_algorithm
+    from repro.core.multi_query import evaluate_multi_query, simulate_multi_query
+    from repro.evolving.window import window_scenario
+    from repro.resilience.faults import maybe_fire
+
+    fire = maybe_fire("service.worker-fault")
+    if fire is not None:
+        fire.note(plan=payload.plan_id, pid=os.getpid())
+        raise TransientError(
+            f"injected transient worker fault (plan {payload.plan_id})"
+        )
+    fire = maybe_fire("service.plan-poison")
+    if fire is not None:
+        fire.note(plan=payload.plan_id, pid=os.getpid())
+        raise FatalError(f"injected poisoned plan (plan {payload.plan_id})")
+
+    scenario = _live_scenario(payload)
+    if payload.window is not None:
+        scenario = window_scenario(scenario, *payload.window)
+    algorithm = get_algorithm(payload.algo)
+    budget = Budget(
+        max_rounds=payload.max_rounds, wall_clock_s=payload.budget_s
+    )
+    sources = list(payload.sources)
+    update_cycles = None
+    if payload.mode == "simulate":
+        report, mq = simulate_multi_query(
+            scenario, algorithm, sources, budget=budget
+        )
+        update_cycles = int(report.update_cycles)
+    else:
+        mq = evaluate_multi_query(scenario, algorithm, sources, budget=budget)
+    summaries = {
+        source: [
+            _summarize(algorithm, mq.values(q, k), k)
+            for k in range(scenario.n_snapshots)
+        ]
+        for q, source in enumerate(sources)
+    }
+    return PlanResult(
+        plan_id=payload.plan_id,
+        epoch=payload.epoch,
+        summaries=summaries,
+        worker_pid=os.getpid(),
+        update_cycles=update_cycles,
+    )
+
+
+def _worker_run(payload: PlanPayload) -> PlanResult:
+    """Pool entry point: control ops, fault arming, in-worker retry."""
+    if payload.kind == "ping":
+        time.sleep(0.02)  # hold the worker so warm-up reaches every process
+        return PlanResult(plan_id=payload.plan_id, epoch=payload.epoch,
+                          worker_pid=os.getpid())
+    if payload.kind == "clear":
+        _worker_clear()
+        return PlanResult(plan_id=payload.plan_id, epoch=payload.epoch,
+                          worker_pid=os.getpid())
+
+    t0 = time.monotonic()
+    attempts = {"n": 0}
+
+    def attempt() -> PlanResult:
+        attempts["n"] += 1
+        return _execute(payload)
+
+    def run() -> PlanResult:
+        try:
+            return retry_with_backoff(attempt, retries=1, base_delay=0.01)
+        except BudgetExceeded as exc:
+            # re-raise in a kwarg-free shape that survives pickling back
+            # to the coordinator (and is correctly non-retryable there)
+            raise FatalError(
+                f"plan {payload.plan_id} budget exceeded: {exc}"
+            ) from None
+
+    if payload.fault_points:
+        plan = FaultPlan(list(payload.fault_points), seed=payload.fault_seed)
+        with inject(plan):
+            result = run()
+        result.recovered_faults = tuple(r.point for r in plan.fired)
+    else:
+        result = run()
+    result.attempts = attempts["n"]
+    result.elapsed_s = time.monotonic() - t0
+    return result
+
+
+# ---------------------------------------------------------------------------
+# coordinator side
+# ---------------------------------------------------------------------------
+
+
+class WorkerPool:
+    """A restartable ``ProcessPoolExecutor`` with warm, cache-aware workers.
+
+    Submissions go through :func:`~repro.resilience.retry_with_backoff`
+    with a pool restart between attempts, so a broken pool (a worker died
+    hard enough to poison the executor) costs the in-flight plans at most
+    one resubmission instead of wedging the service.
+    """
+
+    def __init__(self, workers: int = 2, warm: bool = True) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.workers = int(workers)
+        self._lock = threading.Lock()
+        self._executor = self._new_executor()
+        self.restarts = 0
+        if warm:
+            self.warm_up()
+
+    def _new_executor(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def warm_up(self) -> None:
+        """Spawn every worker now (before coordinator threads exist) so no
+        fork happens later mid-serve."""
+        pings = [
+            self._executor.submit(
+                _worker_run, PlanPayload(-1, "", "", 0, "", (), kind="ping")
+            )
+            for __ in range(self.workers)
+        ]
+        for p in pings:
+            p.result(timeout=60)
+
+    def submit(self, payload: PlanPayload) -> Future:
+        def do_submit() -> Future:
+            with self._lock:
+                return self._executor.submit(_worker_run, payload)
+
+        def submit_or_restart() -> Future:
+            try:
+                return do_submit()
+            except (BrokenProcessPool, RuntimeError) as exc:
+                self._restart_locked()
+                raise TransientError(f"worker pool broken: {exc}") from exc
+
+        return retry_with_backoff(submit_or_restart, retries=2, base_delay=0.05)
+
+    def _restart_locked(self) -> None:
+        with self._lock:
+            old = self._executor
+            self._executor = self._new_executor()
+            self.restarts += 1
+        old.shutdown(wait=False, cancel_futures=True)
+
+    def restart(self) -> None:
+        """Replace every worker process (guaranteed cache reclaim)."""
+        self._restart_locked()
+        self.warm_up()
+
+    def clear_caches(self) -> None:
+        """Best-effort broadcast of ``clear`` to the workers.
+
+        One control op per worker; an op lands on whichever worker is
+        free, so a busy pool may clear some workers twice and others not
+        at all — :meth:`restart` is the guaranteed path.
+        """
+        ops = [
+            self.submit(PlanPayload(-2, "", "", 0, "", (), kind="clear"))
+            for __ in range(self.workers)
+        ]
+        for op in ops:
+            op.result(timeout=60)
+
+    def shutdown(self) -> None:
+        with self._lock:
+            self._executor.shutdown(wait=True, cancel_futures=True)

@@ -1,0 +1,139 @@
+"""Query/response dataclasses and admission-time validation.
+
+A :class:`QueryRequest` names a graph (Table 2 short name), an algorithm,
+a source vertex, and optionally a contiguous snapshot sub-window.  It is
+deliberately tiny — everything heavy (the scenario, the plan, the values)
+lives in the workers — so requests are cheap to queue, coalesce, and ship
+across the process boundary.
+
+Responses carry per-snapshot *summaries* (reached count + a finite-value
+checksum) rather than full value arrays: compact enough to stream over the
+JSON-lines front end, strong enough for parity checks and result caching.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.algorithms import ALGORITHMS
+from repro.workloads import DATASETS, SCALES
+
+__all__ = [
+    "QueryRequest",
+    "QueryResponse",
+    "SnapshotSummary",
+    "validate_request",
+]
+
+_ids = itertools.count()
+
+
+def _next_id() -> int:
+    return next(_ids)
+
+
+@dataclass
+class QueryRequest:
+    """One evolving-graph query: graph, algorithm, source, window."""
+
+    graph: str
+    algo: str
+    source: int
+    #: inclusive snapshot sub-window, or None for the full history
+    window: tuple[int, int] | None = None
+    #: "eval" = functional executor; "simulate" = accelerator model
+    mode: str = "eval"
+    id: int = field(default_factory=_next_id)
+
+    def compat_key(self, epoch: int) -> tuple:
+        """Queries sharing this key may ride one coalesced BOE plan.
+
+        The multi-query plan fixes the algorithm (one edge function per
+        run, Table 1), the unified CSR (graph + epoch), and the snapshot
+        window; only the source vertex varies per query.
+        """
+        return (self.graph, self.algo, self.window, self.mode, epoch)
+
+
+@dataclass
+class SnapshotSummary:
+    """Digest of one query's values on one snapshot."""
+
+    snapshot: int
+    reached: int
+    checksum: float
+
+    def as_dict(self) -> dict:
+        return {
+            "snapshot": self.snapshot,
+            "reached": self.reached,
+            "checksum": self.checksum,
+        }
+
+
+@dataclass
+class QueryResponse:
+    """Terminal outcome of one request."""
+
+    id: int
+    status: str  # "ok" | "cached" | "error" | "rejected"
+    latency_s: float = 0.0
+    epoch: int = 0
+    plan_id: int | None = None
+    summaries: list[SnapshotSummary] = field(default_factory=list)
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("ok", "cached")
+
+    def as_dict(self) -> dict:
+        out = {
+            "id": self.id,
+            "status": self.status,
+            "latency_ms": round(self.latency_s * 1e3, 3),
+            "epoch": self.epoch,
+        }
+        if self.plan_id is not None:
+            out["plan"] = self.plan_id
+        if self.summaries:
+            out["snapshots"] = [s.as_dict() for s in self.summaries]
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+def validate_request(
+    request: QueryRequest, n_snapshots: int, scale: str | float
+) -> None:
+    """Admission-time validation: reject malformed queries before queueing.
+
+    Raises ``ValueError`` with an operator-grade message; the service maps
+    it to an error response (and the CLI front ends map bad static
+    arguments to exit code 2 before any service is built).
+    """
+    if request.graph not in DATASETS:
+        raise ValueError(
+            f"unknown graph {request.graph!r}; choose from {sorted(DATASETS)}"
+        )
+    if request.algo.upper() not in {a.upper() for a in ALGORITHMS}:
+        raise ValueError(
+            f"unknown algorithm {request.algo!r}; choose from "
+            f"{sorted(ALGORITHMS)}"
+        )
+    if request.mode not in ("eval", "simulate"):
+        raise ValueError(f"unknown mode {request.mode!r}; use eval|simulate")
+    factor = SCALES[scale] if isinstance(scale, str) else float(scale)
+    n_vertices, __ = DATASETS[request.graph].proxy_sizes(factor)
+    if not 0 <= int(request.source) < n_vertices:
+        raise ValueError(
+            f"source {request.source} out of range for {request.graph} "
+            f"({n_vertices} vertices at scale {scale})"
+        )
+    if request.window is not None:
+        lo, hi = request.window
+        if not 0 <= lo <= hi < n_snapshots:
+            raise ValueError(
+                f"window [{lo}, {hi}] outside [0, {n_snapshots - 1}]"
+            )

@@ -1,0 +1,145 @@
+"""JSON-lines front end: ``mega-repro serve``.
+
+One request per line on stdin, one JSON response per line on stdout — the
+simplest protocol that composes with anything (netcat, a socket wrapper,
+a shell pipe, a test harness).  Operations::
+
+    {"op": "query", "graph": "PK", "algo": "sssp", "source": 3,
+     "window": [0, 5]}                     -> one blocking query
+    {"op": "batch", "queries": [{...}, ...]}  -> submit together, await all
+                                                 (exercises coalescing)
+    {"op": "ingest", "graph": "PK", "seed": 1, "n_add": 8, "n_del": 8}
+    {"op": "ingest", "graph": "PK", "adds": [[u, v, w], ...],
+     "dels": [[u, v], ...]}                -> explicit delta batch
+    {"op": "stats"}                        -> service counters
+    {"op": "clear_caches"}                 -> coordinator + worker caches
+    {"op": "shutdown"}                     -> drain and exit
+
+Every response is ``{"ok": true, ...}`` or ``{"ok": false, "error": ...}``;
+protocol errors never kill the server.  The session is *degraded* if any
+query errored or was shed — ``serve`` exits non-zero then, matching the
+CLI convention (docs/RESILIENCE.md).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import IO
+
+from repro.service.core import QueryService
+from repro.service.ingest import DeltaBatch
+from repro.service.request import QueryRequest
+
+__all__ = ["ServiceFrontend", "serve_stdio"]
+
+#: per-query wait inside one stdio exchange; far above any sane plan time
+QUERY_TIMEOUT_S = 300.0
+
+
+class ServiceFrontend:
+    """Decode one JSON-lines operation, run it, encode the response."""
+
+    def __init__(self, service: QueryService) -> None:
+        self.service = service
+        self.shutdown_requested = False
+
+    def handle_line(self, line: str) -> dict:
+        try:
+            message = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "error": f"bad JSON: {exc}"}
+        if not isinstance(message, dict) or "op" not in message:
+            return {"ok": False, "error": 'expected {"op": ...}'}
+        op = message["op"]
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            return {"ok": False, "error": f"unknown op {op!r}"}
+        try:
+            return handler(message)
+        except Exception as exc:  # noqa: BLE001 - protocol must not die
+            return {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+
+    # -- operations --------------------------------------------------------
+
+    @staticmethod
+    def _request_of(message: dict) -> QueryRequest:
+        window = message.get("window")
+        return QueryRequest(
+            graph=message.get("graph", "PK"),
+            algo=message.get("algo", "sssp"),
+            source=int(message.get("source", 0)),
+            window=tuple(window) if window is not None else None,
+            mode=message.get("mode", "eval"),
+        )
+
+    def _op_query(self, message: dict) -> dict:
+        pending = self.service.submit(self._request_of(message))
+        response = pending.wait(timeout=QUERY_TIMEOUT_S)
+        if response is None:
+            return {"ok": False, "error": "query timed out"}
+        return {"ok": response.ok, **response.as_dict()}
+
+    def _op_batch(self, message: dict) -> dict:
+        queries = message.get("queries", [])
+        handles = [
+            self.service.submit(self._request_of(q)) for q in queries
+        ]
+        out = []
+        for h in handles:
+            response = h.wait(timeout=QUERY_TIMEOUT_S)
+            out.append(
+                {"ok": False, "error": "query timed out"}
+                if response is None
+                else {"ok": response.ok, **response.as_dict()}
+            )
+        return {"ok": all(r["ok"] for r in out), "responses": out}
+
+    def _op_ingest(self, message: dict) -> dict:
+        graph = message.get("graph", "PK")
+        if "adds" in message or "dels" in message:
+            delta = DeltaBatch.from_lists(
+                message.get("adds", []), message.get("dels", [])
+            )
+            epoch = self.service.ingest(graph, delta=delta)
+        else:
+            epoch = self.service.ingest(
+                graph,
+                seed=int(message.get("seed", 0)),
+                n_add=int(message.get("n_add", 8)),
+                n_del=int(message.get("n_del", 8)),
+            )
+        return {"ok": True, "graph": graph, "epoch": epoch}
+
+    def _op_stats(self, message: dict) -> dict:
+        return {"ok": True, "stats": self.service.service_stats()}
+
+    def _op_clear_caches(self, message: dict) -> dict:
+        self.service.clear_caches()
+        return {"ok": True}
+
+    def _op_shutdown(self, message: dict) -> dict:
+        self.shutdown_requested = True
+        return {"ok": True, "shutting_down": True}
+
+
+def serve_stdio(
+    service: QueryService,
+    stdin: IO[str] | None = None,
+    stdout: IO[str] | None = None,
+) -> int:
+    """Serve JSON lines until EOF or a shutdown op; returns an exit code
+    (0 clean, 1 degraded — errored or shed queries during the session)."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    frontend = ServiceFrontend(service)
+    with service:
+        for line in stdin:
+            if not line.strip():
+                continue
+            response = frontend.handle_line(line)
+            print(json.dumps(response), file=stdout, flush=True)
+            if frontend.shutdown_requested:
+                break
+        stats = service.service_stats()
+    return 1 if (stats["errored"] or stats["rejected"]) else 0

@@ -1,0 +1,77 @@
+"""Coalesced multi-query plans equal per-query sequential runs.
+
+The query service leans on ``multi_query_boe_plan`` to merge compatible
+concurrent queries into one shared plan, so this parity must hold for
+every algorithm the registry exposes — not just the one the service
+happens to batch first.  Each case compares the coalesced values against
+(a) singleton multi-query runs and (b) the from-scratch reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.multi_query import evaluate_multi_query
+from repro.engines.validation import evaluate_reference
+from repro.evolving.snapshots import EvolvingScenario
+from repro.resilience import Budget, BudgetExceeded
+
+
+def _sources(scenario, count=3):
+    degrees = np.diff(scenario.common_graph().indptr)
+    ranked = np.argsort(-degrees)
+    return [int(v) for v in ranked[:count]]
+
+
+def test_coalesced_equals_sequential(small_scenario, algorithm):
+    """One shared plan for Q sources == Q singleton plans, all algos."""
+    sources = _sources(small_scenario)
+    coalesced = evaluate_multi_query(small_scenario, algorithm, sources)
+    for q, source in enumerate(sources):
+        single = evaluate_multi_query(small_scenario, algorithm, [source])
+        for k in range(small_scenario.n_snapshots):
+            assert np.allclose(
+                coalesced.values(q, k), single.values(0, k), equal_nan=True
+            ), (algorithm.name, q, k)
+
+
+def test_coalesced_equals_reference(small_scenario, algorithm):
+    """The shared plan also matches from-scratch evaluation per snapshot."""
+    sources = _sources(small_scenario)
+    coalesced = evaluate_multi_query(small_scenario, algorithm, sources)
+    for q, source in enumerate(sources):
+        requeried = EvolvingScenario(
+            small_scenario.unified, source=source, name="parity"
+        )
+        for k in range(small_scenario.n_snapshots):
+            expected = evaluate_reference(requeried, algorithm, k)
+            assert np.allclose(
+                coalesced.values(q, k), expected, equal_nan=True
+            ), (algorithm.name, q, k)
+
+
+def test_duplicate_sources_agree(small_scenario, algorithm):
+    """The same source listed twice yields identical rows (the batcher
+    dedups duplicates, but the plan itself must tolerate them too)."""
+    source = _sources(small_scenario, count=1)[0]
+    result = evaluate_multi_query(
+        small_scenario, algorithm, [source, source]
+    )
+    for k in range(small_scenario.n_snapshots):
+        assert np.allclose(
+            result.values(0, k), result.values(1, k), equal_nan=True
+        )
+
+
+def test_multi_query_budget_breaches(small_scenario):
+    """The service's watchdog path: a tiny round budget breaches loudly."""
+    from repro.algorithms import get_algorithm
+
+    with pytest.raises(BudgetExceeded):
+        evaluate_multi_query(
+            small_scenario,
+            get_algorithm("sssp"),
+            _sources(small_scenario),
+            budget=Budget(max_rounds=1),
+        )

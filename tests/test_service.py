@@ -1,0 +1,419 @@
+"""Tests for the concurrent query service (`repro.service`).
+
+Unit layers (validation, cache, queue, coalescing, ingest) run without
+any pool; the end-to-end tests each spin up a real process-pool service
+at tiny scale.  Determinism trick: queries submitted *before*
+``service.start()`` sit in the admission queue and are drained together
+by the batcher's first pass, so coalescing assertions never race the
+coalescing timer.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.multi_query import evaluate_multi_query
+from repro.service import (
+    AdmissionQueue,
+    DeltaBatch,
+    LoadSpec,
+    PendingQuery,
+    QueryRequest,
+    QueryService,
+    ResultCache,
+    ServiceConfig,
+    apply_delta,
+    coalesce,
+    run_load,
+    serve_stdio,
+    synthesize_delta,
+    validate_request,
+)
+from repro.service.loadgen import BENCH_SCHEMA_VERSION
+from repro.service.pool import _summarize
+from repro.service.request import SnapshotSummary
+
+TINY = dict(scale="tiny", n_snapshots=4, workers=1)
+
+
+def _config(**kw) -> ServiceConfig:
+    merged = {**TINY, "coalesce_ms": 2.0, **kw}
+    return ServiceConfig(**merged)
+
+
+def _summaries(n=2):
+    return [SnapshotSummary(k, 5 + k, 1.5 * k) for k in range(n)]
+
+
+# -- request validation ----------------------------------------------------
+
+
+def test_validate_request_accepts_defaults():
+    validate_request(QueryRequest("PK", "sssp", 3), 4, "tiny")
+
+
+@pytest.mark.parametrize(
+    "kw",
+    [
+        {"graph": "NOPE"},
+        {"algo": "nope"},
+        {"mode": "dream"},
+        {"source": 10**9},
+        {"source": -1},
+        {"window": (2, 1)},
+        {"window": (0, 99)},
+    ],
+)
+def test_validate_request_rejects(kw):
+    base = {"graph": "PK", "algo": "sssp", "source": 3}
+    with pytest.raises(ValueError):
+        validate_request(QueryRequest(**{**base, **kw}), 4, "tiny")
+
+
+def test_compat_key_separates_epochs_and_windows():
+    a = QueryRequest("PK", "sssp", 1)
+    b = QueryRequest("PK", "sssp", 2)
+    assert a.compat_key(0) == b.compat_key(0)  # sources may differ
+    assert a.compat_key(0) != a.compat_key(1)
+    assert a.compat_key(0) != QueryRequest("PK", "sssp", 1, window=(0, 1)).compat_key(0)
+    assert a.compat_key(0) != QueryRequest("PK", "bfs", 1).compat_key(0)
+
+
+# -- result cache ----------------------------------------------------------
+
+
+def test_result_cache_epoch_and_invalidation():
+    cache = ResultCache(maxsize=8)
+    req = QueryRequest("PK", "sssp", 3)
+    assert cache.get(req, 0) is None
+    cache.put(req, 0, _summaries())
+    assert cache.get(req, 0)[0].reached == 5
+    # a new epoch can never hit an old entry
+    assert cache.get(req, 1) is None
+    # other graphs survive invalidation, this graph's entries do not
+    other = QueryRequest("LJ", "sssp", 3)
+    cache.put(other, 0, _summaries())
+    assert cache.invalidate_graph("PK") == 1
+    assert cache.get(req, 0) is None
+    assert cache.get(other, 0) is not None
+    stats = cache.stats()
+    assert stats["hits"] == 2 and stats["misses"] == 3
+    assert 0.0 < stats["hit_rate"] < 1.0
+
+
+def test_result_cache_evicts_lru():
+    cache = ResultCache(maxsize=2)
+    reqs = [QueryRequest("PK", "sssp", s) for s in range(3)]
+    for r in reqs:
+        cache.put(r, 0, _summaries())
+    assert cache.get(reqs[0], 0) is None  # evicted
+    assert cache.get(reqs[2], 0) is not None
+
+
+# -- admission queue and coalescing ---------------------------------------
+
+
+def test_admission_queue_sheds_on_overflow():
+    q = AdmissionQueue(max_pending=2)
+    items = [PendingQuery(QueryRequest("PK", "sssp", s), 0) for s in range(3)]
+    assert q.offer(items[0]) and q.offer(items[1])
+    assert not q.offer(items[2])
+    assert len(q.drain()) == 2 and len(q) == 0
+
+
+def test_coalesce_groups_compatible_queries():
+    pending = [
+        PendingQuery(QueryRequest("PK", "sssp", s), 0) for s in (1, 2, 3)
+    ] + [
+        PendingQuery(QueryRequest("PK", "bfs", 1), 0),
+        PendingQuery(QueryRequest("PK", "sssp", 4), 1),  # later epoch
+    ]
+    plans = coalesce(pending, max_batch=8)
+    assert sorted(len(p) for p in plans) == [1, 1, 3]
+
+
+def test_coalesce_never_emits_empty_plans():
+    pending = [
+        PendingQuery(QueryRequest("PK", "sssp", s), 0) for s in (1, 2)
+    ]
+    for max_batch in (0, 1, 2):
+        plans = coalesce(pending, max_batch)
+        assert all(plans), plans
+        assert sum(len(p) for p in plans) == 2
+
+
+def test_coalesce_splits_at_max_batch_distinct_sources():
+    pending = [
+        PendingQuery(QueryRequest("PK", "sssp", s), 0)
+        for s in (1, 1, 2, 2, 3, 4)
+    ]
+    plans = coalesce(pending, max_batch=2)
+    # duplicates ride free: {1,1,2,2} fits one 2-source plan, {3,4} the next
+    assert [len(p) for p in plans] == [4, 2]
+    assert all(
+        len({q.request.source for q in p}) <= 2 for p in plans
+    )
+
+
+# -- ingest ----------------------------------------------------------------
+
+
+def test_synthesize_delta_respects_invariants(small_scenario):
+    delta = synthesize_delta(small_scenario, seed=7, n_add=6, n_del=6)
+    u = small_scenario.unified
+    assert delta.n_additions == 6 and delta.n_deletions == 6
+    # deletions come from common edges (present everywhere, untouched)
+    common = {
+        (int(s), int(d))
+        for s, d in zip(
+            u.graph.src_of_edge[(u.add_step < 0) & (u.del_step < 0)],
+            u.graph.dst[(u.add_step < 0) & (u.del_step < 0)],
+        )
+    }
+    assert set(delta.deletions()) <= common
+    # additions are absent from the union graph
+    union = set(zip(u.graph.src_of_edge.tolist(), u.graph.dst.tolist()))
+    adds = set(zip(delta.add_src.tolist(), delta.add_dst.tolist()))
+    assert not (adds & union)
+
+
+def test_apply_delta_is_pure_and_advances_epoch(small_scenario):
+    delta = synthesize_delta(small_scenario, seed=3)
+    before = small_scenario.unified.graph.n_edges
+    advanced = apply_delta(small_scenario, delta)
+    assert advanced is not small_scenario
+    assert small_scenario.unified.graph.n_edges == before  # untouched
+    assert advanced.metadata["epoch"] == 1
+    assert advanced.n_snapshots == small_scenario.n_snapshots
+    twice = apply_delta(advanced, synthesize_delta(advanced, seed=4))
+    assert twice.metadata["epoch"] == 2
+
+
+def test_delta_batch_from_lists_wire_format():
+    d = DeltaBatch.from_lists([[0, 1, 2.5], [1, 2]], [[3, 4]])
+    assert d.n_additions == 2 and d.n_deletions == 1
+    assert d.add_wt.tolist() == [2.5, 1.0]
+    assert d.deletions() == [(3, 4)]
+
+
+# -- end-to-end: coalescing, parity, cache, ingest ------------------------
+
+
+def test_service_coalesces_burst_and_matches_direct_evaluation():
+    from repro.algorithms import get_algorithm
+    from repro.experiments.runner import scenario_cache
+
+    sources = [1, 2, 3, 5, 1, 2, 3, 5]  # 4 distinct, duplicates ride free
+    service = QueryService(_config(max_batch=8))
+    handles = [
+        service.submit(QueryRequest("PK", "sssp", s)) for s in sources
+    ]
+    with service:  # start after submitting: one drain, one plan
+        responses = [h.wait(timeout=120) for h in handles]
+    assert all(r is not None and r.status == "ok" for r in responses)
+    stats = service.service_stats()
+    assert stats["plans"] == 1
+    assert stats["plan_queries"] == 8
+    assert stats["batching_factor"] == 8.0
+
+    # parity: the service's digests == direct multi-query evaluation
+    scenario = scenario_cache("PK", "tiny", n_snapshots=4)
+    algo = get_algorithm("sssp")
+    direct = evaluate_multi_query(scenario, algo, [1, 2, 3, 5])
+    for r, s in zip(responses, sources):
+        q = [1, 2, 3, 5].index(s)
+        for k, summary in enumerate(r.summaries):
+            expect = _summarize(algo, direct.values(q, k), k)
+            assert summary.reached == expect.reached
+            assert summary.checksum == pytest.approx(expect.checksum)
+
+
+def test_no_batching_runs_one_plan_per_query():
+    service = QueryService(_config(batching=False))
+    handles = [
+        service.submit(QueryRequest("PK", "sssp", s)) for s in (1, 2, 1, 2)
+    ]
+    with service:
+        assert all(h.wait(timeout=120).ok for h in handles)
+    assert service.service_stats()["plans"] == 4
+
+
+def test_cache_hits_until_ingest_invalidates():
+    service = QueryService(_config())
+    req = QueryRequest("PK", "sssp", 3)
+    with service:
+        first = service.submit(req).wait(timeout=120)
+        assert first.status == "ok" and first.epoch == 0
+        again = service.submit(QueryRequest("PK", "sssp", 3)).wait(timeout=120)
+        assert again.status == "cached"
+        assert service.epoch("PK") == 0
+        assert service.ingest("PK", seed=1) == 1
+        fresh = service.submit(QueryRequest("PK", "sssp", 3)).wait(timeout=120)
+        assert fresh.status == "ok" and fresh.epoch == 1
+    stats = service.service_stats()
+    assert stats["cached"] == 1 and stats["ingests"] == 1
+    assert stats["errored"] == 0
+
+
+def test_invalid_query_gets_error_response_not_crash():
+    service = QueryService(_config())
+    with service:
+        bad = service.submit(QueryRequest("PK", "sssp", 10**9)).wait(5)
+        ok = service.submit(QueryRequest("PK", "sssp", 1)).wait(timeout=120)
+    assert bad.status == "error" and "out of range" in bad.error
+    assert ok.status == "ok"
+
+
+# -- end-to-end: resilience -----------------------------------------------
+
+
+def test_transient_worker_fault_recovers_in_worker():
+    service = QueryService(
+        _config(inject_fault=("service.worker-fault",))
+    )
+    handles = [
+        service.submit(QueryRequest("PK", "sssp", s)) for s in (1, 2, 3)
+    ]
+    with service:
+        responses = [h.wait(timeout=120) for h in handles]
+    assert all(r.status == "ok" for r in responses)
+    stats = service.service_stats()
+    assert stats["faults_recovered"] >= 1
+    assert stats["errored"] == 0 and stats["retries"] == 0
+
+
+def test_poisoned_plan_degrades_to_singletons():
+    service = QueryService(
+        _config(inject_fault=("service.plan-poison",), max_batch=8)
+    )
+    handles = [
+        service.submit(QueryRequest("PK", "sssp", s)) for s in (1, 2, 3)
+    ]
+    with service:  # burst -> one poisoned plan -> split into singletons
+        responses = [h.wait(timeout=120) for h in handles]
+    assert all(r.status == "ok" for r in responses)
+    stats = service.service_stats()
+    assert stats["retries"] == 3
+    assert stats["plans"] == 4  # the poisoned plan + three singletons
+    assert stats["errored"] == 0
+
+
+# -- JSON-lines front end --------------------------------------------------
+
+
+def test_serve_stdio_protocol_and_exit_codes():
+    ops = [
+        {"op": "query", "graph": "PK", "algo": "sssp", "source": 1},
+        {"op": "batch", "queries": [
+            {"graph": "PK", "algo": "sssp", "source": 2},
+            {"graph": "PK", "algo": "sssp", "source": 2},
+        ]},
+        {"op": "ingest", "graph": "PK", "seed": 1},
+        {"op": "query", "graph": "PK", "algo": "sssp", "source": 1},
+        {"op": "stats"},
+        {"op": "nope"},
+        "not json",
+        {"op": "shutdown"},
+    ]
+    stdin = io.StringIO(
+        "\n".join(o if isinstance(o, str) else json.dumps(o) for o in ops)
+    )
+    stdout = io.StringIO()
+    rc = serve_stdio(QueryService(_config()), stdin=stdin, stdout=stdout)
+    lines = [json.loads(l) for l in stdout.getvalue().splitlines()]
+    assert rc == 0
+    assert lines[0]["ok"] and lines[0]["status"] == "ok"
+    assert lines[1]["ok"] and len(lines[1]["responses"]) == 2
+    assert lines[2] == {"ok": True, "graph": "PK", "epoch": 1}
+    assert lines[3]["ok"] and lines[3]["epoch"] == 1
+    assert lines[4]["stats"]["ingests"] == 1
+    assert not lines[5]["ok"] and "unknown op" in lines[5]["error"]
+    assert not lines[6]["ok"] and "bad JSON" in lines[6]["error"]
+    assert lines[7]["shutting_down"]
+
+
+def test_serve_stdio_degraded_session_exits_nonzero():
+    stdin = io.StringIO(
+        json.dumps({"op": "query", "graph": "PK", "source": 10**9}) + "\n"
+    )
+    rc = serve_stdio(QueryService(_config()), stdin=stdin, stdout=io.StringIO())
+    assert rc == 1
+
+
+# -- load harness ----------------------------------------------------------
+
+
+def _bench_schema_ok(doc: dict) -> None:
+    assert doc["bench"] == "service"
+    assert doc["schema_version"] == BENCH_SCHEMA_VERSION
+    r = doc["results"]
+    for key in (
+        "submitted", "completed", "cached", "errored", "rejected",
+        "offered_qps", "throughput_qps", "duration_s", "latency_ms",
+        "plans", "batching_factor", "cache_hit_rate", "retries",
+        "ingests", "faults",
+    ):
+        assert key in r, key
+    for p in ("p50", "p95", "p99", "mean"):
+        assert isinstance(r["latency_ms"][p], float)
+    assert set(r["faults"]) == {"injected", "recovered"}
+    assert doc["config"]["scale"] in ("tiny", "small", "medium")
+
+
+def test_run_load_report_schema_and_clean_exit():
+    spec = LoadSpec(duration_s=0.4, rate_qps=40, seed=1, n_sources=4,
+                    window_fraction=0.25, ingest_every_s=0.2)
+    with QueryService(_config()) as service:
+        report = run_load(service, spec)
+    assert not report.degraded
+    r = report.results
+    assert r["submitted"] == r["completed"] > 0
+    assert r["errored"] == 0 and r["rejected"] == 0
+    assert r["ingests"] >= 1
+    _bench_schema_ok(json.loads(report.to_json()))
+    assert "throughput" in report.format_table()
+
+
+def test_checked_in_bench_baseline_schema():
+    path = pathlib.Path(__file__).resolve().parents[1] / "BENCH_service.json"
+    doc = json.loads(path.read_text())
+    _bench_schema_ok(doc)
+    assert doc["results"]["errored"] == 0
+    assert doc["results"]["batching_factor"] > 1.0
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["serve-bench", "--graphs", "NOPE"],
+        ["serve-bench", "--algos", "nope"],
+        ["serve-bench", "--workers", "0"],
+        ["serve-bench", "--max-batch", "0"],
+        ["serve-bench", "--inject-fault", "no.such-point"],
+        ["serve", "--graphs", "PK,WAT"],
+    ],
+)
+def test_cli_bad_service_arguments_exit_2(argv, capsys):
+    assert main(argv) == 2
+    assert capsys.readouterr().err.strip()  # one-line operator error
+
+
+def test_cli_serve_bench_tiny_smoke(tmp_path, capsys):
+    out = tmp_path / "bench.json"
+    rc = main([
+        "serve-bench", "--scale", "tiny", "--snapshots", "4",
+        "--workers", "1", "--duration", "0.3", "--rate", "30",
+        "--sources", "4", "--out", str(out),
+    ])
+    assert rc == 0
+    assert "serve-bench" in capsys.readouterr().out
+    _bench_schema_ok(json.loads(out.read_text()))
