@@ -136,6 +136,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 
 def _cmd_faults(args: argparse.Namespace) -> int:
+    import repro.service  # noqa: F401 - registers service + WAL fault points
     from repro.resilience import FAULT_POINTS
     from repro.resilience.campaign import run_campaign
 
@@ -255,6 +256,7 @@ def _service_config(args: argparse.Namespace):
         raise SystemExit(_fail_usage("--max-batch must be >= 1"))
     inject = tuple(args.inject_fault) if args.inject_fault else ()
     if inject:
+        import repro.service  # noqa: F401 - registers service fault points
         from repro.resilience import FAULT_POINTS
 
         for point in inject:
@@ -263,6 +265,8 @@ def _service_config(args: argparse.Namespace):
                     f"unknown fault point {point!r}; choose from "
                     f"{sorted(FAULT_POINTS)}"
                 ))
+    if args.wal_compact_every < 0:
+        raise SystemExit(_fail_usage("--wal-compact-every must be >= 0"))
     return ServiceConfig(
         scale=args.scale,
         n_snapshots=args.snapshots,
@@ -273,6 +277,9 @@ def _service_config(args: argparse.Namespace):
         mode=args.mode,
         budget_s=args.budget_s,
         cache_size=max(1, args.cache_size),
+        wal_dir=args.wal_dir,
+        wal_fsync=args.wal_fsync,
+        wal_compact_every=args.wal_compact_every,
         inject_fault=inject,
     )
 
@@ -290,10 +297,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return serve_stdio(service)
 
 
+def _cmd_crash_drill(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.service import run_crash_drill
+
+    wal_dir = args.wal_dir or tempfile.mkdtemp(prefix="mega-crash-drill-")
+    graph = _parse_names(args.graphs)[0]
+    algos = [a.lower() for a in _parse_names(args.algos)]
+    report = run_crash_drill(
+        wal_dir,
+        crash_at_epoch=args.crash_at_epoch,
+        graph=graph,
+        scale=args.scale,
+        n_snapshots=args.snapshots,
+        workers=args.workers,
+        algos=algos,
+    )
+    print(report.format_table())
+    return 0 if report.ok else 1
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service import LoadSpec, QueryService, run_load
 
     config = _service_config(args)
+    if args.crash_at_epoch < 0:
+        raise SystemExit(_fail_usage("--crash-at-epoch must be >= 0"))
+    if args.crash_at_epoch:
+        return _cmd_crash_drill(args)
+    write_out = not args.no_out and bool(args.out)
+    if not args.out and not args.no_out:
+        print(
+            "[deprecated: --out '' is going away; use --no-out]",
+            file=sys.stderr,
+        )
     spec = LoadSpec(
         duration_s=args.duration,
         rate_qps=args.rate,
@@ -304,11 +342,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         zipf_s=args.zipf,
         window_fraction=args.window_fraction,
         ingest_every_s=args.ingest_every,
+        deadline_s=args.deadline_ms / 1e3,
+        max_retries=args.retries,
     )
     with QueryService(config) as service:
         report = run_load(service, spec)
     print(report.format_table())
-    if args.out:
+    if write_out:
         path = pathlib.Path(args.out)
         path.write_text(report.to_json() + "\n")
         print(f"[wrote {path}]")
@@ -444,6 +484,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-plan wall-clock budget (watchdog)")
         p.add_argument("--cache-size", type=int, default=512,
                        help="result-cache entries (1 ~= disabled)")
+        p.add_argument("--wal-dir", default=None,
+                       help="write-ahead log directory: ingest becomes "
+                       "durable and the service recovers from it on start")
+        p.add_argument("--wal-fsync", default="always",
+                       choices=["always", "batch", "never"],
+                       help="fsync policy for WAL appends")
+        p.add_argument("--wal-compact-every", type=int, default=0,
+                       help="snapshot + truncate the WAL every N ingests "
+                       "(0 = never)")
         p.add_argument(
             "--inject-fault",
             nargs="*",
@@ -476,8 +525,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of queries over a random sub-window")
     p_bench.add_argument("--ingest-every", type=float, default=0.0,
                          help="ingest a synthesized delta every N seconds")
+    p_bench.add_argument("--deadline-ms", type=float, default=0.0,
+                         help="per-query execution deadline in milliseconds "
+                         "(0 = none); expired queries are shed")
+    p_bench.add_argument("--retries", type=int, default=0,
+                         help="client-side retries of shed/rejected queries "
+                         "(backoff + jitter, honours retry_after)")
     p_bench.add_argument("--out", default="BENCH_service.json",
-                         help="write the JSON report here ('' to skip)")
+                         help="write the JSON report here")
+    p_bench.add_argument("--no-out", action="store_true",
+                         help="skip writing the JSON report")
+    p_bench.add_argument("--crash-at-epoch", type=int, default=0,
+                         metavar="N",
+                         help="run the kill-and-recover drill instead of the "
+                         "load harness: SIGKILL a serving subprocess after "
+                         "N acknowledged ingests, restart it from the WAL, "
+                         "and assert zero acknowledged-delta loss plus "
+                         "query parity")
     p_bench.set_defaults(func=_cmd_serve_bench)
 
     p_sim = sub.add_parser("simulate", help="run one simulation")

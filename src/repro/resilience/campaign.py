@@ -19,6 +19,7 @@ reproduces the same corruptions and the same verdicts.
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import dataclass, field
 
@@ -45,6 +46,14 @@ EVENTSIM_POINTS = ("eventsim.drop-event", "eventsim.duplicate-event")
 #: fault points that live in the serving layer (repro.service.pool);
 #: their workload is a tiny end-to-end service burst, not the executor
 SERVICE_POINTS = ("service.worker-fault", "service.plan-poison")
+
+#: fault points in the durable-ingest path (repro.service.wal / core);
+#: their workload is a WAL write-crash-recover cycle on a temp directory
+WAL_POINTS = (
+    "service.wal-torn-write",
+    "service.wal-corrupt-record",
+    "service.crash-on-ingest",
+)
 
 #: default watchdog for campaign trials — generous for the workloads the
 #: campaign runs, tight enough that a corrupted stream cannot hang it
@@ -259,6 +268,95 @@ def _service_trial(
     return injected, injected, recovered, detail
 
 
+def _wal_trial(
+    point: str, seed: int, skip: int, budget: Budget
+) -> tuple[bool, bool, bool, dict]:
+    """Exercise the durable-ingest path with ``point`` armed.
+
+    Each trial is a write → damage → recover cycle on a throwaway WAL
+    directory; detection means recovery *noticed* the damage (truncation
+    warning, quarantine entry, or surfaced crash) and recovered means no
+    acknowledged record was lost and nothing raised out of recovery.
+    Returns ``(injected, detected, recovered, detail)``.
+    """
+    from repro.service.wal import (
+        WalWriteError,
+        WriteAheadLog,
+        recover_wal,
+    )
+
+    detail: dict = {}
+    with tempfile.TemporaryDirectory(prefix="mega-wal-trial-") as wal_dir:
+        if point == "service.crash-on-ingest":
+            from repro.service import QueryService, ServiceConfig, SimulatedCrash
+
+            config = ServiceConfig(
+                scale="tiny", n_snapshots=4, workers=1,
+                wal_dir=wal_dir, inject_fault=(point,), fault_seed=seed,
+            )
+            service = QueryService(config).start()
+            crashed = False
+            try:
+                try:
+                    service.ingest("PK", seed=1)
+                except SimulatedCrash:
+                    # the record hit the WAL, the ack never went out, and
+                    # the in-memory epoch never advanced — worst case
+                    crashed = True
+                epoch_before_restart = service.epoch("PK")
+            finally:
+                service.stop(drain=False)
+            revived = QueryService(
+                ServiceConfig(scale="tiny", n_snapshots=4, workers=1,
+                              wal_dir=wal_dir)
+            ).start()
+            try:
+                recovered_epoch = revived.epoch("PK")
+            finally:
+                revived.stop(drain=False)
+            detail = {
+                "epoch_at_crash": epoch_before_restart,
+                "recovered_epoch": recovered_epoch,
+            }
+            # the committed-but-unacknowledged delta may legally be
+            # replayed; losing it would also be legal, going backwards not
+            recovered = crashed and recovered_epoch >= epoch_before_restart
+            return crashed, crashed, recovered, detail
+
+        acknowledged = []
+        wal = WriteAheadLog(wal_dir, fsync="always")
+        plan = faults.FaultPlan([point], seed=seed, skip=skip)
+        with faults.inject(plan):
+            for k in range(1, 5):
+                record = {"op": "ingest", "graph": "PK", "epoch": k,
+                          "delta": {"adds": [[0, k, 1.0]], "dels": []}}
+                try:
+                    wal.append(record)
+                    acknowledged.append(record)
+                except WalWriteError:
+                    # torn write: the writer "died" before acknowledging
+                    pass
+        wal.close()
+        injected = bool(plan.fired)
+        for record in plan.fired:
+            detail.update(record.detail)
+        recovery = recover_wal(wal_dir)
+        detail["warnings"] = len(recovery.warnings)
+        detail["quarantined"] = recovery.quarantined
+        detected = injected and not recovery.clean
+        # zero acknowledged loss is required for torn writes (the torn
+        # record was never acknowledged); a corrupted record *was*
+        # acknowledged, so recovery must surface exactly that one as
+        # quarantined and keep every other acknowledged record
+        survivors = [r for r in acknowledged if r in recovery.records]
+        if point == "service.wal-torn-write":
+            recovered = detected and survivors == acknowledged
+        else:
+            lost = len(acknowledged) - len(survivors)
+            recovered = detected and lost == recovery.quarantined
+    return injected, detected, recovered, detail
+
+
 def run_trial(
     scenario: EvolvingScenario,
     algorithm: Algorithm,
@@ -274,6 +372,21 @@ def run_trial(
             f"{sorted(faults.FAULT_POINTS)}"
         )
     budget = budget if budget is not None else TRIAL_BUDGET
+    if point in WAL_POINTS:
+        t0 = time.perf_counter()
+        injected, detected, recovered, detail = _wal_trial(
+            point, seed, skip, budget
+        )
+        return TrialOutcome(
+            point=point,
+            injected=injected,
+            detected=detected,
+            recovered=recovered,
+            masked=False,
+            escaped=False,
+            elapsed=time.perf_counter() - t0,
+            detail=detail,
+        )
     if point in SERVICE_POINTS:
         t0 = time.perf_counter()
         injected, detected, recovered, detail = _service_trial(
@@ -331,9 +444,10 @@ def run_campaign(
     """One trial per fault point; retries with ``skip=0`` if a late
     injection offset never triggered the site."""
     if points is None:
-        # the serving layer registers its points on import; pull them in
-        # so a default campaign drills the whole surface
-        import repro.service.pool  # noqa: F401
+        # the serving layer registers its points on import (pool, WAL,
+        # ingest); pull the package in so a default campaign drills the
+        # whole surface
+        import repro.service  # noqa: F401
 
     names = sorted(faults.FAULT_POINTS) if points is None else list(points)
     rng = np.random.default_rng(seed)

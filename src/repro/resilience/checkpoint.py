@@ -19,15 +19,24 @@ import pathlib
 import re
 import time
 
-__all__ = ["RunCheckpoint"]
+__all__ = ["RunCheckpoint", "atomic_write"]
 
 _SAFE = re.compile(r"[^A-Za-z0-9._-]")
 
 
-def _atomic_write(path: pathlib.Path, text: str) -> None:
+def atomic_write(path: pathlib.Path, text: str) -> None:
+    """Write whole-or-nothing: a kill mid-write leaves the previous state.
+
+    Shared by the sweep checkpoints below and the WAL's compaction
+    snapshots (:mod:`repro.service.wal`).
+    """
     tmp = path.with_name(path.name + ".tmp")
     tmp.write_text(text)
     os.replace(tmp, path)
+
+
+#: backwards-compatible alias (pre-WAL name)
+_atomic_write = atomic_write
 
 
 class RunCheckpoint:

@@ -16,13 +16,28 @@ Modules:
 * :mod:`repro.service.cache`   — LRU result cache, ingest invalidation;
 * :mod:`repro.service.ingest`  — delta batches: synthesize, apply (slide);
 * :mod:`repro.service.core`    — the :class:`QueryService` orchestrator;
+* :mod:`repro.service.wal`     — write-ahead log: durable ingest, crash
+  recovery, compaction;
 * :mod:`repro.service.server`  — JSON-lines front end (``mega-repro serve``);
-* :mod:`repro.service.loadgen` — load harness (``mega-repro serve-bench``).
+* :mod:`repro.service.loadgen` — load harness (``mega-repro serve-bench``);
+* :mod:`repro.service.drill`   — SIGKILL-and-recover drill
+  (``serve-bench --crash-at-epoch``).
 """
 
-from repro.service.batcher import AdmissionQueue, PendingQuery, coalesce
+from repro.service.batcher import (
+    AdmissionQueue,
+    PendingQuery,
+    coalesce,
+    split_expired,
+)
 from repro.service.cache import ResultCache
-from repro.service.core import QueryService, ServiceConfig, ServiceStats
+from repro.service.core import (
+    QueryService,
+    ServiceConfig,
+    ServiceStats,
+    SimulatedCrash,
+)
+from repro.service.drill import DrillReport, run_crash_drill
 from repro.service.ingest import DeltaBatch, apply_delta, synthesize_delta
 from repro.service.loadgen import BenchReport, LoadSpec, run_load
 from repro.service.pool import PlanPayload, PlanResult, WorkerPool
@@ -33,11 +48,18 @@ from repro.service.request import (
     validate_request,
 )
 from repro.service.server import ServiceFrontend, serve_stdio
+from repro.service.wal import (
+    WalRecovery,
+    WalWriteError,
+    WriteAheadLog,
+    recover_wal,
+)
 
 __all__ = [
     "AdmissionQueue",
     "BenchReport",
     "DeltaBatch",
+    "DrillReport",
     "LoadSpec",
     "PendingQuery",
     "PlanPayload",
@@ -49,12 +71,19 @@ __all__ = [
     "ServiceConfig",
     "ServiceFrontend",
     "ServiceStats",
+    "SimulatedCrash",
     "SnapshotSummary",
+    "WalRecovery",
+    "WalWriteError",
     "WorkerPool",
+    "WriteAheadLog",
     "apply_delta",
     "coalesce",
+    "recover_wal",
+    "run_crash_drill",
     "run_load",
     "serve_stdio",
+    "split_expired",
     "synthesize_delta",
     "validate_request",
 ]

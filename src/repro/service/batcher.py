@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 
 from repro.service.request import QueryRequest, QueryResponse
 
-__all__ = ["PendingQuery", "AdmissionQueue", "coalesce"]
+__all__ = ["PendingQuery", "AdmissionQueue", "coalesce", "split_expired"]
 
 
 @dataclass
@@ -33,10 +33,21 @@ class PendingQuery:
     request: QueryRequest
     epoch: int
     submitted_at: float = field(default_factory=time.monotonic)
+    #: absolute monotonic deadline (from ``request.deadline_s``), or None
+    deadline: float | None = None
     #: set once, read by the submitter after ``done`` fires
     response: QueryResponse | None = None
     done: threading.Event = field(default_factory=threading.Event)
     retried: bool = False
+
+    def __post_init__(self) -> None:
+        if self.deadline is None and self.request.deadline_s is not None:
+            self.deadline = self.submitted_at + self.request.deadline_s
+
+    def expired(self, now: float | None = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline
 
     def resolve(self, response: QueryResponse) -> None:
         response.latency_s = time.monotonic() - self.submitted_at
@@ -46,6 +57,23 @@ class PendingQuery:
     def wait(self, timeout: float | None = None) -> QueryResponse | None:
         self.done.wait(timeout)
         return self.response
+
+
+def split_expired(
+    pending: list[PendingQuery],
+) -> tuple[list[PendingQuery], list[PendingQuery]]:
+    """Partition a drained batch into (live, deadline-expired) queries.
+
+    Called by the batcher *before* plan construction, so an overloaded
+    service sheds stale work instead of executing plans nobody is waiting
+    for — the deadline analogue of admission-queue overflow.
+    """
+    now = time.monotonic()
+    live: list[PendingQuery] = []
+    expired: list[PendingQuery] = []
+    for p in pending:
+        (expired if p.expired(now) else live).append(p)
+    return live, expired
 
 
 class AdmissionQueue:

@@ -3,8 +3,8 @@
 Dataflow (docs/SERVICE.md has the full picture)::
 
     submit() ──► AdmissionQueue ──► batcher thread ──► WorkerPool
-       │cache hit                      │coalesce()        │ProcessPool
-       ▼                               ▼                  ▼
+       │cache hit                      │shed expired      │ProcessPool
+       ▼                               │coalesce()        ▼
     cached response            PlanPayload per plan   PlanResult
                                                          │done callback
                          responses + ResultCache  ◄──────┘
@@ -17,21 +17,70 @@ pool, the other in-flight plans, and later traffic are unaffected.
 ``ingest()`` appends a delta batch to a graph's log, bumps its epoch, and
 invalidates that graph's cache entries; queries already in flight complete
 against the epoch they were admitted under (their responses say which).
+
+Durability: with a ``wal_dir`` configured, every delta is appended to a
+:class:`~repro.service.wal.WriteAheadLog` **before** the ingest is
+acknowledged, and :meth:`QueryService.start` replays the log (snapshot +
+segments) to rebuild per-graph delta logs and epochs after a crash —
+truncated tails and quarantined records are logged warnings, never
+exceptions.  Periodic compaction snapshots the live delta logs through the
+checkpoint layer's atomic writes so replay cost stays bounded.
+
+Overload protection: queries carry optional deadlines; the batcher sheds
+expired ones *before* plan construction with a ``retry_after`` hint sized
+from the current queue depth and recent plan latency, so clients back off
+instead of piling onto a saturated service.
 """
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 
-from repro.service.batcher import AdmissionQueue, PendingQuery, coalesce
+from repro.resilience.faults import FaultPlan, Fire, maybe_fire, register_fault_point
+from repro.service.batcher import (
+    AdmissionQueue,
+    PendingQuery,
+    coalesce,
+    split_expired,
+)
 from repro.service.cache import ResultCache
 from repro.service.ingest import DeltaBatch, synthesize_delta
 from repro.service.pool import PlanPayload, PlanResult, WorkerPool
 from repro.service.request import QueryRequest, QueryResponse, validate_request
+from repro.service.wal import WalRecovery, WriteAheadLog, recover_wal
 
-__all__ = ["ServiceConfig", "ServiceStats", "QueryService"]
+__all__ = [
+    "COORDINATOR_FAULT_POINTS",
+    "ServiceConfig",
+    "ServiceStats",
+    "SimulatedCrash",
+    "QueryService",
+]
+
+log = logging.getLogger(__name__)
+
+register_fault_point(
+    "service.crash-on-ingest",
+    "service/core.py",
+    "the coordinator dies between the WAL append and the in-memory apply "
+    "(worst-case crash point; recovery must replay the committed record)",
+)
+
+#: fault points that fire in the coordinator (ingest/WAL path) rather than
+#: inside pool workers — ``ServiceConfig.inject_fault`` arms these locally
+#: and never ships them with a plan payload
+COORDINATOR_FAULT_POINTS = (
+    "service.wal-torn-write",
+    "service.wal-corrupt-record",
+    "service.crash-on-ingest",
+)
+
+
+class SimulatedCrash(RuntimeError):
+    """Injected coordinator death mid-ingest (``service.crash-on-ingest``)."""
 
 
 @dataclass
@@ -48,6 +97,13 @@ class ServiceConfig:
     cache_size: int = 512
     budget_s: float = 60.0
     mode: str = "eval"
+    #: durable ingest: WAL directory (None = in-memory only, PR-2 behavior)
+    wal_dir: str | None = None
+    #: "always" | "batch" | "never" — fsync per append / periodically / OS
+    wal_fsync: str = "always"
+    wal_segment_bytes: int = 4 * 1024 * 1024
+    #: snapshot + drop segments every N ingests (0 = never compact)
+    wal_compact_every: int = 0
     #: arm these fault points on plan ordinal ``inject_fault_plan``
     inject_fault: tuple[str, ...] = ()
     inject_fault_plan: int = 0
@@ -63,11 +119,15 @@ class ServiceStats:
     cached: int = 0
     errored: int = 0
     rejected: int = 0
+    shed: int = 0
     plans: int = 0
     plan_queries: int = 0
     retries: int = 0
     faults_recovered: int = 0
     ingests: int = 0
+    drain_timeouts: int = 0
+    wal_records: int = 0
+    wal_compactions: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def snapshot(self, cache_stats: dict) -> dict:
@@ -78,6 +138,7 @@ class ServiceStats:
                 "cached": self.cached,
                 "errored": self.errored,
                 "rejected": self.rejected,
+                "shed": self.shed,
                 "plans": self.plans,
                 "plan_queries": self.plan_queries,
                 "batching_factor": (
@@ -86,6 +147,9 @@ class ServiceStats:
                 "retries": self.retries,
                 "faults_recovered": self.faults_recovered,
                 "ingests": self.ingests,
+                "drain_timeouts": self.drain_timeouts,
+                "wal_records": self.wal_records,
+                "wal_compactions": self.wal_compactions,
                 "cache": cache_stats,
             }
 
@@ -119,27 +183,125 @@ class QueryService:
         self._plan_ids = iter(range(1, 1 << 62))
         self._running = False
         self._thread: threading.Thread | None = None
+        self._started_at = time.monotonic()
+        #: EWMA of executed-plan wall time, feeds the retry_after hint
+        self._plan_ewma_s = 0.05
+        self.wal: WriteAheadLog | None = None
+        self.last_recovery: WalRecovery | None = None
+        coord = [
+            p for p in self.config.inject_fault
+            if p in COORDINATOR_FAULT_POINTS
+        ]
+        self._coord_plan = (
+            FaultPlan(coord, seed=self.config.fault_seed) if coord else None
+        )
+
+    def _maybe_fire(self, point: str) -> Fire | None:
+        """Coordinator fault hook: a globally injected plan wins, else the
+        config-armed one (``inject_fault`` with a coordinator point)."""
+        fire = maybe_fire(point)
+        if fire is None and self._coord_plan is not None:
+            fire = self._coord_plan.maybe_fire(point)
+        return fire
 
     # -- lifecycle ----------------------------------------------------------
 
-    def start(self) -> "QueryService":
+    def start(self, wal_dir: str | None = None) -> "QueryService":
+        """Start serving; with a WAL directory, recover state from it first.
+
+        ``wal_dir`` overrides ``config.wal_dir``.  Recovery replays the
+        compaction snapshot plus every surviving segment record to rebuild
+        per-graph delta logs and epochs; damaged data (torn tail, CRC
+        failure, epoch gap behind a quarantined record) is logged and
+        skipped, never raised.
+        """
         if self._running:
             return self
+        wal_dir = wal_dir if wal_dir is not None else self.config.wal_dir
+        if wal_dir and self.wal is None:
+            recovery = recover_wal(wal_dir)
+            self._install_recovery(recovery)
+            self.wal = WriteAheadLog(
+                wal_dir,
+                fsync=self.config.wal_fsync,
+                segment_bytes=self.config.wal_segment_bytes,
+                fault_hook=self._maybe_fire,
+            )
         self._running = True
+        self._started_at = time.monotonic()
         self._thread = threading.Thread(
             target=self._batch_loop, name="mega-batcher", daemon=True
         )
         self._thread.start()
         return self
 
-    def stop(self, drain: bool = True, timeout: float = 60.0) -> None:
+    def _install_recovery(self, recovery: WalRecovery) -> None:
+        """Rebuild ``self._graphs`` from a WAL recovery scan."""
+        self.last_recovery = recovery
+        logs: dict[str, list[DeltaBatch]] = {}
+        snapshot = recovery.snapshot or {}
+        for graph, wires in snapshot.get("logs", {}).items():
+            logs[graph] = [DeltaBatch.from_wire(w) for w in wires]
+        for record in recovery.records:
+            if record.get("op") != "ingest":
+                log.warning(
+                    "wal recovery: skipping unknown record op %r",
+                    record.get("op"),
+                )
+                continue
+            graph = record.get("graph", "")
+            delta_log = logs.setdefault(graph, [])
+            epoch = int(record.get("epoch", -1))
+            if epoch == len(delta_log) + 1:
+                delta_log.append(DeltaBatch.from_wire(record["delta"]))
+            elif epoch <= len(delta_log):
+                # already covered by the compaction snapshot
+                continue
+            else:
+                # a quarantined/lost record upstream broke the chain:
+                # freeze this graph at its last contiguous epoch rather
+                # than apply deltas out of order
+                log.warning(
+                    "wal recovery: %s epoch %d follows a gap (have %d); "
+                    "record skipped, graph frozen at epoch %d",
+                    graph, epoch, len(delta_log), len(delta_log),
+                )
+        with self._graphs_lock:
+            for graph, delta_log in logs.items():
+                live = self._graphs.setdefault(graph, _LiveGraph())
+                live.deltas = delta_log
+        if logs:
+            log.info(
+                "wal recovery: restored %s",
+                {g: len(d) for g, d in logs.items()},
+            )
+
+    def stop(self, drain: bool = True, timeout: float = 60.0) -> bool:
+        """Stop the service; returns whether it drained cleanly.
+
+        A timed-out drain is logged, counted in ``ServiceStats``
+        (``drain_timeouts``), and reflected in the return value — work
+        still in flight is abandoned, not silently forgotten.
+        """
+        drained = True
         if drain:
-            self.drain(timeout)
+            drained = self.drain(timeout)
+            if not drained:
+                with self.stats.lock:
+                    self.stats.drain_timeouts += 1
+                log.warning(
+                    "drain timed out after %.1fs "
+                    "(queue=%d inflight=%d); stopping anyway",
+                    timeout, len(self.queue), len(self._inflight),
+                )
         self._running = False
         if self._thread is not None:
             self._thread.join(timeout=10)
             self._thread = None
         self.pool.shutdown()
+        if self.wal is not None:
+            self.wal.close()
+        return drained
 
     def drain(self, timeout: float = 60.0) -> bool:
         """Block until the queue and all in-flight plans are empty."""
@@ -163,6 +325,23 @@ class QueryService:
     def epoch(self, graph: str) -> int:
         with self._graphs_lock:
             return self._graphs.setdefault(graph, _LiveGraph()).epoch
+
+    def retry_after_hint(self) -> float:
+        """How long an overloaded client should back off (seconds).
+
+        Scales the recent per-plan wall time by the backlog a new query
+        would sit behind; clamped to a sane band so a cold EWMA or a
+        pathological queue can't produce silly hints.
+        """
+        with self._inflight_lock:
+            inflight = len(self._inflight)
+        backlog_plans = inflight + (
+            len(self.queue) / max(self.config.max_batch, 1)
+        )
+        hint = self._plan_ewma_s * (1.0 + backlog_plans) / max(
+            self.config.workers, 1
+        )
+        return float(min(max(hint, 0.05), 10.0))
 
     def submit(self, request: QueryRequest) -> PendingQuery:
         """Admit one query; returns a handle to ``wait()`` on.
@@ -207,6 +386,7 @@ class QueryService:
                     "rejected",
                     epoch=epoch,
                     error="admission queue full (load shed)",
+                    retry_after=self.retry_after_hint(),
                 )
             )
         return pending
@@ -224,7 +404,12 @@ class QueryService:
         Either pass an explicit :class:`DeltaBatch` or a ``seed`` to
         synthesize one from the graph's current epoch state.  Returns the
         new epoch.
+
+        With a WAL configured the delta is appended (and fsynced, per
+        policy) *before* the in-memory apply: an acknowledged ingest is
+        durable, and a WAL write failure raises without acknowledging.
         """
+        compact_due = False
         with self._graphs_lock:
             live = self._graphs.setdefault(graph, _LiveGraph())
             if delta is None:
@@ -249,12 +434,55 @@ class QueryService:
                 delta = synthesize_delta(
                     scenario, seed=seed, n_add=n_add, n_del=n_del
                 )
+            if self.wal is not None:
+                # durability point: commit before acknowledging; a
+                # WalWriteError propagates and nothing was applied
+                self.wal.append(
+                    {
+                        "op": "ingest",
+                        "graph": graph,
+                        "epoch": live.epoch + 1,
+                        "delta": delta.to_wire(),
+                    }
+                )
+                with self.stats.lock:
+                    self.stats.wal_records += 1
+            fire = self._maybe_fire("service.crash-on-ingest")
+            if fire is not None:
+                fire.note(graph=graph, epoch=live.epoch + 1)
+                raise SimulatedCrash(
+                    f"injected crash after WAL append of {graph} "
+                    f"epoch {live.epoch + 1}"
+                )
             live.deltas.append(delta)
             epoch = live.epoch
+            if (
+                self.wal is not None
+                and self.config.wal_compact_every > 0
+                and epoch % self.config.wal_compact_every == 0
+            ):
+                # compact while holding the lock: no append can race, so
+                # the snapshot provably covers every dropped segment
+                self.wal.compact(self._snapshot_graphs_locked())
+                with self.stats.lock:
+                    self.stats.wal_compactions += 1
+                compact_due = True
         self.cache.invalidate_graph(graph)
         with self.stats.lock:
             self.stats.ingests += 1
+        if compact_due:
+            log.info("wal compacted after epoch %d of %s", epoch, graph)
         return epoch
+
+    def _snapshot_graphs_locked(self) -> dict:
+        """JSON-able image of every delta log (caller holds _graphs_lock)."""
+        return {
+            "epochs": {g: lg.epoch for g, lg in self._graphs.items()},
+            "logs": {
+                g: [d.to_wire() for d in lg.deltas]
+                for g, lg in self._graphs.items()
+            },
+        }
 
     def clear_caches(self) -> None:
         """Coordinator cache + best-effort worker-side clear."""
@@ -263,6 +491,39 @@ class QueryService:
 
     def service_stats(self) -> dict:
         return self.stats.snapshot(self.cache.stats())
+
+    def health(self) -> dict:
+        """Operator-grade liveness snapshot for the ``health`` op.
+
+        ``status`` is "degraded" once any query errored or was dropped at
+        admission — the same condition that turns the CLI exit non-zero.
+        """
+        stats = self.service_stats()
+        with self._graphs_lock:
+            epochs = {g: lg.epoch for g, lg in self._graphs.items()}
+        with self._inflight_lock:
+            inflight = len(self._inflight)
+        wal = self.wal.stats() if self.wal is not None else {"enabled": False}
+        if self.last_recovery is not None:
+            wal["recovery"] = self.last_recovery.summary()
+        degraded = bool(stats["errored"] or stats["rejected"])
+        return {
+            "status": "degraded" if degraded else "ok",
+            "running": self._running,
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "epochs": epochs,
+            "queue_depth": len(self.queue),
+            "inflight_plans": inflight,
+            "shed": stats["shed"],
+            "errored": stats["errored"],
+            "rejected": stats["rejected"],
+            "drain_timeouts": stats["drain_timeouts"],
+            "retry_after_s": round(self.retry_after_hint(), 3),
+            "workers": self.pool.workers,
+            "worker_pids": sorted(self.pool.worker_pids),
+            "pool_restarts": self.pool.restarts,
+            "wal": wal,
+        }
 
     # -- batcher thread ----------------------------------------------------
 
@@ -273,6 +534,11 @@ class QueryService:
             pending = self.queue.drain()
             if not pending:
                 continue
+            pending, expired = split_expired(pending)
+            for p in expired:
+                self._shed(p)
+            if not pending:
+                continue
             if self.config.batching:
                 for plan in coalesce(pending, self.config.max_batch):
                     self._submit_plan(plan)
@@ -280,6 +546,20 @@ class QueryService:
                 # baseline: strictly one query per plan, no sharing at all
                 for p in pending:
                     self._submit_plan([p])
+
+    def _shed(self, pending: PendingQuery) -> None:
+        """Deadline expired before execution: shed with a backoff hint."""
+        with self.stats.lock:
+            self.stats.shed += 1
+        pending.resolve(
+            QueryResponse(
+                pending.request.id,
+                "shed",
+                epoch=pending.epoch,
+                error="deadline expired before execution (load shed)",
+                retry_after=self.retry_after_hint(),
+            )
+        )
 
     def _submit_plan(
         self, queries: list[PendingQuery], degraded: bool = False
@@ -292,11 +572,15 @@ class QueryService:
                 self._graphs.setdefault(first.graph, _LiveGraph()).deltas[:epoch]
             )
         fault_points: tuple[str, ...] = ()
-        if not degraded and self.config.inject_fault:
+        worker_faults = tuple(
+            p for p in self.config.inject_fault
+            if p not in COORDINATOR_FAULT_POINTS
+        )
+        if not degraded and worker_faults:
             with self.stats.lock:
                 arm = self.stats.plans == self.config.inject_fault_plan
             if arm:
-                fault_points = tuple(self.config.inject_fault)
+                fault_points = worker_faults
         sources = tuple(dict.fromkeys(q.request.source for q in queries))
         payload = PlanPayload(
             plan_id=plan_id,
@@ -335,6 +619,10 @@ class QueryService:
         except Exception as exc:  # noqa: BLE001 - plan-level isolation
             self._plan_failed(plan_id, queries, exc)
             return
+        if result.elapsed_s > 0:
+            self._plan_ewma_s = (
+                0.8 * self._plan_ewma_s + 0.2 * result.elapsed_s
+            )
         with self.stats.lock:
             self.stats.faults_recovered += len(result.recovered_faults)
             self.stats.completed += len(queries)

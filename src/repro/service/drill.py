@@ -1,0 +1,252 @@
+"""Kill-and-recover drill: SIGKILL the service mid-stream, replay the WAL.
+
+The durability contract is only worth having if it survives the real
+failure mode, so the drill runs the service as a *separate process*
+(`mega-repro serve` on pipes), ingests seeded deltas until a chosen
+epoch is acknowledged, and SIGKILLs it — no atexit handlers, no flush,
+exactly what a crashed coordinator looks like.  It then restarts the
+service on the same ``--wal-dir`` and asserts:
+
+* **zero acknowledged-delta loss** — the recovered epoch equals the last
+  epoch the dead process acknowledged;
+* **result parity** — for every registry algorithm, query digests from
+  the recovered service equal an uninterrupted in-process replay of the
+  same seeded ingest chain (seeded synthesis is deterministic given the
+  epoch state, so the reference is exact).
+
+``mega-repro serve-bench --crash-at-epoch N`` runs this and exits
+non-zero on any loss or mismatch; CI smokes it at tiny scale.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+
+from repro.algorithms import ALGORITHMS, get_algorithm
+
+__all__ = ["CrashDrillError", "DrillReport", "run_crash_drill"]
+
+#: per-exchange ceiling; far above any tiny/small-scale op
+OP_TIMEOUT_S = 180.0
+
+
+class CrashDrillError(RuntimeError):
+    """The drill could not run (dead subprocess, protocol breakdown)."""
+
+
+@dataclass
+class DrillReport:
+    """Outcome of one kill-and-recover drill."""
+
+    graph: str
+    crash_at_epoch: int
+    acked_epoch: int
+    recovered_epoch: int
+    #: algorithm name -> digests matched the uninterrupted run
+    parity: dict[str, bool] = field(default_factory=dict)
+    wal_recovery: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def lost_deltas(self) -> int:
+        return max(0, self.acked_epoch - self.recovered_epoch)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.recovered_epoch == self.acked_epoch
+            and bool(self.parity)
+            and all(self.parity.values())
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"== crash drill: SIGKILL {self.graph} at epoch "
+            f"{self.crash_at_epoch}, recover from WAL ==",
+            f"acknowledged epoch {self.acked_epoch}  "
+            f"recovered epoch {self.recovered_epoch}  "
+            f"lost acknowledged deltas {self.lost_deltas}",
+        ]
+        for algo, match in sorted(self.parity.items()):
+            lines.append(
+                f"  parity {algo:<8} "
+                f"{'ok' if match else 'MISMATCH'}"
+            )
+        if self.wal_recovery:
+            lines.append(f"wal recovery: {self.wal_recovery}")
+        lines.append(
+            f"verdict: {'PASS' if self.ok else 'FAIL'} "
+            f"({self.elapsed_s:.1f}s)"
+        )
+        return "\n".join(lines)
+
+
+class _ServeProcess:
+    """One `mega-repro serve` child on line-delimited JSON pipes."""
+
+    def __init__(self, cli_args: list[str]) -> None:
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", *cli_args],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            text=True,
+        )
+
+    def request(self, op: dict) -> dict:
+        if self.proc.poll() is not None:
+            raise CrashDrillError(
+                f"serve process exited early (rc={self.proc.returncode})"
+            )
+        self.proc.stdin.write(json.dumps(op) + "\n")
+        self.proc.stdin.flush()
+        line = self.proc.stdout.readline()
+        if not line:
+            raise CrashDrillError(
+                "serve process closed stdout mid-session "
+                f"(rc={self.proc.poll()})"
+            )
+        return json.loads(line)
+
+    def sigkill(self) -> None:
+        os.kill(self.proc.pid, signal.SIGKILL)
+        self.proc.wait(timeout=30)
+        # release the pipes of the corpse
+        self.proc.stdin.close()
+        self.proc.stdout.close()
+
+    def shutdown(self) -> None:
+        try:
+            self.request({"op": "shutdown"})
+        finally:
+            try:
+                self.proc.stdin.close()
+            except OSError:
+                pass
+            self.proc.wait(timeout=OP_TIMEOUT_S)
+            self.proc.stdout.close()
+
+
+def _reference_summaries(
+    graph: str, scale: str, n_snapshots: int, epochs: int,
+    algos: list[str], source: int,
+) -> dict[str, list[dict]]:
+    """Uninterrupted replay: the digests a crash-free run would serve."""
+    from repro.core.multi_query import evaluate_multi_query
+    from repro.experiments.runner import scenario_cache
+    from repro.service.ingest import apply_delta, synthesize_delta
+    from repro.service.pool import _summarize
+
+    scenario = scenario_cache(graph, scale, n_snapshots=n_snapshots)
+    for k in range(1, epochs + 1):
+        scenario = apply_delta(
+            scenario, synthesize_delta(scenario, seed=k)
+        )
+    out: dict[str, list[dict]] = {}
+    for algo_name in algos:
+        algorithm = get_algorithm(algo_name)
+        mq = evaluate_multi_query(scenario, algorithm, [source])
+        out[algo_name] = [
+            _summarize(algorithm, mq.values(0, k), k).as_dict()
+            for k in range(scenario.n_snapshots)
+        ]
+    return out
+
+
+def _digests_match(got: list[dict], want: list[dict]) -> bool:
+    if len(got) != len(want):
+        return False
+    for g, w in zip(got, want):
+        if g["snapshot"] != w["snapshot"] or g["reached"] != w["reached"]:
+            return False
+        if abs(g["checksum"] - w["checksum"]) > 1e-6 * max(
+            1.0, abs(w["checksum"])
+        ):
+            return False
+    return True
+
+
+def run_crash_drill(
+    wal_dir: str,
+    crash_at_epoch: int = 2,
+    graph: str = "PK",
+    scale: str = "tiny",
+    n_snapshots: int = 4,
+    workers: int = 1,
+    algos: list[str] | None = None,
+    source: int = 1,
+) -> DrillReport:
+    """SIGKILL a serving process after ``crash_at_epoch`` acknowledged
+    ingests, restart it on the same WAL, and check loss + parity."""
+    if crash_at_epoch < 1:
+        raise ValueError("--crash-at-epoch must be >= 1")
+    algos = algos if algos else sorted(a.lower() for a in ALGORITHMS)
+    t0 = time.monotonic()
+    cli_args = [
+        "--scale", scale,
+        "--snapshots", str(n_snapshots),
+        "--workers", str(workers),
+        "--graphs", graph,
+        "--wal-dir", wal_dir,
+    ]
+
+    victim = _ServeProcess(cli_args)
+    acked = 0
+    try:
+        # serve a real query first so the kill lands on a warmed service
+        # (worker caches populated, plan path exercised), not a blank one
+        victim.request(
+            {"op": "query", "graph": graph, "algo": algos[0],
+             "source": source}
+        )
+        for k in range(1, crash_at_epoch + 1):
+            resp = victim.request({"op": "ingest", "graph": graph, "seed": k})
+            if not resp.get("ok"):
+                raise CrashDrillError(f"ingest {k} refused: {resp}")
+            acked = int(resp["epoch"])
+    finally:
+        # SIGKILL immediately after the last ack: anything acknowledged
+        # must survive, and nothing unacknowledged is in flight
+        victim.sigkill()
+
+    survivor = _ServeProcess(cli_args)
+    try:
+        health = survivor.request({"op": "health"})
+        if not health.get("ok"):
+            raise CrashDrillError(f"health op failed: {health}")
+        recovered = int(health.get("epochs", {}).get(graph, 0))
+        reference = _reference_summaries(
+            graph, scale, n_snapshots, recovered, algos, source
+        )
+        parity: dict[str, bool] = {}
+        for algo_name in algos:
+            resp = survivor.request(
+                {"op": "query", "graph": graph, "algo": algo_name,
+                 "source": source}
+            )
+            parity[algo_name] = bool(
+                resp.get("ok")
+                and int(resp.get("epoch", -1)) == recovered
+                and _digests_match(
+                    resp.get("snapshots", []), reference[algo_name]
+                )
+            )
+        wal_recovery = health.get("wal", {}).get("recovery", {})
+    finally:
+        survivor.shutdown()
+
+    return DrillReport(
+        graph=graph,
+        crash_at_epoch=crash_at_epoch,
+        acked_epoch=acked,
+        recovered_epoch=recovered,
+        parity=parity,
+        wal_recovery=wal_recovery,
+        elapsed_s=time.monotonic() - t0,
+    )

@@ -64,9 +64,27 @@ class DeltaBatch:
     @classmethod
     def from_lists(cls, adds, dels, **meta) -> "DeltaBatch":
         """Build from ``[[u, v, w?], ...]`` / ``[[u, v], ...]`` rows
-        (the JSON-lines front end's wire format)."""
-        adds = [tuple(a) for a in adds]
-        dels = [tuple(d) for d in dels]
+        (the JSON-lines front end's and the WAL's wire format).
+
+        Empty lists are fine (a pure-addition or pure-deletion batch);
+        a malformed row raises ``ValueError`` with its index, never an
+        ``IndexError``/``TypeError`` from deep inside numpy.
+        """
+        try:
+            adds = [tuple(a) for a in adds]
+            dels = [tuple(d) for d in dels]
+        except TypeError as exc:
+            raise ValueError(f"delta rows must be [u, v(, w)] lists: {exc}")
+        for i, a in enumerate(adds):
+            if len(a) not in (2, 3):
+                raise ValueError(
+                    f"addition row {i} must be [u, v] or [u, v, w]; got {a!r}"
+                )
+        for i, d in enumerate(dels):
+            if len(d) != 2:
+                raise ValueError(
+                    f"deletion row {i} must be [u, v]; got {d!r}"
+                )
         return cls(
             add_src=np.array([a[0] for a in adds], dtype=np.int64),
             add_dst=np.array([a[1] for a in adds], dtype=np.int64),
@@ -76,6 +94,29 @@ class DeltaBatch:
             del_src=np.array([d[0] for d in dels], dtype=np.int64),
             del_dst=np.array([d[1] for d in dels], dtype=np.int64),
             meta=dict(meta),
+        )
+
+    # -- WAL wire format ---------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """JSON-able form, exact enough to replay: ``from_wire`` inverts."""
+        return {
+            "adds": [
+                [int(u), int(v), float(w)]
+                for u, v, w in zip(self.add_src, self.add_dst, self.add_wt)
+            ],
+            "dels": [
+                [int(u), int(v)]
+                for u, v in zip(self.del_src, self.del_dst)
+            ],
+            "meta": dict(self.meta),
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "DeltaBatch":
+        return cls.from_lists(
+            wire.get("adds", []), wire.get("dels", []),
+            **wire.get("meta", {}),
         )
 
 

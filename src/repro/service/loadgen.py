@@ -7,6 +7,12 @@ Sources are drawn Zipf-like from each graph's high-degree vertices, so the
 workload repeats itself the way real query traffic does and the result
 cache has something to hit.
 
+Overload realism: queries can carry a deadline (``deadline_s``), and the
+client retries shed/rejected queries with capped exponential backoff plus
+jitter, honouring the service's ``retry_after`` hint — the cooperative
+client the shedding path is designed for.  A query that exhausts its
+retries counts as ``gave_up`` and marks the run degraded.
+
 ``run_load`` drives a :class:`~repro.service.core.QueryService` in
 process, then folds the service's counters and the per-query latencies
 into one JSON-able report (``BENCH_service.json``) so successive PRs have
@@ -26,7 +32,7 @@ from repro.service.request import QueryRequest
 
 __all__ = ["LoadSpec", "BenchReport", "run_load"]
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -46,6 +52,12 @@ class LoadSpec:
     window_fraction: float = 0.2
     #: ingest a synthesized delta every this many seconds (0 = never)
     ingest_every_s: float = 0.0
+    #: per-query execution deadline in seconds (0 = none)
+    deadline_s: float = 0.0
+    #: client-side retries of shed/rejected queries (0 = give up at once)
+    max_retries: int = 0
+    #: base of the exponential backoff between retries
+    retry_base_s: float = 0.05
     #: give up on stragglers this long after the last arrival
     drain_timeout_s: float = 60.0
 
@@ -60,13 +72,15 @@ class BenchReport:
 
     @property
     def degraded(self) -> bool:
-        """Any dropped or errored query, or an injected fault that did not
-        recover, marks the run degraded (CLI exits non-zero)."""
+        """Errored queries, queries that exhausted their retries, or an
+        injected fault that did not recover, mark the run degraded (CLI
+        exits non-zero).  Shed queries that a retry later completed are
+        the overload protection *working*, not degradation."""
         r = self.results
         unrecovered = r["faults"]["injected"] > 0 and (
             r["faults"]["recovered"] == 0 and r["retries"] == 0
         )
-        return bool(r["errored"] or r["rejected"] or unrecovered)
+        return bool(r["errored"] or r["gave_up"] or unrecovered)
 
     def to_json(self) -> str:
         return json.dumps(
@@ -89,6 +103,8 @@ class BenchReport:
             f"submitted {r['submitted']}  completed {r['completed']}  "
             f"cached {r['cached']}  errored {r['errored']}  "
             f"rejected {r['rejected']}",
+            f"shed {r['shed']}  client retries {r['client_retries']}  "
+            f"gave up {r['gave_up']}",
             f"throughput {r['throughput_qps']:.1f} q/s  "
             f"(offered {r['offered_qps']:.1f} q/s "
             f"over {r['duration_s']:.1f}s)",
@@ -102,6 +118,12 @@ class BenchReport:
             f"recovered {r['faults']['recovered']}  "
             f"plan retries {r['retries']}",
         ]
+        if r["wal"].get("enabled"):
+            lines.append(
+                f"wal records {r['wal']['records']}  "
+                f"lag {r['wal']['lag_records']}  "
+                f"compactions {r['wal']['compactions']}"
+            )
         return "\n".join(lines)
 
 
@@ -120,6 +142,45 @@ def _zipf_index(rng: np.random.Generator, n: int, s: float) -> int:
     return int(rng.choice(n, p=weights / weights.sum()))
 
 
+def _retry_query(
+    service: QueryService,
+    request: QueryRequest,
+    response,
+    spec: LoadSpec,
+    rng: np.random.Generator,
+    deadline: float,
+) -> tuple[object, int]:
+    """Client-side backoff loop for one shed/rejected query.
+
+    Exponential backoff with full jitter, floored at the service's
+    ``retry_after`` hint; returns the final response and attempt count.
+    """
+    attempts = 0
+    while (
+        response is not None
+        and response.retryable
+        and attempts < spec.max_retries
+        and time.monotonic() < deadline
+    ):
+        base = spec.retry_base_s * (2 ** attempts)
+        if response.retry_after is not None:
+            base = max(base, response.retry_after)
+        pause = min(base, 2.0) * (0.5 + float(rng.random()))
+        time.sleep(min(pause, max(0.0, deadline - time.monotonic())))
+        attempts += 1
+        retry = QueryRequest(
+            graph=request.graph,
+            algo=request.algo,
+            source=request.source,
+            window=request.window,
+            mode=request.mode,
+            deadline_s=request.deadline_s,
+        )
+        handle = service.submit(retry)
+        response = handle.wait(timeout=max(0.0, deadline - time.monotonic()))
+    return response, attempts
+
+
 def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
     """Drive ``service`` with ``spec``; both must already be configured.
 
@@ -128,6 +189,7 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
     """
     cfg = service.config
     rng = np.random.default_rng(spec.seed)
+    retry_rng = np.random.default_rng(spec.seed + 0x5EED)
     pools = {
         g: _source_pool(g, cfg.scale, cfg.n_snapshots, spec.n_sources)
         for g in spec.graphs
@@ -151,7 +213,8 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
             window = (lo, hi)
         arrivals.append(
             (t, QueryRequest(graph=graph, algo=algo, source=source,
-                             window=window, mode=cfg.mode))
+                             window=window, mode=cfg.mode,
+                             deadline_s=spec.deadline_s or None))
         )
 
     next_ingest = spec.ingest_every_s if spec.ingest_every_s > 0 else None
@@ -171,8 +234,14 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
 
     deadline = time.monotonic() + spec.drain_timeout_s
     responses = []
+    client_retries = 0
     for h in handles:
         r = h.wait(timeout=max(0.0, deadline - time.monotonic()))
+        if r is not None and r.retryable and spec.max_retries > 0:
+            r, attempts = _retry_query(
+                service, h.request, r, spec, retry_rng, deadline
+            )
+            client_retries += attempts
         responses.append((h, r))
     end = time.monotonic()
 
@@ -180,6 +249,9 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
         r.latency_s * 1e3 for __, r in responses if r is not None and r.ok
     ]
     lost = sum(1 for __, r in responses if r is None)
+    gave_up = sum(
+        1 for __, r in responses if r is not None and r.retryable
+    )
     stats = service.service_stats()
     completed = stats["completed"]
     duration = max(end - start, 1e-9)
@@ -193,6 +265,9 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
         "cached": stats["cached"],
         "errored": stats["errored"] + lost,
         "rejected": stats["rejected"],
+        "shed": stats["shed"],
+        "client_retries": client_retries,
+        "gave_up": gave_up,
         "offered_qps": len(arrivals) / max(spec.duration_s, 1e-9),
         "throughput_qps": completed / duration,
         "duration_s": duration,
@@ -210,6 +285,10 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
             "injected": len(cfg.inject_fault),
             "recovered": stats["faults_recovered"],
         },
+        "wal": (
+            service.wal.stats() if service.wal is not None
+            else {"enabled": False}
+        ),
     }
     workload = asdict(spec)
     workload["graphs"] = list(spec.graphs)

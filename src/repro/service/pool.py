@@ -270,6 +270,8 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._executor = self._new_executor()
         self.restarts = 0
+        #: pids observed during the last warm-up (feeds the health op)
+        self.worker_pids: set[int] = set()
         if warm:
             self.warm_up()
 
@@ -285,8 +287,7 @@ class WorkerPool:
             )
             for __ in range(self.workers)
         ]
-        for p in pings:
-            p.result(timeout=60)
+        self.worker_pids = {p.result(timeout=60).worker_pid for p in pings}
 
     def submit(self, payload: PlanPayload) -> Future:
         def do_submit() -> Future:
@@ -307,6 +308,7 @@ class WorkerPool:
             old = self._executor
             self._executor = self._new_executor()
             self.restarts += 1
+            self.worker_pids = set()  # repopulated by the next warm_up
         old.shutdown(wait=False, cancel_futures=True)
 
     def restart(self) -> None:

@@ -44,6 +44,10 @@ class QueryRequest:
     window: tuple[int, int] | None = None
     #: "eval" = functional executor; "simulate" = accelerator model
     mode: str = "eval"
+    #: shed this query if not *executing* within this many seconds of
+    #: admission (None = wait forever); shed responses carry a
+    #: ``retry_after`` hint so clients back off instead of piling on
+    deadline_s: float | None = None
     id: int = field(default_factory=_next_id)
 
     def compat_key(self, epoch: int) -> tuple:
@@ -77,16 +81,24 @@ class QueryResponse:
     """Terminal outcome of one request."""
 
     id: int
-    status: str  # "ok" | "cached" | "error" | "rejected"
+    status: str  # "ok" | "cached" | "error" | "rejected" | "shed"
     latency_s: float = 0.0
     epoch: int = 0
     plan_id: int | None = None
     summaries: list[SnapshotSummary] = field(default_factory=list)
     error: str | None = None
+    #: for "shed"/"rejected": how long the client should back off before
+    #: retrying (seconds, derived from current queue depth and plan time)
+    retry_after: float | None = None
 
     @property
     def ok(self) -> bool:
         return self.status in ("ok", "cached")
+
+    @property
+    def retryable(self) -> bool:
+        """Overload outcomes a client may retry after backing off."""
+        return self.status in ("shed", "rejected")
 
     def as_dict(self) -> dict:
         out = {
@@ -101,6 +113,8 @@ class QueryResponse:
             out["snapshots"] = [s.as_dict() for s in self.summaries]
         if self.error is not None:
             out["error"] = self.error
+        if self.retry_after is not None:
+            out["retry_after_s"] = round(self.retry_after, 3)
         return out
 
 
@@ -137,3 +151,7 @@ def validate_request(
             raise ValueError(
                 f"window [{lo}, {hi}] outside [0, {n_snapshots - 1}]"
             )
+    if request.deadline_s is not None and not request.deadline_s > 0:
+        raise ValueError(
+            f"deadline_s must be positive, got {request.deadline_s}"
+        )

@@ -12,8 +12,14 @@ a shell pipe, a test harness).  Operations::
     {"op": "ingest", "graph": "PK", "adds": [[u, v, w], ...],
      "dels": [[u, v], ...]}                -> explicit delta batch
     {"op": "stats"}                        -> service counters
+    {"op": "health"}                       -> epochs, WAL lag, queue depth,
+                                              degraded state
     {"op": "clear_caches"}                 -> coordinator + worker caches
     {"op": "shutdown"}                     -> drain and exit
+
+Queries accept an optional ``"deadline_ms"``: if the service cannot start
+executing within it, the query is shed with a ``retry_after_s`` hint
+instead of waiting out the overload.
 
 Every response is ``{"ok": true, ...}`` or ``{"ok": false, "error": ...}``;
 protocol errors never kill the server.  The session is *degraded* if any
@@ -65,12 +71,16 @@ class ServiceFrontend:
     @staticmethod
     def _request_of(message: dict) -> QueryRequest:
         window = message.get("window")
+        deadline_ms = message.get("deadline_ms")
         return QueryRequest(
             graph=message.get("graph", "PK"),
             algo=message.get("algo", "sssp"),
             source=int(message.get("source", 0)),
             window=tuple(window) if window is not None else None,
             mode=message.get("mode", "eval"),
+            deadline_s=(
+                float(deadline_ms) / 1e3 if deadline_ms is not None else None
+            ),
         )
 
     def _op_query(self, message: dict) -> dict:
@@ -113,6 +123,9 @@ class ServiceFrontend:
 
     def _op_stats(self, message: dict) -> dict:
         return {"ok": True, "stats": self.service.service_stats()}
+
+    def _op_health(self, message: dict) -> dict:
+        return {"ok": True, **self.service.health()}
 
     def _op_clear_caches(self, message: dict) -> dict:
         self.service.clear_caches()

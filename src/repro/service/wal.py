@@ -1,0 +1,398 @@
+"""Write-ahead log for the ingest path: durability before acknowledgement.
+
+PR 2 defined the live state of an evolving graph *reproducibly* — the
+deterministic base scenario plus the ordered ingest log — but kept that
+log only in coordinator memory, so a crash after an acknowledged
+``ingest`` silently lost churn and reset epochs.  This module makes the
+log the durable source of truth (the streaming-systems convention): every
+delta batch is appended here **before** the service acknowledges it, and
+recovery replays the segments to rebuild per-graph delta logs exactly.
+
+On-disk format, designed so recovery never has to trust a torn or
+bit-rotted file:
+
+* a *segment* (``wal-00000001.seg``) is a sequence of records, each
+  ``[4-byte big-endian payload length][4-byte CRC32 of payload][payload]``
+  with the payload being one JSON object;
+* segments rotate at ``segment_bytes`` so no single file grows unbounded;
+* ``snapshot.json`` (written atomically via the
+  :mod:`repro.resilience.checkpoint` machinery) captures the full
+  per-graph delta logs at a compaction point; compaction deletes every
+  segment, so replay cost stays bounded by the churn since the last
+  snapshot.
+
+Recovery policy (:func:`recover_wal`): a torn tail — a record whose
+promised bytes are missing — is *expected* (the writer died mid-write,
+necessarily before acknowledging) and is truncated with a warning; a
+record whose CRC32 does not match (bit rot, partial overwrite) is
+**quarantined** to ``quarantine.log`` and skipped with a warning.  Neither
+ever raises: losing an unacknowledged suffix is correct, and losing an
+acknowledged record to corruption must degrade the one graph it belongs
+to, not crash the service (:meth:`repro.service.core.QueryService.start`
+skips the now-unappliable epochs with a warning).
+
+Two registered fault points make both paths provable from the campaign
+(``mega-repro faults``): ``service.wal-torn-write`` cuts a record short
+mid-append, ``service.wal-corrupt-record`` flips a payload byte after the
+CRC is computed.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+import struct
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.resilience.checkpoint import atomic_write
+from repro.resilience.faults import Fire, maybe_fire, register_fault_point
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "WalRecovery",
+    "WalWriteError",
+    "WriteAheadLog",
+    "recover_wal",
+]
+
+log = logging.getLogger(__name__)
+
+register_fault_point(
+    "service.wal-torn-write",
+    "service/wal.py",
+    "a WAL append is cut short mid-record (writer died before the ack)",
+)
+register_fault_point(
+    "service.wal-corrupt-record",
+    "service/wal.py",
+    "a committed WAL record's payload is corrupted on disk (CRC mismatch)",
+)
+
+_HEADER = struct.Struct(">II")  # payload length, CRC32(payload)
+#: a length prefix beyond this is treated as frame corruption, not a record
+MAX_RECORD_BYTES = 64 * 1024 * 1024
+#: fsync after every append / every ``sync_every`` appends / never
+FSYNC_POLICIES = ("always", "batch", "never")
+
+SNAPSHOT_NAME = "snapshot.json"
+QUARANTINE_NAME = "quarantine.log"
+_SEGMENT_GLOB = "wal-*.seg"
+
+
+class WalWriteError(RuntimeError):
+    """An append failed before the record was durably committed."""
+
+
+def _segment_name(index: int) -> str:
+    return f"wal-{index:08d}.seg"
+
+
+def _segment_index(path: pathlib.Path) -> int:
+    return int(path.stem.split("-", 1)[1])
+
+
+def _segments(wal_dir: pathlib.Path) -> list[pathlib.Path]:
+    return sorted(wal_dir.glob(_SEGMENT_GLOB), key=_segment_index)
+
+
+class WriteAheadLog:
+    """Append-only, CRC-framed, segment-rotated log of ingest records.
+
+    Opening always starts a *fresh* segment: recovery has already
+    truncated any torn tail, and never appending after a previously
+    written region means a crash can only tear the very last record.
+    """
+
+    def __init__(
+        self,
+        wal_dir: str | pathlib.Path,
+        fsync: str = "always",
+        segment_bytes: int = 4 * 1024 * 1024,
+        sync_every: int = 32,
+        fault_hook: Callable[[str], Fire | None] | None = None,
+    ) -> None:
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"unknown fsync policy {fsync!r}; choose from {FSYNC_POLICIES}"
+            )
+        self.wal_dir = pathlib.Path(wal_dir)
+        self.wal_dir.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self.segment_bytes = int(segment_bytes)
+        self.sync_every = max(1, int(sync_every))
+        self._maybe_fire = fault_hook if fault_hook is not None else maybe_fire
+        existing = _segments(self.wal_dir)
+        self._segment_index = (
+            _segment_index(existing[-1]) + 1 if existing else 1
+        )
+        self._fh = None
+        self._segment_size = 0
+        self.records = 0  # appended this process
+        self.synced = 0  # appended and known fsync-durable
+        self.compactions = 0
+
+    # -- write path --------------------------------------------------------
+
+    @property
+    def segment_path(self) -> pathlib.Path:
+        return self.wal_dir / _segment_name(self._segment_index)
+
+    def _open_segment(self):
+        if self._fh is None:
+            self._fh = open(self.segment_path, "ab")
+            self._segment_size = self._fh.tell()
+        return self._fh
+
+    def append(self, record: dict) -> int:
+        """Durably append one JSON record; returns its ordinal this session.
+
+        Raises :class:`WalWriteError` if the record could not be committed
+        — the caller must NOT acknowledge the operation then.
+        """
+        payload = json.dumps(record, sort_keys=True).encode("utf-8")
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+
+        fire = self._maybe_fire("service.wal-corrupt-record")
+        if fire is not None:
+            # flip one payload byte *after* the CRC was computed: the
+            # record commits (and is acknowledged) but reads back bad
+            pos = int(fire.rng.integers(len(payload)))
+            corrupted = bytearray(payload)
+            corrupted[pos] ^= 0xFF
+            fire.note(byte=pos, segment=self.segment_path.name)
+            payload = bytes(corrupted)
+
+        fh = self._open_segment()
+        frame = _HEADER.pack(len(payload), crc) + payload
+
+        fire = self._maybe_fire("service.wal-torn-write")
+        if fire is not None:
+            # the writer "dies" mid-record: half the frame reaches disk
+            # and the append fails before any acknowledgement.  Rotate so
+            # this process's later appends land in a clean segment (a real
+            # torn write implies the process is gone).
+            torn = frame[: max(1, len(frame) // 2)]
+            fh.write(torn)
+            fh.flush()
+            os.fsync(fh.fileno())
+            fire.note(
+                segment=self.segment_path.name,
+                written=len(torn),
+                expected=len(frame),
+            )
+            self.rotate()
+            raise WalWriteError(
+                f"injected torn write in {self.wal_dir} "
+                f"({len(torn)}/{len(frame)} bytes)"
+            )
+
+        fh.write(frame)
+        fh.flush()
+        self.records += 1
+        self._segment_size += len(frame)
+        if self.fsync == "always" or (
+            self.fsync == "batch" and self.records % self.sync_every == 0
+        ):
+            os.fsync(fh.fileno())
+            self.synced = self.records
+        if self._segment_size >= self.segment_bytes:
+            self.rotate()
+        return self.records
+
+    def sync(self) -> None:
+        """Force everything appended so far onto stable storage."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        self.synced = self.records
+
+    def rotate(self) -> None:
+        """Close the current segment and start the next one."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+            self._fh = None
+            self.synced = self.records
+        self._segment_index += 1
+        self._segment_size = 0
+
+    # -- compaction --------------------------------------------------------
+
+    def compact(self, snapshot: dict) -> pathlib.Path:
+        """Atomically persist ``snapshot`` and drop every segment.
+
+        The caller must guarantee no append races this call (the service
+        holds its ingest lock): the snapshot then covers every committed
+        record, so deleting the segments loses nothing and replay cost
+        resets to zero.
+        """
+        path = self.wal_dir / SNAPSHOT_NAME
+        atomic_write(path, json.dumps(snapshot, sort_keys=True))
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+        for segment in _segments(self.wal_dir):
+            segment.unlink()
+        self._segment_index += 1
+        self._segment_size = 0
+        self.synced = self.records
+        self.compactions += 1
+        return path
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self.sync()
+            self._fh.close()
+            self._fh = None
+
+    def stats(self) -> dict:
+        return {
+            "enabled": True,
+            "dir": str(self.wal_dir),
+            "segments": len(_segments(self.wal_dir)),
+            "records": self.records,
+            "synced": self.synced,
+            "lag_records": self.records - self.synced,
+            "compactions": self.compactions,
+            "fsync": self.fsync,
+        }
+
+
+# ---------------------------------------------------------------------------
+# recovery
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WalRecovery:
+    """Everything :func:`recover_wal` found, plus what it had to repair."""
+
+    snapshot: dict | None = None
+    records: list[dict] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+    truncated_tail: bool = False
+    quarantined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.warnings
+
+    def summary(self) -> dict:
+        return {
+            "records": len(self.records),
+            "snapshot": self.snapshot is not None,
+            "warnings": len(self.warnings),
+            "truncated_tail": self.truncated_tail,
+            "quarantined": self.quarantined,
+        }
+
+
+def _quarantine(wal_dir: pathlib.Path, segment: str, offset: int,
+                payload: bytes, reason: str) -> None:
+    entry = json.dumps(
+        {
+            "segment": segment,
+            "offset": offset,
+            "reason": reason,
+            "payload_hex": payload.hex(),
+        },
+        sort_keys=True,
+    )
+    with open(wal_dir / QUARANTINE_NAME, "a") as fh:
+        fh.write(entry + "\n")
+
+
+def _scan_segment(
+    wal_dir: pathlib.Path,
+    segment: pathlib.Path,
+    is_last: bool,
+    out: WalRecovery,
+) -> Iterator[dict]:
+    data = segment.read_bytes()
+    offset = 0
+    while offset < len(data):
+        header_end = offset + _HEADER.size
+        torn = None
+        if header_end > len(data):
+            torn = f"short header ({len(data) - offset} bytes)"
+        else:
+            length, crc = _HEADER.unpack_from(data, offset)
+            if length == 0 or length > MAX_RECORD_BYTES:
+                torn = f"implausible record length {length}"
+            elif header_end + length > len(data):
+                torn = (
+                    f"record promises {length} bytes, "
+                    f"{len(data) - header_end} present"
+                )
+        if torn is not None:
+            if is_last:
+                os.truncate(segment, offset)
+                out.warnings.append(
+                    f"{segment.name}: torn tail at byte {offset} ({torn}); "
+                    f"truncated"
+                )
+            else:
+                out.warnings.append(
+                    f"{segment.name}: torn record at byte {offset} ({torn}) "
+                    f"in a rotated segment; skipping its remainder"
+                )
+            out.truncated_tail = True
+            return
+        payload = data[header_end: header_end + length]
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+            _quarantine(wal_dir, segment.name, offset, payload, "crc-mismatch")
+            out.warnings.append(
+                f"{segment.name}: CRC mismatch at byte {offset}; "
+                f"record quarantined"
+            )
+            out.quarantined += 1
+            offset = header_end + length
+            continue
+        try:
+            record = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            _quarantine(wal_dir, segment.name, offset, payload,
+                        f"bad-json: {exc}")
+            out.warnings.append(
+                f"{segment.name}: undecodable record at byte {offset}; "
+                f"record quarantined"
+            )
+            out.quarantined += 1
+            offset = header_end + length
+            continue
+        yield record
+        offset = header_end + length
+
+
+def recover_wal(wal_dir: str | pathlib.Path) -> WalRecovery:
+    """Read back a WAL directory: snapshot (if any) plus surviving records.
+
+    Never raises on damaged data — a torn tail is truncated, CRC-failing
+    records are quarantined, and every repair is a warning on the returned
+    :class:`WalRecovery` (the service logs them).
+    """
+    wal_dir = pathlib.Path(wal_dir)
+    out = WalRecovery()
+    if not wal_dir.exists():
+        return out
+    snapshot_path = wal_dir / SNAPSHOT_NAME
+    if snapshot_path.exists():
+        try:
+            out.snapshot = json.loads(snapshot_path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            # snapshots are written atomically, so this is external damage;
+            # replaying segments alone still recovers post-snapshot churn
+            out.warnings.append(f"{SNAPSHOT_NAME} unreadable ({exc}); ignored")
+            out.snapshot = None
+    segments = _segments(wal_dir)
+    for i, segment in enumerate(segments):
+        last = i == len(segments) - 1
+        out.records.extend(_scan_segment(wal_dir, segment, last, out))
+    for warning in out.warnings:
+        log.warning("wal recovery: %s", warning)
+    return out

@@ -355,14 +355,16 @@ def _bench_schema_ok(doc: dict) -> None:
     r = doc["results"]
     for key in (
         "submitted", "completed", "cached", "errored", "rejected",
+        "shed", "client_retries", "gave_up",
         "offered_qps", "throughput_qps", "duration_s", "latency_ms",
         "plans", "batching_factor", "cache_hit_rate", "retries",
-        "ingests", "faults",
+        "ingests", "faults", "wal",
     ):
         assert key in r, key
     for p in ("p50", "p95", "p99", "mean"):
         assert isinstance(r["latency_ms"][p], float)
     assert set(r["faults"]) == {"injected", "recovered"}
+    assert isinstance(r["wal"].get("enabled"), bool)
     assert doc["config"]["scale"] in ("tiny", "small", "medium")
 
 

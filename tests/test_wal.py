@@ -1,0 +1,436 @@
+"""Durable ingest: WAL framing, recovery, overload protection, drills.
+
+The WAL unit layer needs no service at all; the recovery-into-service
+tests spin up a real tiny-scale process-pool service; the crash drill is
+exercised end to end (subprocess + SIGKILL) once, at tiny scale.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import zlib
+
+import pytest
+
+from repro.cli import main
+from repro.resilience import faults
+from repro.resilience.campaign import WAL_POINTS, run_trial
+from repro.service import (
+    DeltaBatch,
+    QueryRequest,
+    QueryService,
+    ServiceConfig,
+    SimulatedCrash,
+    recover_wal,
+    run_crash_drill,
+    split_expired,
+    validate_request,
+)
+from repro.service.batcher import PendingQuery
+from repro.service.server import ServiceFrontend
+from repro.service.wal import (
+    _HEADER,
+    QUARANTINE_NAME,
+    SNAPSHOT_NAME,
+    WalWriteError,
+    WriteAheadLog,
+)
+
+TINY = dict(scale="tiny", n_snapshots=4, workers=1)
+
+
+def _record(epoch: int, graph: str = "PK") -> dict:
+    return {
+        "op": "ingest", "graph": graph, "epoch": epoch,
+        "delta": {"adds": [[0, epoch, 1.0]], "dels": []},
+    }
+
+
+def _fill(wal: WriteAheadLog, n: int, graph: str = "PK") -> list[dict]:
+    records = [_record(k, graph) for k in range(1, n + 1)]
+    for r in records:
+        wal.append(r)
+    return records
+
+
+# -- framing and recovery (no service) -------------------------------------
+
+
+def test_wal_roundtrip_preserves_records_and_order(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    records = _fill(wal, 5)
+    assert wal.stats()["records"] == 5
+    assert wal.stats()["lag_records"] == 0  # always-fsync: nothing pending
+    wal.close()
+    recovery = recover_wal(tmp_path)
+    assert recovery.clean and not recovery.truncated_tail
+    assert recovery.records == records
+
+
+def test_wal_segment_rotation_and_reopen(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="never", segment_bytes=64)
+    _fill(wal, 6)  # every frame is ~> 64 bytes, so one record per segment
+    wal.close()
+    segments = sorted(tmp_path.glob("wal-*.seg"))
+    assert len(segments) >= 6
+    # reopening never appends into an old segment
+    wal2 = WriteAheadLog(tmp_path)
+    wal2.append(_record(7))
+    wal2.close()
+    assert sorted(tmp_path.glob("wal-*.seg"))[-1] not in segments
+    recovery = recover_wal(tmp_path)
+    assert [r["epoch"] for r in recovery.records] == [1, 2, 3, 4, 5, 6, 7]
+
+
+def test_wal_batch_fsync_tracks_lag(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="batch", sync_every=4)
+    _fill(wal, 6)
+    assert wal.stats()["lag_records"] == 2  # synced at 4, two pending
+    wal.sync()
+    assert wal.stats()["lag_records"] == 0
+    wal.close()
+
+
+def test_wal_rejects_unknown_fsync_policy(tmp_path):
+    with pytest.raises(ValueError, match="fsync"):
+        WriteAheadLog(tmp_path, fsync="sometimes")
+
+
+def test_wal_torn_tail_truncated_once_then_clean(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    _fill(wal, 3)
+    wal.close()
+    segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+    segment.write_bytes(segment.read_bytes()[:-5])  # tear the last record
+    recovery = recover_wal(tmp_path)
+    assert recovery.truncated_tail and not recovery.clean
+    assert [r["epoch"] for r in recovery.records] == [1, 2]
+    assert any("torn tail" in w for w in recovery.warnings)
+    # the repair is durable: a second recovery sees a clean log
+    again = recover_wal(tmp_path)
+    assert again.clean and [r["epoch"] for r in again.records] == [1, 2]
+
+
+def test_wal_short_header_tail_truncated(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    _fill(wal, 2)
+    wal.close()
+    segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+    with open(segment, "ab") as fh:
+        fh.write(b"\x00\x00")  # 2 of 8 header bytes
+    recovery = recover_wal(tmp_path)
+    assert recovery.truncated_tail
+    assert len(recovery.records) == 2
+
+
+def test_wal_crc_mismatch_quarantines_exactly_that_record(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    _fill(wal, 3)
+    wal.close()
+    segment = sorted(tmp_path.glob("wal-*.seg"))[-1]
+    data = bytearray(segment.read_bytes())
+    # flip one payload byte of the *second* record
+    first_len = _HEADER.unpack_from(data, 0)[0]
+    second_at = _HEADER.size + first_len
+    data[second_at + _HEADER.size] ^= 0xFF
+    segment.write_bytes(bytes(data))
+    recovery = recover_wal(tmp_path)
+    assert recovery.quarantined == 1
+    assert [r["epoch"] for r in recovery.records] == [1, 3]
+    quarantine = (tmp_path / QUARANTINE_NAME).read_text().strip().splitlines()
+    assert len(quarantine) == 1
+    entry = json.loads(quarantine[0])
+    assert entry["reason"] == "crc-mismatch" and entry["payload_hex"]
+
+
+def test_wal_valid_crc_invalid_json_quarantined(tmp_path):
+    payload = b"not json at all"
+    frame = _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+    (tmp_path / "wal-00000001.seg").write_bytes(frame)
+    recovery = recover_wal(tmp_path)
+    assert recovery.quarantined == 1 and not recovery.records
+
+
+def test_wal_compaction_snapshots_and_drops_segments(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    _fill(wal, 3)
+    wal.compact({"epochs": {"PK": 3}, "logs": {"PK": []}})
+    assert not list(tmp_path.glob("wal-*.seg"))
+    assert (tmp_path / SNAPSHOT_NAME).exists()
+    post = _fill(wal, 1)  # appends after compaction land in a new segment
+    wal.close()
+    recovery = recover_wal(tmp_path)
+    assert recovery.snapshot == {"epochs": {"PK": 3}, "logs": {"PK": []}}
+    assert recovery.records == post
+    assert wal.stats()["compactions"] == 1
+
+
+def test_wal_unreadable_snapshot_is_warned_not_fatal(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    records = _fill(wal, 2)
+    wal.close()
+    (tmp_path / SNAPSHOT_NAME).write_text("{truncated")
+    recovery = recover_wal(tmp_path)
+    assert recovery.snapshot is None
+    assert any(SNAPSHOT_NAME in w for w in recovery.warnings)
+    assert recovery.records == records
+
+
+def test_recover_missing_dir_is_empty_and_clean(tmp_path):
+    recovery = recover_wal(tmp_path / "never-created")
+    assert recovery.clean and not recovery.records
+
+
+def test_wal_injected_torn_write_never_acknowledges(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    plan = faults.FaultPlan(["service.wal-torn-write"], seed=3, skip=1)
+    acked = []
+    with faults.inject(plan):
+        for k in range(1, 5):
+            try:
+                wal.append(_record(k))
+                acked.append(k)
+            except WalWriteError:
+                pass
+    wal.close()
+    assert acked == [1, 3, 4]  # skip=1: the second append tore
+    recovery = recover_wal(tmp_path)
+    assert [r["epoch"] for r in recovery.records] == acked
+    assert not recovery.clean  # the torn frame was noticed
+
+
+# -- recovery into the service ---------------------------------------------
+
+
+def test_service_recovers_epochs_and_results_from_wal(tmp_path):
+    cfg = ServiceConfig(**TINY, wal_dir=str(tmp_path), wal_fsync="batch")
+    with QueryService(cfg) as svc:
+        for k in range(1, 4):
+            svc.ingest("PK", seed=k)
+        before = svc.submit(
+            QueryRequest(graph="PK", algo="sssp", source=1)
+        ).wait(timeout=120)
+        assert before.ok and before.epoch == 3
+
+    with QueryService(cfg) as revived:
+        assert revived.epoch("PK") == 3
+        assert revived.last_recovery is not None
+        assert revived.last_recovery.clean
+        after = revived.submit(
+            QueryRequest(graph="PK", algo="sssp", source=1)
+        ).wait(timeout=120)
+    assert after.ok and after.epoch == 3
+    assert [s.checksum for s in after.summaries] == [
+        s.checksum for s in before.summaries
+    ]
+
+
+def test_service_compaction_preserves_recovery(tmp_path):
+    cfg = ServiceConfig(**TINY, wal_dir=str(tmp_path), wal_compact_every=2)
+    with QueryService(cfg) as svc:
+        for k in range(1, 6):
+            svc.ingest("PK", seed=k)
+        assert svc.wal.compactions >= 2
+    with QueryService(cfg) as revived:
+        assert revived.epoch("PK") == 5
+
+
+def test_service_freezes_graph_at_gap_behind_quarantined_record(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    plan = faults.FaultPlan(["service.wal-corrupt-record"], seed=0, skip=1)
+    with faults.inject(plan):
+        _fill(wal, 3)  # second record commits corrupted
+    wal.close()
+    cfg = ServiceConfig(**TINY, wal_dir=str(tmp_path))
+    with QueryService(cfg) as svc:
+        # epoch 2 was quarantined, so epoch 3 must not be applied
+        assert svc.epoch("PK") == 1
+        assert svc.last_recovery.quarantined == 1
+
+
+def test_crash_on_ingest_commits_without_acknowledging(tmp_path):
+    cfg = ServiceConfig(
+        **TINY, wal_dir=str(tmp_path),
+        inject_fault=("service.crash-on-ingest",),
+    )
+    svc = QueryService(cfg).start()
+    try:
+        with pytest.raises(SimulatedCrash):
+            svc.ingest("PK", seed=1)
+        assert svc.epoch("PK") == 0  # never applied in memory
+    finally:
+        svc.stop(drain=False)
+    with QueryService(ServiceConfig(**TINY, wal_dir=str(tmp_path))) as after:
+        # committed-but-unacknowledged may legally be replayed
+        assert after.epoch("PK") == 1
+
+
+@pytest.mark.parametrize("point", WAL_POINTS)
+def test_fault_campaign_wal_trials_recover(point):
+    outcome = run_trial(None, None, point, seed=7)
+    assert outcome.injected and outcome.detected and outcome.recovered
+
+
+# -- overload protection ----------------------------------------------------
+
+
+def test_split_expired_separates_blown_deadlines():
+    fresh = PendingQuery(QueryRequest("PK", "sssp", 1), epoch=0)
+    blown = PendingQuery(
+        QueryRequest("PK", "sssp", 2, deadline_s=1e-9), epoch=0
+    )
+    live, expired = split_expired([fresh, blown])
+    assert live == [fresh] and expired == [blown]
+
+
+def test_validate_request_rejects_nonpositive_deadline():
+    with pytest.raises(ValueError, match="deadline"):
+        validate_request(
+            QueryRequest("PK", "sssp", 1, deadline_s=0.0), 4, "tiny"
+        )
+
+
+def test_expired_query_is_shed_with_retry_after():
+    cfg = ServiceConfig(**TINY, coalesce_ms=50.0)
+    with QueryService(cfg) as svc:
+        svc.submit(QueryRequest("PK", "sssp", 1)).wait(timeout=120)  # warm
+        response = svc.submit(
+            QueryRequest("PK", "sssp", 2, deadline_s=0.001)
+        ).wait(timeout=30)
+        assert response.status == "shed"
+        assert response.retryable
+        assert response.retry_after and response.retry_after > 0
+        assert svc.service_stats()["shed"] == 1
+        assert "shed" in svc.health()
+
+
+def test_stop_reports_drain_timeout():
+    with QueryService(ServiceConfig(**TINY)) as svc:
+        svc.submit(QueryRequest("PK", "sssp", 1)).wait(timeout=120)
+        # a fake in-flight plan that never completes
+        with svc._inflight_lock:
+            svc._inflight.add(-1)
+        assert svc.stop(drain=True, timeout=0.2) is False
+        assert svc.service_stats()["drain_timeouts"] == 1
+        with svc._inflight_lock:
+            svc._inflight.discard(-1)
+
+
+# -- health op ---------------------------------------------------------------
+
+
+def test_health_op_reports_epochs_queue_and_wal(tmp_path):
+    cfg = ServiceConfig(**TINY, wal_dir=str(tmp_path))
+    with QueryService(cfg) as svc:
+        svc.ingest("PK", seed=1)
+        front = ServiceFrontend(svc)
+        health = front.handle_line(json.dumps({"op": "health"}))
+        assert health["ok"] and health["status"] == "ok"
+        assert health["epochs"] == {"PK": 1}
+        assert health["queue_depth"] == 0
+        assert health["retry_after_s"] > 0
+        assert health["wal"]["enabled"] and health["wal"]["records"] == 1
+        assert "recovery" in health["wal"]
+        # a deadline arrives on the wire in milliseconds
+        shed = front.handle_line(json.dumps(
+            {"op": "query", "graph": "PK", "algo": "sssp", "source": 1,
+             "deadline_ms": 0.001}
+        ))
+        assert shed["status"] == "shed" and "retry_after_s" in shed
+
+
+# -- the kill-and-recover drill ---------------------------------------------
+
+
+def test_crash_drill_zero_loss_and_parity(tmp_path):
+    report = run_crash_drill(
+        str(tmp_path / "wal"), crash_at_epoch=2, graph="PK",
+        scale="tiny", n_snapshots=4, workers=1, algos=["bfs", "sssp"],
+    )
+    assert report.ok, report.format_table()
+    assert report.lost_deltas == 0
+    assert report.recovered_epoch == report.acked_epoch == 2
+    assert report.parity == {"bfs": True, "sssp": True}
+    assert "PASS" in report.format_table()
+
+
+# -- DeltaBatch wire format and edge cases (satellite) ----------------------
+
+
+def test_from_lists_empty_adds_and_dels():
+    batch = DeltaBatch.from_lists([], [])
+    assert batch.n_additions == 0 and batch.n_deletions == 0
+
+
+def test_from_lists_defaults_weight_to_one():
+    batch = DeltaBatch.from_lists([[1, 2], [3, 4, 2.5]], [])
+    assert batch.add_wt.tolist() == [1.0, 2.5]
+
+
+@pytest.mark.parametrize(
+    "adds, dels, match",
+    [
+        ([[1]], [], "addition row 0"),
+        ([[1, 2, 3.0, 4]], [], "addition row 0"),
+        ([[1, 2], [3]], [], "addition row 1"),
+        ([], [[1]], "deletion row 0"),
+        ([], [[1, 2, 3]], "deletion row 0"),
+        (7, [], "delta rows"),
+        ([], 7, "delta rows"),
+    ],
+)
+def test_from_lists_ragged_rows_raise_clean_valueerror(adds, dels, match):
+    with pytest.raises(ValueError, match=match):
+        DeltaBatch.from_lists(adds, dels)
+
+
+def test_delta_wire_roundtrip():
+    batch = DeltaBatch.from_lists(
+        [[0, 1, 2.0], [2, 3]], [[4, 5]], seed=9
+    )
+    clone = DeltaBatch.from_wire(batch.to_wire())
+    assert clone.to_wire() == batch.to_wire()
+    assert clone.meta == {"seed": 9}
+
+
+# -- CLI surface (satellite: --no-out) --------------------------------------
+
+
+def _bench_argv(*extra: str) -> list[str]:
+    return [
+        "serve-bench", "--scale", "tiny", "--snapshots", "4",
+        "--workers", "1", "--duration", "0.2", "--rate", "20",
+        "--sources", "4", *extra,
+    ]
+
+
+def test_cli_no_out_skips_report_file(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(_bench_argv("--no-out")) == 0
+    assert not list(tmp_path.glob("*.json"))
+    assert "deprecated" not in capsys.readouterr().err
+
+
+def test_cli_empty_out_still_works_but_warns(tmp_path, monkeypatch, capsys):
+    monkeypatch.chdir(tmp_path)
+    assert main(_bench_argv("--out", "")) == 0
+    assert not list(tmp_path.glob("*.json"))
+    assert "deprecated" in capsys.readouterr().err
+
+
+def test_cli_rejects_negative_crash_at_epoch(capsys):
+    assert main(_bench_argv("--crash-at-epoch", "-1")) == 2
+    assert capsys.readouterr().err.strip()
+
+
+def test_cli_wal_flags_reach_service_config():
+    from repro.cli import build_parser, _service_config
+
+    args = build_parser().parse_args(_bench_argv(
+        "--wal-dir", "w", "--wal-fsync", "batch", "--wal-compact-every", "5"
+    ))
+    cfg = _service_config(args)
+    assert cfg.wal_dir == "w"
+    assert cfg.wal_fsync == "batch"
+    assert cfg.wal_compact_every == 5
