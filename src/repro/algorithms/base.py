@@ -47,6 +47,20 @@ class Algorithm(abc.ABC):
         """Elementwise: is ``a`` strictly better than ``b``?"""
         return a < b if self.minimize else a > b
 
+    def better_into(
+        self, a: np.ndarray, b: np.ndarray, out: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`better` into a preallocated ``out`` (engine scratch).
+
+        The multi-version engine's round loop calls this instead of
+        :meth:`better` to avoid a per-round allocation.  A subclass that
+        overrides :meth:`better` with a non-strict-comparison order must
+        override this too — the two must stay consistent.
+        """
+        if self.minimize:
+            return np.less(a, b, out=out)
+        return np.greater(a, b, out=out)
+
     def combine(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Elementwise best of two value arrays."""
         return np.minimum(a, b) if self.minimize else np.maximum(a, b)

@@ -277,6 +277,7 @@ def _service_config(args: argparse.Namespace):
         mode=args.mode,
         budget_s=args.budget_s,
         cache_size=max(1, args.cache_size),
+        use_shm=args.shm,
         wal_dir=args.wal_dir,
         wal_fsync=args.wal_fsync,
         wal_compact_every=args.wal_compact_every,
@@ -345,6 +346,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         deadline_s=args.deadline_ms / 1e3,
         max_retries=args.retries,
     )
+    if args.compare_shm:
+        return _serve_bench_compare(args, config, spec, write_out)
     with QueryService(config) as service:
         report = run_load(service, spec)
     print(report.format_table())
@@ -359,6 +362,86 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         )
         return 1
     return 0
+
+
+def _serve_bench_compare(args, config, spec, write_out: bool) -> int:
+    """Run the identical workload with and without the shm plane.
+
+    Reports throughput for both paths and their ratio; the JSON report
+    carries both runs plus the comparison so the speedup is committed
+    alongside the raw numbers.
+    """
+    import dataclasses
+    import json as _json
+
+    from repro.service import QueryService, run_load
+
+    reports = {}
+    for label, use_shm in (("shm", True), ("no_shm", False)):
+        cfg = dataclasses.replace(config, use_shm=use_shm)
+        print(f"[compare-shm: running workload with shm "
+              f"{'on' if use_shm else 'off'}]", file=sys.stderr)
+        with QueryService(cfg) as service:
+            reports[label] = run_load(service, spec)
+        print(reports[label].format_table())
+        print()
+    shm_qps = reports["shm"].results["throughput_qps"]
+    base_qps = reports["no_shm"].results["throughput_qps"]
+    speedup = shm_qps / max(base_qps, 1e-9)
+    print(
+        f"== shm plane comparison ==\n"
+        f"throughput with shm    {shm_qps:.1f} q/s\n"
+        f"throughput without shm {base_qps:.1f} q/s\n"
+        f"speedup {speedup:.2f}x"
+    )
+    if write_out:
+        path = pathlib.Path(args.out)
+        payload = {
+            "bench": "service-compare-shm",
+            "schema_version": 1,
+            "comparison": {
+                "throughput_qps_shm": shm_qps,
+                "throughput_qps_no_shm": base_qps,
+                "speedup_qps": speedup,
+            },
+            "shm": _json.loads(reports["shm"].to_json()),
+            "no_shm": _json.loads(reports["no_shm"].to_json()),
+        }
+        path.write_text(_json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote {path}]")
+    if any(r.degraded for r in reports.values()):
+        print(
+            "[degraded run: dropped/errored queries or unrecovered fault]",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_bench_kernels(args: argparse.Namespace) -> int:
+    from repro.perf import run_kernel_bench
+
+    if args.graph not in DATASETS:
+        return _fail_usage(
+            f"unknown graph {args.graph!r}; choose from {sorted(DATASETS)}"
+        )
+    _resolve_algorithm(args.algo)
+    report = run_kernel_bench(
+        graph=args.graph,
+        scale=args.scale,
+        n_snapshots=args.snapshots,
+        algo=args.algo,
+        n_sources=args.sources,
+        iters=args.iters,
+        seed=args.seed,
+    )
+    print(report.format_table())
+    if not args.no_out and args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(report.to_json() + "\n")
+        print(f"[wrote {path}]")
+    # CI gates on parity, never on timings (shared runners jitter)
+    return 0 if report.ok else 1
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -484,6 +567,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-plan wall-clock budget (watchdog)")
         p.add_argument("--cache-size", type=int, default=512,
                        help="result-cache entries (1 ~= disabled)")
+        p.add_argument(
+            "--shm",
+            action=argparse.BooleanOptionalAction,
+            default=True,
+            help="publish live scenarios into shared memory so workers "
+            "attach zero-copy (--no-shm restores the replay/copy path)",
+        )
         p.add_argument("--wal-dir", default=None,
                        help="write-ahead log directory: ingest becomes "
                        "durable and the service recovers from it on start")
@@ -542,7 +632,30 @@ def build_parser() -> argparse.ArgumentParser:
                          "N acknowledged ingests, restart it from the WAL, "
                          "and assert zero acknowledged-delta loss plus "
                          "query parity")
+    p_bench.add_argument("--compare-shm", action="store_true",
+                         help="run the identical workload twice — shm plane "
+                         "on, then off — and report the q/s speedup")
     p_bench.set_defaults(func=_cmd_serve_bench)
+
+    p_kern = sub.add_parser(
+        "bench-kernels",
+        help="microbenchmark the hot kernels (gather, argbest, plans, "
+        "shm attach) with built-in parity checks",
+    )
+    p_kern.add_argument("--graph", default="Wen")
+    p_kern.add_argument("--scale", default="small", choices=sorted(SCALES))
+    p_kern.add_argument("--snapshots", type=int, default=8)
+    p_kern.add_argument("--algo", default="sssp")
+    p_kern.add_argument("--sources", type=int, default=4,
+                        help="sources in the coalesced-plan benchmark")
+    p_kern.add_argument("--iters", type=int, default=20,
+                        help="timed iterations per kernel")
+    p_kern.add_argument("--seed", type=int, default=0)
+    p_kern.add_argument("--out", default="BENCH_kernels.json",
+                        help="write the JSON report here")
+    p_kern.add_argument("--no-out", action="store_true",
+                        help="skip writing the JSON report")
+    p_kern.set_defaults(func=_cmd_bench_kernels)
 
     p_sim = sub.add_parser("simulate", help="run one simulation")
     p_sim.add_argument("--graph", default="PK")

@@ -31,6 +31,34 @@ from repro.resilience.budget import Budget, BudgetClock
 __all__ = ["MultiVersionEngine", "group_argbest"]
 
 
+class _Scratch:
+    """Grow-only flat buffer pools for the engine's round loop.
+
+    Each named pool is a 1-D array that only ever grows (geometrically),
+    handed out as a contiguous ``shape`` view over its prefix.  Because
+    the views are prefixes of a flat buffer they stay C-contiguous for
+    any requested 2-D shape, so ``ravel()`` on them is a view, not a
+    copy.  Steady-state rounds therefore reuse the same memory instead
+    of re-allocating ``(K, E)`` temporaries every round.
+    """
+
+    __slots__ = ("_pools",)
+
+    def __init__(self) -> None:
+        self._pools: dict[str, np.ndarray] = {}
+
+    def get(self, name: str, dtype: type, shape: tuple[int, ...]) -> np.ndarray:
+        size = 1
+        for dim in shape:
+            size *= int(dim)
+        pool = self._pools.get(name)
+        if pool is None or pool.size < size:
+            cap = size if pool is None else max(size, 2 * pool.size)
+            pool = np.empty(cap, dtype=dtype)
+            self._pools[name] = pool
+        return pool[:size].reshape(shape)
+
+
 def group_argbest(
     keys: np.ndarray, candidates: np.ndarray, minimize: bool
 ) -> tuple[np.ndarray, np.ndarray]:
@@ -81,6 +109,9 @@ class MultiVersionEngine:
         self.parent_edge: np.ndarray | None = None
         if track_parents:
             self.parent_edge = np.full((1, n), -1, dtype=np.int64)
+        #: reusable round-loop buffers (see _Scratch); one set per engine,
+        #: shared across propagate/apply_additions calls
+        self._scratch = _Scratch()
 
     # -- state helpers -------------------------------------------------------
 
@@ -127,16 +158,22 @@ class MultiVersionEngine:
 
         if self.budget is not None and self._budget_clock is None:
             self._budget_clock = self.budget.start()
+        scratch = self._scratch
+        row_off = np.arange(k, dtype=np.int64)[:, None] * n
         rounds = 0
         while True:
             union_frontier = np.flatnonzero(frontier.any(axis=0))
             if union_frontier.size == 0:
                 break
             rounds += 1
+            # After the first round ``frontier`` aliases the ``changed``
+            # scratch buffer, which is overwritten at the end of the round
+            # body — take its totals before any writes.
+            popped_versions = int(frontier.sum())
             if self._budget_clock is not None:
                 self._budget_clock.charge(
                     rounds=1,
-                    events=int(frontier.sum()),
+                    events=popped_versions,
                     stats={"propagate_rounds": rounds},
                 )
             edge_idx, src_rep = gather_out_edges(graph.indptr, union_frontier)
@@ -151,32 +188,58 @@ class MultiVersionEngine:
                     n_versions=k,
                     dst=edge_idx,
                     src=union_frontier,
-                    version_events_popped=int(frontier.sum()),
+                    version_events_popped=popped_versions,
                 )
                 frontier[:] = False
                 continue
 
+            e = edge_idx.size
             # (K, E): does version k's frontier contain the edge's source,
-            # and does the edge exist in version k's graph?
-            active = frontier[:, src_rep] & presence[:, edge_idx]
-            cand = algo.candidate(values[:, src_rep], graph.wt[edge_idx])
-            cand = np.where(active, cand, algo.mask_value)
+            # and does the edge exist in version k's graph?  All round
+            # temporaries are gathered into preallocated scratch views so
+            # steady-state rounds run without fresh (K, E) allocations.
+            active = np.take(
+                frontier, src_rep, axis=1,
+                out=scratch.get("active", bool, (k, e)),
+            )
+            active &= np.take(
+                presence, edge_idx, axis=1,
+                out=scratch.get("pres", bool, (k, e)),
+            )
+            vals = np.take(
+                values, src_rep, axis=1,
+                out=scratch.get("vals", np.float64, (k, e)),
+            )
+            wt = np.take(
+                graph.wt, edge_idx, out=scratch.get("wt", np.float64, (e,))
+            )
+            cand = algo.candidate(vals, wt)
+            inactive = np.logical_not(
+                active, out=scratch.get("inactive", bool, (k, e))
+            )
+            np.copyto(cand, algo.mask_value, where=inactive)
 
-            dst = graph.dst[edge_idx]
-            old = values.copy()
-            flat_dst = (
-                np.arange(k, dtype=np.int64)[:, None] * n + dst[None, :]
+            dst = np.take(
+                graph.dst, edge_idx, out=scratch.get("dst", np.int64, (e,))
+            )
+            old = scratch.get("old", np.float64, (k, n))
+            np.copyto(old, values)
+            flat_dst = np.add(
+                row_off, dst[None, :],
+                out=scratch.get("flat", np.int64, (k, e)),
             )
             sel = active.ravel()
             flat_idx = flat_dst.ravel()[sel]
             flat_cand = cand.ravel()[sel]
             algo.scatter_reduce(values.reshape(-1), flat_idx, flat_cand)
 
-            changed = algo.better(values, old)
+            changed = algo.better_into(
+                values, old, out=scratch.get("changed", bool, (k, n))
+            )
             if self.track_parents and parent_rows is not None:
                 self._update_parents(
                     parent_rows, changed, flat_idx, flat_cand,
-                    np.broadcast_to(edge_idx, (k, edge_idx.size)).ravel()[sel],
+                    np.broadcast_to(edge_idx, (k, e)).ravel()[sel],
                     values,
                 )
 
@@ -184,19 +247,20 @@ class MultiVersionEngine:
             # versions of a vertex as one row-wide event, so the primary
             # counters are vertex-granular; the per-version scalar totals
             # ride along for analyses that need them.
-            self._record_round(
-                phase,
-                events_popped=int(union_frontier.size),
-                events_generated=int(active.any(axis=0).sum()),
-                edge_idx=edge_idx,
-                vertex_writes=int(changed.any(axis=0).sum()),
-                n_versions=k,
-                dst=np.unique(dst),
-                src=union_frontier,
-                version_events_popped=int(frontier.sum()),
-                version_events_generated=int(active.sum()),
-                version_vertex_writes=int(changed.sum()),
-            )
+            if self._recording():
+                self._record_round(
+                    phase,
+                    events_popped=int(union_frontier.size),
+                    events_generated=int(active.any(axis=0).sum()),
+                    edge_idx=edge_idx,
+                    vertex_writes=int(changed.any(axis=0).sum()),
+                    n_versions=k,
+                    dst=np.unique(dst),
+                    src=union_frontier,
+                    version_events_popped=popped_versions,
+                    version_events_generated=int(active.sum()),
+                    version_vertex_writes=int(changed.sum()),
+                )
             frontier = changed
         return rounds
 
@@ -268,20 +332,44 @@ class MultiVersionEngine:
         k, n = values.shape
         self._begin(tag, phase, targets)
 
+        scratch = self._scratch
         edge_idx = np.asarray(batch_edge_idx, dtype=np.int64)
-        src = graph.src_of_edge[edge_idx]
-        dst = graph.dst[edge_idx]
-        present = presence[:, edge_idx]
-        cand = algo.candidate(values[:, src], graph.wt[edge_idx])
-        cand = np.where(present, cand, algo.mask_value)
+        e = edge_idx.size
+        src = np.take(
+            graph.src_of_edge, edge_idx,
+            out=scratch.get("src", np.int64, (e,)),
+        )
+        dst = np.take(
+            graph.dst, edge_idx, out=scratch.get("dst", np.int64, (e,))
+        )
+        present = np.take(
+            presence, edge_idx, axis=1, out=scratch.get("pres", bool, (k, e))
+        )
+        vals = np.take(
+            values, src, axis=1, out=scratch.get("vals", np.float64, (k, e))
+        )
+        wt = np.take(
+            graph.wt, edge_idx, out=scratch.get("wt", np.float64, (e,))
+        )
+        cand = algo.candidate(vals, wt)
+        absent = np.logical_not(
+            present, out=scratch.get("inactive", bool, (k, e))
+        )
+        np.copyto(cand, algo.mask_value, where=absent)
 
-        old = values.copy()
-        flat_dst = np.arange(k, dtype=np.int64)[:, None] * n + dst[None, :]
+        old = scratch.get("old", np.float64, (k, n))
+        np.copyto(old, values)
+        flat_dst = np.add(
+            np.arange(k, dtype=np.int64)[:, None] * n, dst[None, :],
+            out=scratch.get("flat", np.int64, (k, e)),
+        )
         sel = present.ravel()
         flat_idx = flat_dst.ravel()[sel]
         flat_cand = cand.ravel()[sel]
         algo.scatter_reduce(values.reshape(-1), flat_idx, flat_cand)
-        changed = algo.better(values, old)
+        changed = algo.better_into(
+            values, old, out=scratch.get("changed", bool, (k, n))
+        )
         if self.track_parents and parent_rows is not None:
             self._update_parents(
                 parent_rows, changed, flat_idx, flat_cand,
@@ -319,6 +407,11 @@ class MultiVersionEngine:
     def _end(self) -> None:
         if self.collector is not None and self._owns_execution:
             self.collector.end()
+
+    def _recording(self) -> bool:
+        """Is a trace collector actively recording?  The hot round loop
+        skips computing per-round statistics entirely when not."""
+        return self.collector is not None and self.collector.active
 
     def _record_round(
         self,

@@ -11,6 +11,16 @@ The paper stores the tag as a single label per edge; we keep two small
 integer arrays (``add_step``/``del_step``, ``-1`` meaning "not applicable")
 which encode exactly the same information and vectorize the per-snapshot
 presence tests used by the multi-version engine.
+
+Presence tests are served from a **bit-packed plane matrix** built lazily
+via ``np.packbits``: plane ``p`` is a ``(n_union_edges,)`` ``uint8`` row
+whose bit ``j`` says whether the edge is present in snapshot ``8p + j``.
+One byte fetch per edge answers up to eight snapshots at once — the
+software analogue of MEGA's §3.1 shared edge fetch — and the matrix is 8×
+smaller than the dense ``n_snapshots × n_union_edges`` boolean form it
+replaces.  ``mega-repro bench-kernels`` times the packed gather against
+the dense path it replaced (kept as ``_presence_of_dense`` for parity
+checks and benchmarking).
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ class UnifiedCSR:
         add_step: np.ndarray,
         del_step: np.ndarray,
         n_snapshots: int,
+        presence_planes: np.ndarray | None = None,
     ) -> None:
         self.graph = graph
         self.add_step = np.asarray(add_step, dtype=np.int32)
@@ -57,6 +68,18 @@ class UnifiedCSR:
             raise ValueError("batch steps must lie in [0, n_snapshots-2]")
         self._snapshot_cache: dict[int, CSRGraph] = {}
         self._reverse: CSRGraph | None = None
+        #: bit-packed presence planes; built lazily, or injected by a
+        #: shared-memory attach so workers skip the packbits pass
+        self._planes: np.ndarray | None = None
+        if presence_planes is not None:
+            planes = np.asarray(presence_planes, dtype=np.uint8)
+            expect = ((self.n_snapshots + 7) // 8, graph.n_edges)
+            if planes.shape != expect:
+                raise ValueError(
+                    f"presence_planes must have shape {expect}; "
+                    f"got {planes.shape}"
+                )
+            self._planes = planes
 
     # -- structural views --------------------------------------------------
 
@@ -73,15 +96,67 @@ class UnifiedCSR:
         """Edges belonging to the CommonGraph ``G_c`` (all snapshots)."""
         return (self.add_step == NOT_APPLICABLE) & (self.del_step == NOT_APPLICABLE)
 
+    def presence_planes(self) -> np.ndarray:
+        """Bit-packed presence: ``(ceil(K/8), M)`` ``uint8``, lazy-cached.
+
+        Bit ``j`` of plane ``p`` (little-endian bit order) says whether
+        the edge is present in snapshot ``8p + j``.  The matrix is 8×
+        smaller than the dense boolean form and read-only — shared-memory
+        attaches publish it verbatim.
+        """
+        if self._planes is None:
+            snaps = np.arange(self.n_snapshots, dtype=np.int32)[:, None]
+            a = self.add_step[None, :]
+            d = self.del_step[None, :]
+            dense = ((a == NOT_APPLICABLE) | (a < snaps)) & (
+                (d == NOT_APPLICABLE) | (d >= snaps)
+            )
+            planes = np.packbits(dense, axis=0, bitorder="little")
+            planes.flags.writeable = False
+            self._planes = planes
+        return self._planes
+
     def presence_mask(self, snapshot: int) -> np.ndarray:
         """Boolean mask over union edges: present in ``G_snapshot``?"""
         self._check_snapshot(snapshot)
-        added_ok = (self.add_step == NOT_APPLICABLE) | (self.add_step < snapshot)
-        deleted_ok = (self.del_step == NOT_APPLICABLE) | (self.del_step >= snapshot)
-        return added_ok & deleted_ok
+        plane = self.presence_planes()[snapshot >> 3]
+        return ((plane >> (snapshot & 7)) & 1).view(bool)
 
     def presence_of(self, snapshot: int, edge_idx: np.ndarray) -> np.ndarray:
-        """Presence test restricted to a set of union-edge slots."""
+        """Presence test restricted to a set of union-edge slots.
+
+        One byte gather per slot against the packed planes — the
+        unpack-on-gather fast path ``bench-kernels`` measures against
+        :meth:`_presence_of_dense`.
+        """
+        self._check_snapshot(snapshot)
+        plane = self.presence_planes()[snapshot >> 3]
+        return ((plane[edge_idx] >> (snapshot & 7)) & 1).view(bool)
+
+    def presence_multi(self, edge_idx: np.ndarray | None = None) -> np.ndarray:
+        """Presence of every snapshot at once: ``(K, E)`` bool.
+
+        ``edge_idx`` restricts to a set of union-edge slots (the
+        multi-version gather of the engine's inner loop); ``None`` yields
+        the full ``(K, M)`` matrix.  Each edge's planes are fetched once
+        and unpacked across all snapshots — MEGA's shared-fetch insight
+        applied to the presence test itself.
+        """
+        planes = self.presence_planes()
+        gathered = planes if edge_idx is None else planes[:, edge_idx]
+        return np.unpackbits(
+            gathered, axis=0, count=self.n_snapshots, bitorder="little"
+        ).view(bool)
+
+    def _presence_of_dense(
+        self, snapshot: int, edge_idx: np.ndarray
+    ) -> np.ndarray:
+        """The pre-packing dense presence test (tag compares per call).
+
+        Kept as the reference implementation: parity tests check the
+        packed planes against it, and ``bench-kernels`` reports the
+        packed gather's speedup over it.
+        """
         self._check_snapshot(snapshot)
         a = self.add_step[edge_idx]
         d = self.del_step[edge_idx]

@@ -17,9 +17,18 @@ __all__ = ["CSRGraph", "gather_out_edges"]
 
 
 class CSRGraph:
-    """An immutable directed weighted graph in CSR form."""
+    """An immutable directed weighted graph in CSR form.
 
-    __slots__ = ("n_vertices", "indptr", "dst", "wt", "src_of_edge")
+    **No-copy contract**: inputs already in the canonical dtypes
+    (``indptr``/``dst`` int64, ``wt`` float64) are adopted as-is via
+    ``np.asarray`` — no copy is made, and read-only inputs (e.g. views
+    into a ``multiprocessing.shared_memory`` segment published by the
+    service's scenario plane) stay read-only.  Only non-conforming
+    dtypes pay a conversion copy.  Construction never writes to the
+    edge arrays, so a shared-memory attach is genuinely zero-copy.
+    """
+
+    __slots__ = ("n_vertices", "indptr", "dst", "wt", "_src_of_edge")
 
     def __init__(
         self,
@@ -40,11 +49,20 @@ class CSRGraph:
             raise ValueError("indptr must be non-decreasing")
         if self.dst.shape != self.wt.shape:
             raise ValueError("dst and wt must have identical shapes")
-        # src per edge slot, materialized once; used by reverse graphs,
-        # dependence trees, and trace bookkeeping.
-        self.src_of_edge = np.repeat(
-            np.arange(self.n_vertices, dtype=np.int64), np.diff(self.indptr)
-        )
+        # src per edge slot, computed lazily on first use; reverse graphs,
+        # dependence trees and trace bookkeeping need it, but many graphs
+        # (snapshot materializations, shared-memory attaches) never do.
+        self._src_of_edge: np.ndarray | None = None
+
+    @property
+    def src_of_edge(self) -> np.ndarray:
+        """Source vertex per edge slot (lazily materialized, cached)."""
+        if self._src_of_edge is None:
+            self._src_of_edge = np.repeat(
+                np.arange(self.n_vertices, dtype=np.int64),
+                np.diff(self.indptr),
+            )
+        return self._src_of_edge
 
     # -- construction ----------------------------------------------------
 

@@ -1,0 +1,12 @@
+"""Reproducible microbenchmarks for the hot kernels.
+
+``mega-repro bench-kernels`` (:mod:`repro.perf.kernels`) times the
+multi-version presence gather, ``group_argbest``, coalesced plan
+execution, and shared-memory scenario attach, and emits
+``BENCH_kernels.json`` so successive PRs have a kernel-level perf
+trajectory to beat.
+"""
+
+from repro.perf.kernels import KernelBenchReport, run_kernel_bench
+
+__all__ = ["KernelBenchReport", "run_kernel_bench"]

@@ -50,6 +50,11 @@ from repro.service.cache import ResultCache
 from repro.service.ingest import DeltaBatch, synthesize_delta
 from repro.service.pool import PlanPayload, PlanResult, WorkerPool
 from repro.service.request import QueryRequest, QueryResponse, validate_request
+from repro.service.shm import (
+    ScenarioManifest,
+    ScenarioPlane,
+    sweep_orphan_segments,
+)
 from repro.service.wal import WalRecovery, WriteAheadLog, recover_wal
 
 __all__ = [
@@ -97,6 +102,10 @@ class ServiceConfig:
     cache_size: int = 512
     budget_s: float = 60.0
     mode: str = "eval"
+    #: publish live scenarios into shared memory so workers attach
+    #: zero-copy instead of replaying the ingest log (CLI ``--no-shm``
+    #: restores the copy path)
+    use_shm: bool = True
     #: durable ingest: WAL directory (None = in-memory only, PR-2 behavior)
     wal_dir: str | None = None
     #: "always" | "batch" | "never" — fsync per append / periodically / OS
@@ -176,6 +185,10 @@ class QueryService:
         # warm the pool before the batcher thread exists so every worker
         # is forked from a single-threaded coordinator
         self.pool = WorkerPool(self.config.workers)
+        #: shared-memory scenario plane (None with --no-shm)
+        self.plane: ScenarioPlane | None = (
+            ScenarioPlane() if self.config.use_shm else None
+        )
         self._graphs: dict[str, _LiveGraph] = {}
         self._graphs_lock = threading.Lock()
         self._inflight: set[int] = set()
@@ -217,6 +230,10 @@ class QueryService:
         """
         if self._running:
             return self
+        if self.plane is not None:
+            # reclaim segments a SIGKILLed predecessor left in /dev/shm
+            # before publishing any of our own
+            sweep_orphan_segments()
         wal_dir = wal_dir if wal_dir is not None else self.config.wal_dir
         if wal_dir and self.wal is None:
             recovery = recover_wal(wal_dir)
@@ -299,6 +316,8 @@ class QueryService:
             self._thread.join(timeout=10)
             self._thread = None
         self.pool.shutdown()
+        if self.plane is not None:
+            self.plane.close_all()
         if self.wal is not None:
             self.wal.close()
         return drained
@@ -522,6 +541,11 @@ class QueryService:
             "workers": self.pool.workers,
             "worker_pids": sorted(self.pool.worker_pids),
             "pool_restarts": self.pool.restarts,
+            "shm": (
+                self.plane.stats()
+                if self.plane is not None
+                else {"enabled": False}
+            ),
             "wal": wal,
         }
 
@@ -581,6 +605,7 @@ class QueryService:
                 arm = self.stats.plans == self.config.inject_fault_plan
             if arm:
                 fault_points = worker_faults
+        manifest = self._plane_manifest(first.graph, epoch, deltas)
         sources = tuple(dict.fromkeys(q.request.source for q in queries))
         payload = PlanPayload(
             plan_id=plan_id,
@@ -596,6 +621,7 @@ class QueryService:
             budget_s=self.config.budget_s,
             fault_points=fault_points,
             fault_seed=self.config.fault_seed,
+            shm=manifest,
         )
         with self.stats.lock:
             self.stats.plans += 1
@@ -605,15 +631,71 @@ class QueryService:
         try:
             future = self.pool.submit(payload)
         except Exception as exc:  # pool unrecoverable: fail these queries
-            self._plan_failed(plan_id, queries, exc)
+            self._plan_failed(plan_id, queries, exc, manifest)
             return
         future.add_done_callback(
-            lambda fut, q=queries, pid=plan_id: self._on_plan_done(pid, q, fut)
+            lambda fut, q=queries, pid=plan_id, m=manifest: (
+                self._on_plan_done(pid, q, fut, m)
+            )
         )
+
+    def _plane_manifest(
+        self, graph: str, epoch: int, deltas: tuple
+    ) -> ScenarioManifest | None:
+        """Refcounted manifest of the published scenario for this plan.
+
+        Publishes (materializing the live scenario once, in the
+        coordinator) when the plan's epoch is not yet on the plane.
+        Plans admitted under an epoch *older* than the published one get
+        ``None`` — retiring a newer generation for a straggler would
+        thrash the plane — and fall back to worker-side replay.  Any
+        publish failure degrades to the replay path too.
+        """
+        if self.plane is None:
+            return None
+        scale = self.config.scale
+        n_snapshots = self.config.n_snapshots
+        manifest = self.plane.acquire(graph, scale, n_snapshots, epoch)
+        if manifest is not None:
+            return manifest
+        current = self.plane.current_epoch(graph, scale, n_snapshots)
+        if current is not None and current >= epoch:
+            return None
+        try:
+            from repro.service.pool import _live_scenario
+
+            scenario = _live_scenario(
+                PlanPayload(
+                    plan_id=0,
+                    graph=graph,
+                    scale=scale,
+                    n_snapshots=n_snapshots,
+                    algo="",
+                    sources=(),
+                    epoch=epoch,
+                    deltas=deltas,
+                )
+            )
+            self.plane.publish(scenario, graph, scale, epoch)
+            return self.plane.acquire(graph, scale, n_snapshots, epoch)
+        except Exception as exc:  # noqa: BLE001 - plane is an optimization
+            log.warning(
+                "shm plane: publish failed for %s@%d (%s); "
+                "falling back to worker replay", graph, epoch, exc,
+            )
+            return None
 
     # -- completion path (runs on executor callback threads) ---------------
 
-    def _on_plan_done(self, plan_id: int, queries, future) -> None:
+    def _on_plan_done(
+        self,
+        plan_id: int,
+        queries,
+        future,
+        manifest: ScenarioManifest | None = None,
+    ) -> None:
+        if manifest is not None and self.plane is not None:
+            self.plane.release(manifest)
         try:
             result: PlanResult = future.result()
         except Exception as exc:  # noqa: BLE001 - plan-level isolation
@@ -641,7 +723,15 @@ class QueryService:
         with self._inflight_lock:
             self._inflight.discard(plan_id)
 
-    def _plan_failed(self, plan_id: int, queries, exc: BaseException) -> None:
+    def _plan_failed(
+        self,
+        plan_id: int,
+        queries,
+        exc: BaseException,
+        manifest: ScenarioManifest | None = None,
+    ) -> None:
+        if manifest is not None and self.plane is not None:
+            self.plane.release(manifest)
         retryable = [q for q in queries if not q.retried]
         terminal = [q for q in queries if q.retried]
         for q in retryable:

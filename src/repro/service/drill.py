@@ -12,7 +12,11 @@ service on the same ``--wal-dir`` and asserts:
 * **result parity** — for every registry algorithm, query digests from
   the recovered service equal an uninterrupted in-process replay of the
   same seeded ingest chain (seeded synthesis is deterministic given the
-  epoch state, so the reference is exact).
+  epoch state, so the reference is exact);
+* **zero orphaned shared-memory segments** — the killed coordinator
+  cannot unlink its scenario-plane segments, so the restarted service
+  must sweep them (and clean up its own on shutdown): after the drill,
+  ``/dev/shm`` holds no ``megashm-*`` segment owned by a dead process.
 
 ``mega-repro serve-bench --crash-at-epoch N`` runs this and exits
 non-zero on any loss or mismatch; CI smokes it at tiny scale.
@@ -29,6 +33,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.algorithms import ALGORITHMS, get_algorithm
+from repro.service.shm import list_orphan_segments
 
 __all__ = ["CrashDrillError", "DrillReport", "run_crash_drill"]
 
@@ -51,6 +56,10 @@ class DrillReport:
     #: algorithm name -> digests matched the uninterrupted run
     parity: dict[str, bool] = field(default_factory=dict)
     wal_recovery: dict = field(default_factory=dict)
+    #: shm segments the SIGKILL stranded (informational; the restart sweeps)
+    orphans_after_crash: int = 0
+    #: shm segments still orphaned when the drill finished (must be empty)
+    orphan_segments: list[str] = field(default_factory=list)
     elapsed_s: float = 0.0
 
     @property
@@ -63,6 +72,7 @@ class DrillReport:
             self.recovered_epoch == self.acked_epoch
             and bool(self.parity)
             and all(self.parity.values())
+            and not self.orphan_segments
         )
 
     def format_table(self) -> str:
@@ -80,6 +90,12 @@ class DrillReport:
             )
         if self.wal_recovery:
             lines.append(f"wal recovery: {self.wal_recovery}")
+        lines.append(
+            f"shm segments: {self.orphans_after_crash} stranded by the "
+            f"kill, {len(self.orphan_segments)} orphaned at drill end"
+        )
+        if self.orphan_segments:
+            lines.append(f"  ORPHANS: {', '.join(self.orphan_segments)}")
         lines.append(
             f"verdict: {'PASS' if self.ok else 'FAIL'} "
             f"({self.elapsed_s:.1f}s)"
@@ -214,6 +230,7 @@ def run_crash_drill(
         # SIGKILL immediately after the last ack: anything acknowledged
         # must survive, and nothing unacknowledged is in flight
         victim.sigkill()
+    orphans_after_crash = len(list_orphan_segments())
 
     survivor = _ServeProcess(cli_args)
     try:
@@ -248,5 +265,7 @@ def run_crash_drill(
         recovered_epoch=recovered,
         parity=parity,
         wal_recovery=wal_recovery,
+        orphans_after_crash=orphans_after_crash,
+        orphan_segments=list_orphan_segments(),
         elapsed_s=time.monotonic() - t0,
     )

@@ -52,6 +52,7 @@ from repro.resilience import (
 )
 from repro.service.ingest import DeltaBatch, apply_delta
 from repro.service.request import SnapshotSummary
+from repro.service.shm import ScenarioManifest, attach_scenario
 
 __all__ = ["PlanPayload", "PlanResult", "WorkerPool"]
 
@@ -90,6 +91,8 @@ class PlanPayload:
     fault_points: tuple[str, ...] = ()
     fault_seed: int = 0
     kind: str = "plan"  # "plan" | "ping" | "clear"
+    #: shared-memory scenario manifest (zero-copy attach); None = replay
+    shm: ScenarioManifest | None = None
 
 
 @dataclass
@@ -115,6 +118,46 @@ class PlanResult:
 #: (graph, scale, n_snapshots) -> (epoch, scenario); process-local
 _LIVE: dict = {}
 _LIVE_LIMIT = 8
+
+#: segment name -> (SharedMemory, scenario); process-local zero-copy
+#: attaches to the coordinator's scenario plane
+_ATTACHED: dict = {}
+_ATTACHED_LIMIT = 4
+
+
+def _detach_all() -> None:
+    """Close every shared-memory attach held by this process."""
+    while _ATTACHED:
+        __, (shm, __) = _ATTACHED.popitem()
+        try:
+            shm.close()
+        except OSError:  # pragma: no cover - buffer already torn down
+            pass
+
+
+def _attached_scenario(manifest):
+    """The scenario published under ``manifest``, attached zero-copy.
+
+    Attaches are cached per segment (a bounded LRU — eviction closes the
+    mapping).  Returns ``None`` when the segment cannot be attached
+    (unlinked by a coordinator restart, swept as an orphan, ...): the
+    caller falls back to the replay path, which is always correct.
+    """
+    cached = _ATTACHED.get(manifest.segment)
+    if cached is not None:
+        return cached[1]
+    try:
+        shm, scenario = attach_scenario(manifest)
+    except (FileNotFoundError, OSError, ValueError):
+        return None
+    if len(_ATTACHED) >= _ATTACHED_LIMIT:
+        old_shm, __ = _ATTACHED.pop(next(iter(_ATTACHED)))
+        try:
+            old_shm.close()
+        except OSError:  # pragma: no cover - buffer already torn down
+            pass
+    _ATTACHED[manifest.segment] = (shm, scenario)
+    return scenario
 
 
 def _live_scenario(payload: PlanPayload):
@@ -153,10 +196,16 @@ def _summarize(algorithm, values: np.ndarray, snapshot: int) -> SnapshotSummary:
 
 
 def _worker_clear() -> None:
-    """Drop every process-local cache (bounded-memory escape hatch)."""
+    """Drop every process-local cache (bounded-memory escape hatch).
+
+    Includes closing shared-memory attaches: a ``clear`` sentinel must
+    release the worker's mapping so a retired segment's memory can
+    actually be reclaimed by the kernel.
+    """
     from repro.experiments.runner import clear_caches
 
     _LIVE.clear()
+    _detach_all()
     clear_caches()
 
 
@@ -177,7 +226,11 @@ def _execute(payload: PlanPayload) -> PlanResult:
         fire.note(plan=payload.plan_id, pid=os.getpid())
         raise FatalError(f"injected poisoned plan (plan {payload.plan_id})")
 
-    scenario = _live_scenario(payload)
+    scenario = None
+    if payload.shm is not None and payload.shm.epoch == payload.epoch:
+        scenario = _attached_scenario(payload.shm)
+    if scenario is None:
+        scenario = _live_scenario(payload)
     if payload.window is not None:
         scenario = window_scenario(scenario, *payload.window)
     algorithm = get_algorithm(payload.algo)

@@ -40,6 +40,55 @@ def test_src_of_edge(diamond):
     assert diamond.src_of_edge.tolist() == [0, 0, 1, 2]
 
 
+def test_src_of_edge_is_lazy(diamond):
+    """Materialized only on first access, then cached."""
+    assert diamond._src_of_edge is None
+    first = diamond.src_of_edge
+    assert diamond._src_of_edge is not None
+    assert diamond.src_of_edge is first  # cached, not recomputed
+
+
+def test_init_no_copy_fast_path():
+    """Already-conforming arrays are adopted without a copy.
+
+    The service's shared-memory scenario plane depends on this: a worker
+    attaching to a published segment wraps the raw buffers in a CSRGraph
+    and must not duplicate them.
+    """
+    indptr = np.array([0, 2, 3, 4, 4], dtype=np.int64)
+    dst = np.array([1, 2, 3, 3], dtype=np.int64)
+    wt = np.array([1.0, 2.0, 3.0, 4.0], dtype=np.float64)
+    g = CSRGraph(4, indptr, dst, wt)
+    assert g.indptr is indptr and g.dst is dst and g.wt is wt
+
+
+def test_init_readonly_inputs_stay_readonly():
+    """Construction never writes to the edge arrays (shm segments are
+    published read-only)."""
+    indptr = np.array([0, 1, 2], dtype=np.int64)
+    dst = np.array([1, 0], dtype=np.int64)
+    wt = np.array([1.0, 1.0], dtype=np.float64)
+    for a in (indptr, dst, wt):
+        a.flags.writeable = False
+    g = CSRGraph(2, indptr, dst, wt)
+    assert not g.dst.flags.writeable
+    assert g.neighbors(0).tolist() == [1]
+    assert g.src_of_edge.tolist() == [0, 1]
+
+
+def test_init_copies_on_dtype_mismatch():
+    """Non-conforming dtypes still convert (with a copy) — correctness
+    first, the fast path is opt-in by passing canonical dtypes."""
+    indptr = np.array([0, 1, 1], dtype=np.int32)
+    dst = np.array([1], dtype=np.int32)
+    wt = np.array([1.5], dtype=np.float32)
+    g = CSRGraph(2, indptr, dst, wt)
+    assert g.indptr.dtype == np.int64
+    assert g.dst.dtype == np.int64
+    assert g.wt.dtype == np.float64
+    assert g.wt[0] == 1.5
+
+
 def test_reverse_transposes(diamond):
     rev = diamond.reverse()
     assert rev.neighbors(3).tolist() == [1, 2]

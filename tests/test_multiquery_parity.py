@@ -64,6 +64,67 @@ def test_duplicate_sources_agree(small_scenario, algorithm):
         )
 
 
+def test_shm_attached_equals_copy(small_scenario, algorithm):
+    """A worker on the shared-memory plane computes exactly what a
+    copy-path worker computes, for every algorithm.
+
+    Publishes the scenario into a real shm segment, attaches it the way
+    ``repro.service.pool`` does (read-only zero-copy views), and runs the
+    full coalesced plan on both sides.
+    """
+    from repro.service.shm import ScenarioPlane, attach_scenario
+
+    sources = _sources(small_scenario)
+    plane = ScenarioPlane()
+    try:
+        manifest = plane.publish(small_scenario, "small", "test", epoch=0)
+        shm, attached = attach_scenario(manifest)
+        via_shm = evaluate_multi_query(attached, algorithm, sources)
+        via_copy = evaluate_multi_query(small_scenario, algorithm, sources)
+        for q in range(len(sources)):
+            for k in range(small_scenario.n_snapshots):
+                assert np.allclose(
+                    via_shm.values(q, k),
+                    via_copy.values(q, k),
+                    equal_nan=True,
+                ), (algorithm.name, q, k)
+        del attached, via_shm
+        shm.close()
+    finally:
+        plane.close_all()
+
+
+def test_packed_presence_equals_dense(small_scenario, algorithm, monkeypatch):
+    """Plans over bit-packed presence == plans over dense tag compares.
+
+    Forces the engine's multi-version gather through the pre-packing
+    dense reference (:meth:`UnifiedCSR._presence_of_dense`) and checks
+    the coalesced values are unchanged, for every algorithm.
+    """
+    from repro.evolving.unified_csr import UnifiedCSR
+
+    sources = _sources(small_scenario)
+    packed = evaluate_multi_query(small_scenario, algorithm, sources)
+
+    def dense_multi(self, edge_idx=None):
+        if edge_idx is None:
+            edge_idx = np.arange(self.n_union_edges, dtype=np.int64)
+        return np.stack(
+            [
+                self._presence_of_dense(k, edge_idx)
+                for k in range(self.n_snapshots)
+            ]
+        )
+
+    monkeypatch.setattr(UnifiedCSR, "presence_multi", dense_multi)
+    dense = evaluate_multi_query(small_scenario, algorithm, sources)
+    for q in range(len(sources)):
+        for k in range(small_scenario.n_snapshots):
+            assert np.allclose(
+                packed.values(q, k), dense.values(q, k), equal_nan=True
+            ), (algorithm.name, q, k)
+
+
 def test_multi_query_budget_breaches(small_scenario):
     """The service's watchdog path: a tiny round budget breaches loudly."""
     from repro.algorithms import get_algorithm

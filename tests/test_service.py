@@ -383,11 +383,22 @@ def test_run_load_report_schema_and_clean_exit():
 
 
 def test_checked_in_bench_baseline_schema():
+    """The committed baseline is the shm-vs-copy comparison document:
+    two full single-run reports plus the headline throughput ratio."""
     path = pathlib.Path(__file__).resolve().parents[1] / "BENCH_service.json"
     doc = json.loads(path.read_text())
-    _bench_schema_ok(doc)
-    assert doc["results"]["errored"] == 0
-    assert doc["results"]["batching_factor"] > 1.0
+    assert doc["bench"] == "service-compare-shm"
+    assert doc["schema_version"] == 1
+    for mode in ("shm", "no_shm"):
+        _bench_schema_ok(doc[mode])
+        assert doc[mode]["results"]["errored"] == 0
+        assert doc[mode]["results"]["gave_up"] == 0
+    comp = doc["comparison"]
+    assert comp["speedup_qps"] == pytest.approx(
+        comp["throughput_qps_shm"] / comp["throughput_qps_no_shm"]
+    )
+    # the committed artifact must demonstrate the zero-copy win
+    assert comp["speedup_qps"] >= 1.3
 
 
 # -- CLI -------------------------------------------------------------------

@@ -44,6 +44,82 @@ def test_presence_of_subset(unified):
     assert unified.presence_of(2, idx).tolist() == [True, False]
 
 
+def test_presence_planes_shape_and_packing(unified):
+    planes = unified.presence_planes()
+    assert planes.dtype == np.uint8
+    assert planes.shape == (1, 5)  # ceil(3/8) planes over 5 union edges
+    assert not planes.flags.writeable
+    assert unified.presence_planes() is planes  # lazy, cached
+
+
+def test_packed_presence_matches_dense_reference(unified):
+    """The packed planes encode exactly what the tag compares say."""
+    all_idx = np.arange(unified.n_union_edges)
+    for k in range(unified.n_snapshots):
+        dense = unified._presence_of_dense(k, all_idx)
+        assert unified.presence_mask(k).tolist() == dense.tolist()
+        sub = np.array([0, 2, 4])
+        assert (
+            unified.presence_of(k, sub).tolist()
+            == unified._presence_of_dense(k, sub).tolist()
+        )
+
+
+def test_presence_multi_matches_per_snapshot(unified):
+    idx = np.array([1, 3, 4])
+    multi = unified.presence_multi(idx)
+    assert multi.shape == (3, 3) and multi.dtype == bool
+    for k in range(unified.n_snapshots):
+        assert multi[k].tolist() == unified.presence_of(k, idx).tolist()
+    full = unified.presence_multi()
+    assert full.shape == (3, 5)
+    for k in range(unified.n_snapshots):
+        assert full[k].tolist() == unified.presence_mask(k).tolist()
+
+
+def test_presence_multi_empty_edge_set(unified):
+    multi = unified.presence_multi(np.array([], dtype=np.int64))
+    assert multi.shape == (3, 0)
+
+
+def test_presence_planes_injection(unified):
+    """An attach can hand the planes over; they are adopted verbatim."""
+    planes = unified.presence_planes()
+    again = UnifiedCSR(
+        unified.graph,
+        unified.add_step,
+        unified.del_step,
+        unified.n_snapshots,
+        presence_planes=planes.copy(),
+    )
+    assert again.presence_mask(1).tolist() == unified.presence_mask(1).tolist()
+    bad = np.zeros((2, 5), dtype=np.uint8)
+    with pytest.raises(ValueError):
+        UnifiedCSR(
+            unified.graph, unified.add_step, unified.del_step,
+            unified.n_snapshots, presence_planes=bad,
+        )
+
+
+def test_presence_planes_many_snapshots():
+    """More than 8 snapshots spill into a second byte plane."""
+    g = CSRGraph.from_tuples(3, [(0, 1, 1.0), (1, 2, 1.0)])
+    add_step = np.array([-1, 7], dtype=np.int32)
+    del_step = np.array([3, -1], dtype=np.int32)
+    u = UnifiedCSR(g, add_step, del_step, n_snapshots=12)
+    assert u.presence_planes().shape == (2, 2)
+    all_idx = np.arange(2)
+    for k in range(12):
+        assert (
+            u.presence_mask(k).tolist()
+            == u._presence_of_dense(k, all_idx).tolist()
+        )
+    multi = u.presence_multi()
+    assert multi.shape == (12, 2)
+    assert multi[:, 0].tolist() == [k <= 3 for k in range(12)]
+    assert multi[:, 1].tolist() == [k > 7 for k in range(12)]
+
+
 def test_snapshot_graph_materialization(unified):
     g1 = unified.snapshot_graph(1)
     assert g1.n_edges == 3
