@@ -37,7 +37,7 @@ def _resolve_algorithm(name: str):
     try:
         return get_algorithm(name)
     except KeyError as exc:
-        raise SystemExit(_fail_usage(exc.args[0]))
+        raise SystemExit(_fail_usage(exc.args[0])) from exc
 
 
 def _load_scenario_checked(name: str, *args, **kwargs):
@@ -45,7 +45,7 @@ def _load_scenario_checked(name: str, *args, **kwargs):
     try:
         return load_scenario(name, *args, **kwargs)
     except KeyError as exc:
-        raise SystemExit(_fail_usage(exc.args[0]))
+        raise SystemExit(_fail_usage(exc.args[0])) from exc
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -267,6 +267,8 @@ def _service_config(args: argparse.Namespace):
                 ))
     if args.wal_compact_every < 0:
         raise SystemExit(_fail_usage("--wal-compact-every must be >= 0"))
+    if args.profile_rounds < 0:
+        raise SystemExit(_fail_usage("--profile-rounds must be >= 0"))
     return ServiceConfig(
         scale=args.scale,
         n_snapshots=args.snapshots,
@@ -281,6 +283,7 @@ def _service_config(args: argparse.Namespace):
         wal_dir=args.wal_dir,
         wal_fsync=args.wal_fsync,
         wal_compact_every=args.wal_compact_every,
+        profile_rounds=args.profile_rounds,
         inject_fault=inject,
     )
 
@@ -345,6 +348,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         ingest_every_s=args.ingest_every,
         deadline_s=args.deadline_ms / 1e3,
         max_retries=args.retries,
+        trace_sample=max(0, args.trace_out),
     )
     if args.compare_shm:
         return _serve_bench_compare(args, config, spec, write_out)
@@ -591,6 +595,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="arm these fault points on the first executed plan "
             "(resilience drill)",
         )
+        p.add_argument(
+            "--profile-rounds", type=int, default=0, metavar="N",
+            help="sample engine kernel timings every N rounds inside "
+            "workers (0 = off); aggregates land in the bench report",
+        )
 
     p_serve = sub.add_parser(
         "serve", help="JSON-lines query service on stdin/stdout"
@@ -635,6 +644,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--compare-shm", action="store_true",
                          help="run the identical workload twice — shm plane "
                          "on, then off — and report the q/s speedup")
+    p_bench.add_argument("--trace-out", type=int, default=0, metavar="N",
+                         help="embed up to N per-query span timelines in "
+                         "the JSON report (0 = none)")
     p_bench.set_defaults(func=_cmd_serve_bench)
 
     p_kern = sub.add_parser(

@@ -26,6 +26,7 @@ from repro.algorithms.base import Algorithm
 from repro.engines.trace import RoundTrace, TraceCollector
 from repro.evolving.unified_csr import UnifiedCSR
 from repro.graph.csr import gather_out_edges
+from repro.obs.profile import active_profiler
 from repro.resilience.budget import Budget, BudgetClock
 
 __all__ = ["MultiVersionEngine", "group_argbest"]
@@ -159,6 +160,9 @@ class MultiVersionEngine:
         if self.budget is not None and self._budget_clock is None:
             self._budget_clock = self.budget.start()
         scratch = self._scratch
+        # sampled kernel profiling (repro.obs.profile): one None-check per
+        # round when disabled, two perf_counter pairs per sampled round
+        prof = active_profiler()
         row_off = np.arange(k, dtype=np.int64)[:, None] * n
         rounds = 0
         while True:
@@ -166,6 +170,8 @@ class MultiVersionEngine:
             if union_frontier.size == 0:
                 break
             rounds += 1
+            timing = prof is not None and prof.sample()
+            t0 = prof.now() if timing else 0.0
             # After the first round ``frontier`` aliases the ``changed``
             # scratch buffer, which is overwritten at the end of the round
             # body — take its totals before any writes.
@@ -178,6 +184,8 @@ class MultiVersionEngine:
                 )
             edge_idx, src_rep = gather_out_edges(graph.indptr, union_frontier)
             if edge_idx.size == 0:
+                if timing:
+                    prof.add("edge_gather", prof.now() - t0)
                 # frontier vertices with no out-edges still popped events
                 self._record_round(
                     phase,
@@ -218,6 +226,9 @@ class MultiVersionEngine:
                 active, out=scratch.get("inactive", bool, (k, e))
             )
             np.copyto(cand, algo.mask_value, where=inactive)
+            if timing:
+                prof.add("edge_gather", prof.now() - t0)
+                t0 = prof.now()
 
             dst = np.take(
                 graph.dst, edge_idx, out=scratch.get("dst", np.int64, (e,))
@@ -242,6 +253,8 @@ class MultiVersionEngine:
                     np.broadcast_to(edge_idx, (k, e)).ravel()[sel],
                     values,
                 )
+            if timing:
+                prof.add("apply", prof.now() - t0)
 
             # The unified value array (§3.2) lets the datapath process all
             # versions of a vertex as one row-wide event, so the primary
@@ -332,6 +345,9 @@ class MultiVersionEngine:
         k, n = values.shape
         self._begin(tag, phase, targets)
 
+        prof = active_profiler()
+        timing = prof is not None and prof.sample()
+        t0 = prof.now() if timing else 0.0
         scratch = self._scratch
         edge_idx = np.asarray(batch_edge_idx, dtype=np.int64)
         e = edge_idx.size
@@ -376,6 +392,8 @@ class MultiVersionEngine:
                 np.broadcast_to(edge_idx, (k, edge_idx.size)).ravel()[sel],
                 values,
             )
+        if timing:
+            prof.add("batch_seed", prof.now() - t0)
         # Round 0: the batch reader fetches the batch edges and generates
         # one (row-wide) event per batch edge live in any target version.
         self._record_round(

@@ -77,6 +77,8 @@ def batch_sizes(
         return np.zeros(0, dtype=np.int64)
     if imbalance < 1.0:
         raise ValueError("imbalance must be >= 1.0")
+    if n_batches == 0:
+        return np.zeros(0, dtype=np.int64)
     if imbalance == 1.0:
         raw = np.full(n_batches, total / n_batches)
     else:
@@ -117,8 +119,8 @@ def synthesize_scenario(
         raise ValueError("batch_pct must be in (0, 0.5]")
     if not 0.0 <= add_fraction <= 1.0:
         raise ValueError("add_fraction must be in [0, 1]")
-    if n_snapshots < 2:
-        raise ValueError("an evolving scenario needs at least two snapshots")
+    if n_snapshots < 1:
+        raise ValueError("a scenario needs at least one snapshot")
     if not pool.has_unique_pairs():
         raise ValueError("edge pool must not contain duplicate (src, dst) pairs")
 

@@ -1,0 +1,45 @@
+"""Observability: tracing, metrics, and sampled kernel profiling.
+
+The serving stack (``repro.service``) and the DAIC engine
+(``repro.engines.daic``) were a black box at runtime — one coarse counter
+dict and a single end-to-end latency number.  This package is the window
+into them:
+
+* :mod:`repro.obs.trace`   — per-query span timelines: monotonic marks at
+  admit, queue-drain, coalesce, plan-submit, worker pickup/compute, and
+  resolve, so a response can report *where* its latency went;
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges,
+  and histograms with a Prometheus-text renderer (the ``metrics`` op on
+  the JSON-lines front end);
+* :mod:`repro.obs.profile` — sampled per-round timings of the engine's
+  edge-gather/apply kernels, behind a zero-cost-when-disabled guard.
+
+Everything here is dependency-free and safe to import from workers.
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    RoundProfiler,
+    active_profiler,
+    disable_profiling,
+    enable_profiling,
+    merge_profiles,
+    profiled,
+)
+from repro.obs.trace import STAGES, QueryTrace, stage_percentiles
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "QueryTrace",
+    "RoundProfiler",
+    "STAGES",
+    "active_profiler",
+    "disable_profiling",
+    "enable_profiling",
+    "merge_profiles",
+    "profiled",
+    "stage_percentiles",
+]

@@ -22,6 +22,10 @@ Modules:
 * :mod:`repro.service.loadgen` — load harness (``mega-repro serve-bench``);
 * :mod:`repro.service.drill`   — SIGKILL-and-recover drill
   (``serve-bench --crash-at-epoch``).
+
+Observability (span timelines, the metrics registry behind the
+``metrics`` op, sampled kernel profiling) lives in :mod:`repro.obs` and
+is threaded through every stage here — see docs/OBSERVABILITY.md.
 """
 
 from repro.service.batcher import (

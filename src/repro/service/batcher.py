@@ -21,6 +21,7 @@ import time
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.obs.trace import QueryTrace
 from repro.service.request import QueryRequest, QueryResponse
 
 __all__ = ["PendingQuery", "AdmissionQueue", "coalesce", "split_expired"]
@@ -39,10 +40,13 @@ class PendingQuery:
     response: QueryResponse | None = None
     done: threading.Event = field(default_factory=threading.Event)
     retried: bool = False
+    #: span timeline; marked as the query crosses each pipeline stage
+    trace: QueryTrace = field(default_factory=QueryTrace)
 
     def __post_init__(self) -> None:
         if self.deadline is None and self.request.deadline_s is not None:
             self.deadline = self.submitted_at + self.request.deadline_s
+        self.trace.mark("admit", self.submitted_at)
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline is None:
@@ -50,7 +54,10 @@ class PendingQuery:
         return (now if now is not None else time.monotonic()) >= self.deadline
 
     def resolve(self, response: QueryResponse) -> None:
-        response.latency_s = time.monotonic() - self.submitted_at
+        resolved_at = time.monotonic()
+        self.trace.mark("resolve", resolved_at)
+        response.latency_s = resolved_at - self.submitted_at
+        response.stages = self.trace.stage_durations_ms()
         self.response = response
         self.done.set()
 

@@ -30,6 +30,22 @@ Overload protection: queries carry optional deadlines; the batcher sheds
 expired ones *before* plan construction with a ``retry_after`` hint sized
 from the current queue depth and recent plan latency, so clients back off
 instead of piling onto a saturated service.
+
+Observability (docs/OBSERVABILITY.md): every query carries a
+:class:`~repro.obs.trace.QueryTrace` span timeline (admit → queue-drain →
+coalesce → plan-submit → worker → resolve) that its response reports as a
+stage breakdown; every counter lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` rendered by the ``metrics``
+op.  Two invariants the instrumentation enforces:
+
+* a query is *always* accounted somewhere: the admission queue, the
+  batcher's accepted-but-unplanned count, or an in-flight plan —
+  :meth:`QueryService.drain` waits on all three, so ``stop(drain=True)``
+  can never shut the pool down under acknowledged queries;
+* a plan result that lacks one of its queries' sources resolves that
+  query as an *error* and is never cached (counted in
+  ``missing_source``), so the cache cannot serve a fabricated empty
+  answer.
 """
 
 from __future__ import annotations
@@ -37,8 +53,10 @@ from __future__ import annotations
 import logging
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.profile import merge_profiles
 from repro.resilience.faults import FaultPlan, Fire, maybe_fire, register_fault_point
 from repro.service.batcher import (
     AdmissionQueue,
@@ -113,54 +131,72 @@ class ServiceConfig:
     wal_segment_bytes: int = 4 * 1024 * 1024
     #: snapshot + drop segments every N ingests (0 = never compact)
     wal_compact_every: int = 0
+    #: sample the engine's per-round kernel timings every N rounds inside
+    #: workers (0 = off); aggregates surface in the bench report
+    profile_rounds: int = 0
     #: arm these fault points on plan ordinal ``inject_fault_plan``
     inject_fault: tuple[str, ...] = ()
     inject_fault_plan: int = 0
     fault_seed: int = 0
 
 
-@dataclass
-class ServiceStats:
-    """Monotonic counters; ``snapshot()`` renders the derived rates."""
+#: counter name -> help text; the registry names are
+#: ``mega_service_<name>_total``
+_COUNTER_HELP = {
+    "submitted": "queries accepted by submit()",
+    "completed": "queries resolved ok (including cache hits)",
+    "cached": "queries answered from the result cache",
+    "errored": "queries resolved as errors",
+    "rejected": "queries shed at admission (queue full)",
+    "shed": "queries shed on deadline expiry before execution",
+    "plans": "coalesced BOE plans submitted to the pool",
+    "plan_queries": "queries riding those plans",
+    "retries": "queries resubmitted as degraded singletons",
+    "faults_recovered": "injected faults recovered inside workers",
+    "ingests": "delta batches ingested",
+    "drain_timeouts": "stop(drain=True) calls that timed out",
+    "wal_records": "records appended to the write-ahead log",
+    "wal_compactions": "WAL compactions performed",
+    "missing_source": (
+        "plan results lacking a query's source (resolved as errors, "
+        "never cached)"
+    ),
+}
 
-    submitted: int = 0
-    completed: int = 0
-    cached: int = 0
-    errored: int = 0
-    rejected: int = 0
-    shed: int = 0
-    plans: int = 0
-    plan_queries: int = 0
-    retries: int = 0
-    faults_recovered: int = 0
-    ingests: int = 0
-    drain_timeouts: int = 0
-    wal_records: int = 0
-    wal_compactions: int = 0
-    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+class ServiceStats:
+    """Service counters, backed by the metrics registry.
+
+    The pre-observability implementation was a dataclass of plain ints
+    behind one shared lock; each counter is now a
+    :class:`~repro.obs.metrics.Counter` (its own lock, Prometheus name
+    ``mega_service_<field>_total``), so the ``stats``/``metrics`` ops and
+    the bench report read the same source of truth.  ``snapshot()``
+    keeps the historical flat-dict shape.
+    """
+
+    FIELDS = tuple(_COUNTER_HELP)
+
+    def __init__(self, registry: MetricsRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter(f"mega_service_{name}_total", help)
+            for name, help in _COUNTER_HELP.items()
+        }
+
+    def inc(self, name: str, n: int = 1) -> None:
+        self._counters[name].inc(n)
+
+    def get(self, name: str) -> int:
+        return int(self._counters[name].get())
 
     def snapshot(self, cache_stats: dict) -> dict:
-        with self.lock:
-            return {
-                "submitted": self.submitted,
-                "completed": self.completed,
-                "cached": self.cached,
-                "errored": self.errored,
-                "rejected": self.rejected,
-                "shed": self.shed,
-                "plans": self.plans,
-                "plan_queries": self.plan_queries,
-                "batching_factor": (
-                    self.plan_queries / self.plans if self.plans else 0.0
-                ),
-                "retries": self.retries,
-                "faults_recovered": self.faults_recovered,
-                "ingests": self.ingests,
-                "drain_timeouts": self.drain_timeouts,
-                "wal_records": self.wal_records,
-                "wal_compactions": self.wal_compactions,
-                "cache": cache_stats,
-            }
+        out = {name: self.get(name) for name in self.FIELDS}
+        out["batching_factor"] = (
+            out["plan_queries"] / out["plans"] if out["plans"] else 0.0
+        )
+        out["cache"] = cache_stats
+        return out
 
 
 class _LiveGraph:
@@ -179,7 +215,8 @@ class QueryService:
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
-        self.stats = ServiceStats()
+        self.metrics = MetricsRegistry()
+        self.stats = ServiceStats(self.metrics)
         self.cache = ResultCache(self.config.cache_size)
         self.queue = AdmissionQueue(self.config.max_pending)
         # warm the pool before the batcher thread exists so every worker
@@ -192,13 +229,32 @@ class QueryService:
         self._graphs: dict[str, _LiveGraph] = {}
         self._graphs_lock = threading.Lock()
         self._inflight: set[int] = set()
+        #: queries the batcher has accepted (offered or drained) but not
+        #: yet bound to an in-flight plan; guarded by ``_inflight_lock``.
+        #: Every live query is counted in exactly one of: the admission
+        #: queue + this counter (pre-plan) or ``_inflight`` (planned) —
+        #: the invariant ``drain()`` waits on.
+        self._unplanned = 0
         self._inflight_lock = threading.Lock()
         self._plan_ids = iter(range(1, 1 << 62))
         self._running = False
         self._thread: threading.Thread | None = None
         self._started_at = time.monotonic()
-        #: EWMA of executed-plan wall time, feeds the retry_after hint
-        self._plan_ewma_s = 0.05
+        #: EWMA of executed-plan wall time, feeds the retry_after hint;
+        #: a registry gauge so concurrent done-callbacks fold their
+        #: samples under the instrument lock (read-modify-write on a
+        #: bare float lost updates and corrupted the hint under load)
+        self._plan_ewma = self.metrics.gauge(
+            "mega_plan_ewma_seconds",
+            "EWMA of executed-plan wall time (drives retry_after)",
+            initial=0.05,
+        )
+        self._latency = self.metrics.histogram(
+            "mega_query_latency_seconds",
+            "end-to-end query latency (admit to resolve)",
+        )
+        self._profile_lock = threading.Lock()
+        self._round_profile: dict = {}
         self.wal: WriteAheadLog | None = None
         self.last_recovery: WalRecovery | None = None
         coord = [
@@ -208,6 +264,81 @@ class QueryService:
         self._coord_plan = (
             FaultPlan(coord, seed=self.config.fault_seed) if coord else None
         )
+        self._register_gauges()
+
+    def _register_gauges(self) -> None:
+        """Callback gauges over live state, sampled at render time."""
+        reg = self.metrics
+        reg.gauge_fn(
+            "mega_queue_depth", lambda: len(self.queue),
+            "queries waiting in the admission queue",
+        )
+        reg.gauge_fn(
+            "mega_inflight_plans", lambda: len(self._inflight),
+            "plans submitted to the pool and not yet completed",
+        )
+        reg.gauge_fn(
+            "mega_unplanned_queries", lambda: self._unplanned,
+            "queries accepted but not yet bound to a plan",
+        )
+        reg.gauge_fn(
+            "mega_uptime_seconds",
+            lambda: time.monotonic() - self._started_at,
+            "seconds since the service started",
+        )
+        reg.gauge_fn(
+            "mega_pool_restarts", lambda: self.pool.restarts,
+            "worker pool restarts (broken executor recoveries)",
+        )
+        reg.gauge_fn(
+            "mega_pool_workers", lambda: self.pool.workers,
+            "configured worker processes",
+        )
+        for key, help in (
+            ("entries", "result cache entries"),
+            ("hits", "result cache hits"),
+            ("misses", "result cache misses"),
+            ("hit_rate", "result cache hit rate"),
+        ):
+            reg.gauge_fn(
+                f"mega_result_cache_{key}",
+                lambda k=key: self.cache.stats()[k],
+                help,
+            )
+        reg.gauge_fn(
+            "mega_wal_enabled", lambda: int(self.wal is not None),
+            "1 when a write-ahead log is configured",
+        )
+        for key, help in (
+            ("records", "records appended to the WAL"),
+            ("lag_records", "appended-but-unsynced WAL records"),
+            ("compactions", "WAL compactions"),
+            ("segments", "live WAL segment files"),
+        ):
+            reg.gauge_fn(
+                f"mega_wal_{key}",
+                lambda k=key: (
+                    self.wal.stats()[k] if self.wal is not None else 0
+                ),
+                help,
+            )
+        reg.gauge_fn(
+            "mega_shm_enabled", lambda: int(self.plane is not None),
+            "1 when the shared-memory scenario plane is on",
+        )
+        for key, help in (
+            ("segments", "live shared-memory scenario segments"),
+            ("bytes", "bytes published on the scenario plane"),
+            ("published", "scenario generations published"),
+            ("retired", "scenario generations retired"),
+        ):
+            reg.gauge_fn(
+                f"mega_shm_{key}",
+                lambda k=key: (
+                    self.plane.stats()[k] if self.plane is not None else 0
+                ),
+                help,
+            )
 
     def _maybe_fire(self, point: str) -> Fire | None:
         """Coordinator fault hook: a globally injected plan wins, else the
@@ -304,12 +435,12 @@ class QueryService:
         if drain:
             drained = self.drain(timeout)
             if not drained:
-                with self.stats.lock:
-                    self.stats.drain_timeouts += 1
+                self.stats.inc("drain_timeouts")
                 log.warning(
                     "drain timed out after %.1fs "
-                    "(queue=%d inflight=%d); stopping anyway",
-                    timeout, len(self.queue), len(self._inflight),
+                    "(queue=%d unplanned=%d inflight=%d); stopping anyway",
+                    timeout, len(self.queue), self._unplanned,
+                    len(self._inflight),
                 )
         self._running = False
         if self._thread is not None:
@@ -323,11 +454,19 @@ class QueryService:
         return drained
 
     def drain(self, timeout: float = 60.0) -> bool:
-        """Block until the queue and all in-flight plans are empty."""
+        """Block until no query is queued, held by the batcher, or in
+        flight.
+
+        The accepted-but-unplanned count covers the window where the
+        batcher has drained the admission queue but not yet submitted
+        plans; without it, ``stop(drain=True)`` could observe an empty
+        queue and empty in-flight set and shut the pool down under
+        queries it had acknowledged.
+        """
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
             with self._inflight_lock:
-                busy = bool(self._inflight)
+                busy = bool(self._inflight) or self._unplanned > 0
             if not busy and len(self.queue) == 0:
                 return True
             time.sleep(0.01)
@@ -357,10 +496,16 @@ class QueryService:
         backlog_plans = inflight + (
             len(self.queue) / max(self.config.max_batch, 1)
         )
-        hint = self._plan_ewma_s * (1.0 + backlog_plans) / max(
+        hint = self._plan_ewma.get() * (1.0 + backlog_plans) / max(
             self.config.workers, 1
         )
         return float(min(max(hint, 0.05), 10.0))
+
+    def _finish(self, pending: PendingQuery, response: QueryResponse) -> None:
+        """Resolve + record: every terminal response lands here, so the
+        latency histogram sees cache hits and sheds, not just plans."""
+        pending.resolve(response)
+        self._latency.observe(pending.response.latency_s)
 
     def submit(self, request: QueryRequest) -> PendingQuery:
         """Admit one query; returns a handle to ``wait()`` on.
@@ -370,43 +515,48 @@ class QueryService:
         """
         epoch = self.epoch(request.graph)
         pending = PendingQuery(request, epoch)
-        with self.stats.lock:
-            self.stats.submitted += 1
+        self.stats.inc("submitted")
         try:
             validate_request(
                 request, self.config.n_snapshots, self.config.scale
             )
         except ValueError as exc:
-            with self.stats.lock:
-                self.stats.errored += 1
-            pending.resolve(
-                QueryResponse(request.id, "error", epoch=epoch, error=str(exc))
+            self.stats.inc("errored")
+            self._finish(
+                pending,
+                QueryResponse(request.id, "error", epoch=epoch, error=str(exc)),
             )
             return pending
 
         summaries = self.cache.get(request, epoch)
         if summaries is not None:
-            with self.stats.lock:
-                self.stats.cached += 1
-                self.stats.completed += 1
-            pending.resolve(
+            self.stats.inc("cached")
+            self.stats.inc("completed")
+            self._finish(
+                pending,
                 QueryResponse(
                     request.id, "cached", epoch=epoch, summaries=summaries
-                )
+                ),
             )
             return pending
 
+        # count as unplanned *before* offering: once the query is visible
+        # in the queue it must already be covered by the drain invariant
+        with self._inflight_lock:
+            self._unplanned += 1
         if not self.queue.offer(pending):
-            with self.stats.lock:
-                self.stats.rejected += 1
-            pending.resolve(
+            with self._inflight_lock:
+                self._unplanned -= 1
+            self.stats.inc("rejected")
+            self._finish(
+                pending,
                 QueryResponse(
                     request.id,
                     "rejected",
                     epoch=epoch,
                     error="admission queue full (load shed)",
                     retry_after=self.retry_after_hint(),
-                )
+                ),
             )
         return pending
 
@@ -464,8 +614,7 @@ class QueryService:
                         "delta": delta.to_wire(),
                     }
                 )
-                with self.stats.lock:
-                    self.stats.wal_records += 1
+                self.stats.inc("wal_records")
             fire = self._maybe_fire("service.crash-on-ingest")
             if fire is not None:
                 fire.note(graph=graph, epoch=live.epoch + 1)
@@ -483,12 +632,10 @@ class QueryService:
                 # compact while holding the lock: no append can race, so
                 # the snapshot provably covers every dropped segment
                 self.wal.compact(self._snapshot_graphs_locked())
-                with self.stats.lock:
-                    self.stats.wal_compactions += 1
+                self.stats.inc("wal_compactions")
                 compact_due = True
         self.cache.invalidate_graph(graph)
-        with self.stats.lock:
-            self.stats.ingests += 1
+        self.stats.inc("ingests")
         if compact_due:
             log.info("wal compacted after epoch %d of %s", epoch, graph)
         return epoch
@@ -511,6 +658,15 @@ class QueryService:
     def service_stats(self) -> dict:
         return self.stats.snapshot(self.cache.stats())
 
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of every registered instrument."""
+        return self.metrics.render()
+
+    def round_profile(self) -> dict:
+        """Aggregated worker-side kernel profile (``profile_rounds`` > 0)."""
+        with self._profile_lock:
+            return dict(self._round_profile)
+
     def health(self) -> dict:
         """Operator-grade liveness snapshot for the ``health`` op.
 
@@ -522,6 +678,7 @@ class QueryService:
             epochs = {g: lg.epoch for g, lg in self._graphs.items()}
         with self._inflight_lock:
             inflight = len(self._inflight)
+            unplanned = self._unplanned
         wal = self.wal.stats() if self.wal is not None else {"enabled": False}
         if self.last_recovery is not None:
             wal["recovery"] = self.last_recovery.summary()
@@ -533,9 +690,11 @@ class QueryService:
             "epochs": epochs,
             "queue_depth": len(self.queue),
             "inflight_plans": inflight,
+            "unplanned_queries": unplanned,
             "shed": stats["shed"],
             "errored": stats["errored"],
             "rejected": stats["rejected"],
+            "missing_source": stats["missing_source"],
             "drain_timeouts": stats["drain_timeouts"],
             "retry_after_s": round(self.retry_after_hint(), 3),
             "workers": self.pool.workers,
@@ -558,31 +717,39 @@ class QueryService:
             pending = self.queue.drain()
             if not pending:
                 continue
+            drained_at = time.monotonic()
+            for p in pending:
+                p.trace.mark("queue_drain", drained_at)
             pending, expired = split_expired(pending)
             for p in expired:
                 self._shed(p)
             if not pending:
                 continue
             if self.config.batching:
-                for plan in coalesce(pending, self.config.max_batch):
-                    self._submit_plan(plan)
+                plans = coalesce(pending, self.config.max_batch)
             else:
                 # baseline: strictly one query per plan, no sharing at all
-                for p in pending:
-                    self._submit_plan([p])
+                plans = [[p] for p in pending]
+            coalesced_at = time.monotonic()
+            for plan in plans:
+                for p in plan:
+                    p.trace.mark("coalesce", coalesced_at)
+                self._submit_plan(plan)
 
     def _shed(self, pending: PendingQuery) -> None:
         """Deadline expired before execution: shed with a backoff hint."""
-        with self.stats.lock:
-            self.stats.shed += 1
-        pending.resolve(
+        with self._inflight_lock:
+            self._unplanned -= 1
+        self.stats.inc("shed")
+        self._finish(
+            pending,
             QueryResponse(
                 pending.request.id,
                 "shed",
                 epoch=pending.epoch,
                 error="deadline expired before execution (load shed)",
                 retry_after=self.retry_after_hint(),
-            )
+            ),
         )
 
     def _submit_plan(
@@ -601,9 +768,7 @@ class QueryService:
             if p not in COORDINATOR_FAULT_POINTS
         )
         if not degraded and worker_faults:
-            with self.stats.lock:
-                arm = self.stats.plans == self.config.inject_fault_plan
-            if arm:
+            if self.stats.get("plans") == self.config.inject_fault_plan:
                 fault_points = worker_faults
         manifest = self._plane_manifest(first.graph, epoch, deltas)
         sources = tuple(dict.fromkeys(q.request.source for q in queries))
@@ -622,12 +787,20 @@ class QueryService:
             fault_points=fault_points,
             fault_seed=self.config.fault_seed,
             shm=manifest,
+            profile_every=self.config.profile_rounds,
         )
-        with self.stats.lock:
-            self.stats.plans += 1
-            self.stats.plan_queries += len(queries)
+        self.stats.inc("plans")
+        self.stats.inc("plan_queries", len(queries))
+        submitted_at = time.monotonic()
         with self._inflight_lock:
+            # the plan becomes in-flight in the same critical section that
+            # releases its queries from the unplanned count, so drain()
+            # can never observe them covered by neither
             self._inflight.add(plan_id)
+            if not degraded:
+                self._unplanned -= len(queries)
+        for q in queries:
+            q.trace.mark("plan_submit", submitted_at)
         try:
             future = self.pool.submit(payload)
         except Exception as exc:  # pool unrecoverable: fail these queries
@@ -687,6 +860,14 @@ class QueryService:
 
     # -- completion path (runs on executor callback threads) ---------------
 
+    def _merge_round_profile(self, snapshot: dict | None) -> None:
+        if not snapshot:
+            return
+        with self._profile_lock:
+            self._round_profile = merge_profiles(
+                [self._round_profile, snapshot]
+            )
+
     def _on_plan_done(
         self,
         plan_id: int,
@@ -702,23 +883,44 @@ class QueryService:
             self._plan_failed(plan_id, queries, exc)
             return
         if result.elapsed_s > 0:
-            self._plan_ewma_s = (
-                0.8 * self._plan_ewma_s + 0.2 * result.elapsed_s
-            )
-        with self.stats.lock:
-            self.stats.faults_recovered += len(result.recovered_faults)
-            self.stats.completed += len(queries)
+            self._plan_ewma.ewma(result.elapsed_s, alpha=0.2)
+        self._merge_round_profile(result.round_profile)
+        self.stats.inc("faults_recovered", len(result.recovered_faults))
         for q in queries:
-            summaries = result.summaries.get(q.request.source, [])
+            summaries = result.summaries.get(q.request.source)
+            q.trace.mark("worker_start", result.worker_start_mono)
+            q.trace.mark("worker_end", result.worker_end_mono)
+            if summaries is None:
+                # the worker never computed this source: caching the
+                # absence would serve a fabricated empty answer as "ok"
+                # until the next ingest — resolve as an error instead
+                self.stats.inc("missing_source")
+                self.stats.inc("errored")
+                self._finish(
+                    q,
+                    QueryResponse(
+                        q.request.id,
+                        "error",
+                        epoch=q.epoch,
+                        plan_id=plan_id,
+                        error=(
+                            f"plan {plan_id} result is missing source "
+                            f"{q.request.source} (not cached)"
+                        ),
+                    ),
+                )
+                continue
+            self.stats.inc("completed")
             self.cache.put(q.request, q.epoch, summaries)
-            q.resolve(
+            self._finish(
+                q,
                 QueryResponse(
                     q.request.id,
                     "ok",
                     epoch=q.epoch,
                     plan_id=plan_id,
                     summaries=summaries,
-                )
+                ),
             )
         with self._inflight_lock:
             self._inflight.discard(plan_id)
@@ -737,22 +939,21 @@ class QueryService:
         for q in retryable:
             q.retried = True
         if retryable:
-            with self.stats.lock:
-                self.stats.retries += len(retryable)
+            self.stats.inc("retries", len(retryable))
             # degrade: one singleton plan per query, no armed faults
             for q in retryable:
                 self._submit_plan([q], degraded=True)
         for q in terminal:
-            with self.stats.lock:
-                self.stats.errored += 1
-            q.resolve(
+            self.stats.inc("errored")
+            self._finish(
+                q,
                 QueryResponse(
                     q.request.id,
                     "error",
                     epoch=q.epoch,
                     plan_id=plan_id,
                     error=f"{type(exc).__name__}: {exc}",
-                )
+                ),
             )
         with self._inflight_lock:
             self._inflight.discard(plan_id)

@@ -74,7 +74,7 @@ class DeltaBatch:
             adds = [tuple(a) for a in adds]
             dels = [tuple(d) for d in dels]
         except TypeError as exc:
-            raise ValueError(f"delta rows must be [u, v(, w)] lists: {exc}")
+            raise ValueError(f"delta rows must be [u, v(, w)] lists: {exc}") from exc
         for i, a in enumerate(adds):
             if len(a) not in (2, 3):
                 raise ValueError(

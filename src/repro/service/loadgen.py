@@ -27,12 +27,16 @@ from dataclasses import asdict, dataclass
 
 import numpy as np
 
+from repro.obs.trace import stage_percentiles
 from repro.service.core import QueryService, ServiceConfig
 from repro.service.request import QueryRequest
 
 __all__ = ["LoadSpec", "BenchReport", "run_load"]
 
-BENCH_SCHEMA_VERSION = 2
+#: 3: per-stage latency percentiles (``stage_latency_ms``), sampled span
+#: timelines (``traces``), optional ``round_profile``; every schema-2
+#: field is preserved
+BENCH_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -60,6 +64,8 @@ class LoadSpec:
     retry_base_s: float = 0.05
     #: give up on stragglers this long after the last arrival
     drain_timeout_s: float = 60.0
+    #: embed this many per-query span timelines in the report (0 = none)
+    trace_sample: int = 0
 
 
 @dataclass
@@ -124,6 +130,28 @@ class BenchReport:
                 f"lag {r['wal']['lag_records']}  "
                 f"compactions {r['wal']['compactions']}"
             )
+        stages = r.get("stage_latency_ms", {})
+        if stages:
+            parts = [
+                f"{name} {stages[name]['p95']:.1f}"
+                for name in (
+                    "admit_to_plan", "plan_to_worker", "worker",
+                    "worker_to_resolve",
+                )
+                if name in stages
+            ]
+            if parts:
+                lines.append("stage p95 ms  " + "  ".join(parts))
+        prof = r.get("round_profile")
+        if prof and prof.get("sections"):
+            parts = [
+                f"{name} {sec['mean_us']:.0f}us/round"
+                for name, sec in prof["sections"].items()
+            ]
+            lines.append(
+                f"kernel profile (1/{prof['sample_every']} rounds)  "
+                + "  ".join(parts)
+            )
         return "\n".join(lines)
 
 
@@ -137,9 +165,56 @@ def _source_pool(graph: str, scale: str, n_snapshots: int, n: int) -> list[int]:
     return [int(v) for v in ranked[: max(1, min(n, len(ranked)))]]
 
 
-def _zipf_index(rng: np.random.Generator, n: int, s: float) -> int:
+def _zipf_weights(n: int, s: float) -> np.ndarray:
+    """Normalized Zipf probability vector (hoisted out of the arrival
+    loop — it was rebuilt per arrival, dominating schedule planning for
+    large source pools)."""
     weights = 1.0 / np.arange(1, n + 1) ** s
-    return int(rng.choice(n, p=weights / weights.sum()))
+    return weights / weights.sum()
+
+
+def _zipf_index(rng: np.random.Generator, weights: np.ndarray) -> int:
+    return int(rng.choice(len(weights), p=weights))
+
+
+def _plan_arrivals(
+    cfg: ServiceConfig,
+    spec: LoadSpec,
+    rng: np.random.Generator,
+    pools: dict[str, list[int]],
+) -> list[tuple[float, QueryRequest]]:
+    """Pre-plan the Poisson arrival schedule (no RNG in the submit loop).
+
+    Window draws are valid for any snapshot count: with a single
+    snapshot the only window is ``(0, 0)`` (``rng.integers(0)`` raises,
+    which used to crash ``--snapshots 1`` runs with a window fraction).
+    """
+    zipf = {g: _zipf_weights(len(pool), spec.zipf_s)
+            for g, pool in pools.items()}
+    arrivals: list[tuple[float, QueryRequest]] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(1.0 / spec.rate_qps))
+        if t >= spec.duration_s:
+            break
+        graph = spec.graphs[int(rng.integers(len(spec.graphs)))]
+        algo = spec.algos[int(rng.integers(len(spec.algos)))]
+        pool = pools[graph]
+        source = pool[_zipf_index(rng, zipf[graph])]
+        window = None
+        if spec.window_fraction > 0 and rng.random() < spec.window_fraction:
+            lo = (
+                int(rng.integers(cfg.n_snapshots - 1))
+                if cfg.n_snapshots > 1 else 0
+            )
+            hi = int(rng.integers(lo, cfg.n_snapshots))
+            window = (lo, hi)
+        arrivals.append(
+            (t, QueryRequest(graph=graph, algo=algo, source=source,
+                             window=window, mode=cfg.mode,
+                             deadline_s=spec.deadline_s or None))
+        )
+    return arrivals
 
 
 def _retry_query(
@@ -195,27 +270,7 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
         for g in spec.graphs
     }
 
-    # Pre-plan the arrival schedule so the submit loop does no RNG work.
-    arrivals: list[tuple[float, QueryRequest]] = []
-    t = 0.0
-    while True:
-        t += float(rng.exponential(1.0 / spec.rate_qps))
-        if t >= spec.duration_s:
-            break
-        graph = spec.graphs[int(rng.integers(len(spec.graphs)))]
-        algo = spec.algos[int(rng.integers(len(spec.algos)))]
-        pool = pools[graph]
-        source = pool[_zipf_index(rng, len(pool), spec.zipf_s)]
-        window = None
-        if spec.window_fraction > 0 and rng.random() < spec.window_fraction:
-            lo = int(rng.integers(cfg.n_snapshots - 1))
-            hi = int(rng.integers(lo, cfg.n_snapshots))
-            window = (lo, hi)
-        arrivals.append(
-            (t, QueryRequest(graph=graph, algo=algo, source=source,
-                             window=window, mode=cfg.mode,
-                             deadline_s=spec.deadline_s or None))
-        )
+    arrivals = _plan_arrivals(cfg, spec, rng, pools)
 
     next_ingest = spec.ingest_every_s if spec.ingest_every_s > 0 else None
     ingest_seed = spec.seed
@@ -259,6 +314,21 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
     def pct(p: float) -> float:
         return float(np.percentile(latencies, p)) if latencies else 0.0
 
+    # per-stage breakdown over every resolved query's span timeline
+    stage_latency = stage_percentiles(
+        [h.trace.stage_durations_ms() for h, r in responses if r is not None]
+    )
+    traces = [
+        {
+            "id": h.request.id,
+            "status": r.status,
+            **h.trace.as_dict(),
+        }
+        for h, r in responses[: max(0, spec.trace_sample)]
+        if r is not None
+    ]
+    round_profile = service.round_profile()
+
     results = {
         "submitted": stats["submitted"],
         "completed": completed,
@@ -289,7 +359,14 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
             service.wal.stats() if service.wal is not None
             else {"enabled": False}
         ),
+        "stage_latency_ms": {
+            stage: {k: round(v, 3) for k, v in pcts.items()}
+            for stage, pcts in stage_latency.items()
+        },
+        "traces": traces,
     }
+    if round_profile.get("sections"):
+        results["round_profile"] = round_profile
     workload = asdict(spec)
     workload["graphs"] = list(spec.graphs)
     workload["algos"] = list(spec.algos)

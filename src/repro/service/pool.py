@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.profile import profiled
 from repro.resilience import (
     Budget,
     BudgetExceeded,
@@ -93,6 +94,9 @@ class PlanPayload:
     kind: str = "plan"  # "plan" | "ping" | "clear"
     #: shared-memory scenario manifest (zero-copy attach); None = replay
     shm: ScenarioManifest | None = None
+    #: sample engine round timings every N rounds while executing this
+    #: plan (0 = profiling off; see repro.obs.profile)
+    profile_every: int = 0
 
 
 @dataclass
@@ -109,6 +113,13 @@ class PlanResult:
     recovered_faults: tuple[str, ...] = ()
     #: accelerator update-phase cycles when mode == "simulate"
     update_cycles: int | None = None
+    #: CLOCK_MONOTONIC stamps taken inside the worker (system-wide on
+    #: Linux, so directly comparable with coordinator marks); 0.0 for
+    #: control ops and results from pre-observability workers
+    worker_start_mono: float = 0.0
+    worker_end_mono: float = 0.0
+    #: RoundProfiler.snapshot() when the payload requested profiling
+    round_profile: dict | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -290,15 +301,25 @@ def _worker_run(payload: PlanPayload) -> PlanResult:
                 f"plan {payload.plan_id} budget exceeded: {exc}"
             ) from None
 
+    def run_profiled() -> PlanResult:
+        if payload.profile_every > 0:
+            with profiled(payload.profile_every) as prof:
+                res = run()
+            res.round_profile = prof.snapshot()
+            return res
+        return run()
+
     if payload.fault_points:
         plan = FaultPlan(list(payload.fault_points), seed=payload.fault_seed)
         with inject(plan):
-            result = run()
+            result = run_profiled()
         result.recovered_faults = tuple(r.point for r in plan.fired)
     else:
-        result = run()
+        result = run_profiled()
     result.attempts = attempts["n"]
-    result.elapsed_s = time.monotonic() - t0
+    result.worker_start_mono = t0
+    result.worker_end_mono = time.monotonic()
+    result.elapsed_s = result.worker_end_mono - t0
     return result
 
 

@@ -90,6 +90,9 @@ class QueryResponse:
     #: for "shed"/"rejected": how long the client should back off before
     #: retrying (seconds, derived from current queue depth and plan time)
     retry_after: float | None = None
+    #: per-stage duration breakdown (ms) from the query's span timeline;
+    #: populated at resolve time (docs/OBSERVABILITY.md)
+    stages: dict[str, float] | None = None
 
     @property
     def ok(self) -> bool:
@@ -115,6 +118,10 @@ class QueryResponse:
             out["error"] = self.error
         if self.retry_after is not None:
             out["retry_after_s"] = round(self.retry_after, 3)
+        if self.stages:
+            out["stages_ms"] = {
+                k: round(v, 3) for k, v in self.stages.items()
+            }
         return out
 
 

@@ -14,6 +14,8 @@ a shell pipe, a test harness).  Operations::
     {"op": "stats"}                        -> service counters
     {"op": "health"}                       -> epochs, WAL lag, queue depth,
                                               degraded state
+    {"op": "metrics"}                      -> Prometheus text exposition of
+                                              every registered instrument
     {"op": "clear_caches"}                 -> coordinator + worker caches
     {"op": "shutdown"}                     -> drain and exit
 
@@ -126,6 +128,9 @@ class ServiceFrontend:
 
     def _op_health(self, message: dict) -> dict:
         return {"ok": True, **self.service.health()}
+
+    def _op_metrics(self, message: dict) -> dict:
+        return {"ok": True, "metrics": self.service.metrics_text()}
 
     def _op_clear_caches(self, message: dict) -> dict:
         self.service.clear_caches()

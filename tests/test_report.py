@@ -1,7 +1,5 @@
 """Tests for the markdown report builder."""
 
-import pytest
-
 from repro.experiments.report import _ORDER, _as_markdown_table, write_report
 from repro.experiments.runner import ExperimentResult
 

@@ -14,7 +14,6 @@ import io
 import json
 import pathlib
 
-import numpy as np
 import pytest
 
 from repro.cli import main
@@ -326,7 +325,7 @@ def test_serve_stdio_protocol_and_exit_codes():
     )
     stdout = io.StringIO()
     rc = serve_stdio(QueryService(_config()), stdin=stdin, stdout=stdout)
-    lines = [json.loads(l) for l in stdout.getvalue().splitlines()]
+    lines = [json.loads(ln) for ln in stdout.getvalue().splitlines()]
     assert rc == 0
     assert lines[0]["ok"] and lines[0]["status"] == "ok"
     assert lines[1]["ok"] and len(lines[1]["responses"]) == 2
@@ -358,11 +357,17 @@ def _bench_schema_ok(doc: dict) -> None:
         "shed", "client_retries", "gave_up",
         "offered_qps", "throughput_qps", "duration_s", "latency_ms",
         "plans", "batching_factor", "cache_hit_rate", "retries",
-        "ingests", "faults", "wal",
+        "ingests", "faults", "wal", "stage_latency_ms", "traces",
     ):
         assert key in r, key
     for p in ("p50", "p95", "p99", "mean"):
         assert isinstance(r["latency_ms"][p], float)
+    # schema 3: per-stage percentiles over the queries' span timelines
+    for stage, pcts in r["stage_latency_ms"].items():
+        assert isinstance(stage, str)
+        for p in ("p50", "p95", "p99", "mean", "n"):
+            assert isinstance(pcts[p], (int, float)), (stage, p)
+    assert isinstance(r["traces"], list)
     assert set(r["faults"]) == {"injected", "recovered"}
     assert isinstance(r["wal"].get("enabled"), bool)
     assert doc["config"]["scale"] in ("tiny", "small", "medium")

@@ -97,13 +97,22 @@ def test_different_seed_changes_batches():
 def test_rejects_bad_parameters():
     pool = rmat_edges(32, 128, seed=0)
     with pytest.raises(ValueError):
-        synthesize_scenario(pool, n_snapshots=1)
+        synthesize_scenario(pool, n_snapshots=0)
     with pytest.raises(ValueError):
         synthesize_scenario(pool, batch_pct=0.0)
     with pytest.raises(ValueError):
         synthesize_scenario(pool, add_fraction=1.5)
     with pytest.raises(ValueError):
         synthesize_scenario(pool, imbalance=0.5)
+
+
+def test_single_snapshot_scenario_is_static():
+    # degenerate serving case: one snapshot, zero transitions, every
+    # pool edge lives in the (single) snapshot's graph
+    pool = rmat_edges(32, 128, seed=0)
+    scenario = synthesize_scenario(pool, n_snapshots=1)
+    assert scenario.n_snapshots == 1
+    assert scenario.unified.presence_mask(0).all()
 
 
 def test_rejects_duplicate_pool():

@@ -8,7 +8,6 @@ exercised end to end (subprocess + SIGKILL) once, at tiny scale.
 from __future__ import annotations
 
 import json
-import pathlib
 import zlib
 
 import pytest
