@@ -8,7 +8,9 @@ Usage::
     mega-repro simulate --graph Wen --algo sssp --workflow boe --pipeline
     mega-repro faults --scale tiny
     mega-repro serve --scale tiny --workers 4
+    mega-repro serve --follow /path/to/primary-wal --follower-id r2
     mega-repro serve-bench --scale tiny --duration 5 --rate 50
+    mega-repro serve-bench --failover-at-epoch 3
 """
 
 from __future__ import annotations
@@ -291,6 +293,26 @@ def _service_config(args: argparse.Namespace):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QueryService, serve_stdio
 
+    if args.follow:
+        from repro.service import ReplicaServer
+
+        if args.wal_dir:
+            return _fail_usage(
+                "--follow and --wal-dir are mutually exclusive: a follower "
+                "tails the primary's WAL and only owns one after promotion"
+            )
+        replica = ReplicaServer(
+            args.follow,
+            _service_config(args),
+            follower_id=args.follower_id,
+        )
+        print(
+            f"[following {args.follow} as {args.follower_id!r}: serving "
+            f"reads, redirecting ingest; send {{\"op\": \"promote\"}} to "
+            f"fail over]",
+            file=sys.stderr,
+        )
+        return serve_stdio(replica.service, replica=replica)
     service = QueryService(_service_config(args))
     print(
         f"[serving on stdin/stdout: scale={args.scale} "
@@ -322,14 +344,48 @@ def _cmd_crash_drill(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_failover_drill(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.service import run_failover_drill
+
+    wal_dir = args.wal_dir or tempfile.mkdtemp(prefix="mega-failover-drill-")
+    graph = _parse_names(args.graphs)[0]
+    algos = [a.lower() for a in _parse_names(args.algos)]
+    report = run_failover_drill(
+        wal_dir,
+        failover_at_epoch=args.failover_at_epoch,
+        graph=graph,
+        scale=args.scale,
+        n_snapshots=args.snapshots,
+        workers=args.workers,
+        algos=algos,
+    )
+    print(report.format_table())
+    if not args.no_out and args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(report.to_json() + "\n")
+        print(f"[wrote {path}]")
+    return 0 if report.ok else 1
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service import LoadSpec, QueryService, run_load
 
     config = _service_config(args)
     if args.crash_at_epoch < 0:
         raise SystemExit(_fail_usage("--crash-at-epoch must be >= 0"))
+    if args.failover_at_epoch < 0:
+        raise SystemExit(_fail_usage("--failover-at-epoch must be >= 0"))
+    if args.crash_at_epoch and args.failover_at_epoch:
+        raise SystemExit(_fail_usage(
+            "--crash-at-epoch and --failover-at-epoch are separate drills; "
+            "pick one"
+        ))
     if args.crash_at_epoch:
         return _cmd_crash_drill(args)
+    if args.failover_at_epoch:
+        return _cmd_failover_drill(args)
     write_out = not args.no_out and bool(args.out)
     if not args.out and not args.no_out:
         print(
@@ -346,11 +402,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         zipf_s=args.zipf,
         window_fraction=args.window_fraction,
         ingest_every_s=args.ingest_every,
+        ingest_edges=args.ingest_edges,
         deadline_s=args.deadline_ms / 1e3,
         max_retries=args.retries,
         trace_sample=max(0, args.trace_out),
     )
-    if args.compare_shm:
+    if args.compare_shm or args.with_follower:
         return _serve_bench_compare(args, config, spec, write_out)
     with QueryService(config) as service:
         report = run_load(service, spec)
@@ -368,49 +425,158 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_bench_compare(args, config, spec, write_out: bool) -> int:
-    """Run the identical workload with and without the shm plane.
+class _RemotePrimary:
+    """Redirect target for ``run_load``: ingest over a serve child's stdio."""
 
-    Reports throughput for both paths and their ratio; the JSON report
-    carries both runs plus the comparison so the speedup is committed
-    alongside the raw numbers.
+    def __init__(self, proc) -> None:
+        self._proc = proc
+
+    def ingest(
+        self, graph: str, seed: int | None = None,
+        n_add: int = 8, n_del: int = 8, **_unused,
+    ) -> int:
+        resp = self._proc.request(
+            {"op": "ingest", "graph": graph, "seed": seed,
+             "n_add": n_add, "n_del": n_del}
+        )
+        if not resp.get("ok"):
+            raise RuntimeError(f"primary refused redirected ingest: {resp}")
+        return int(resp["epoch"])
+
+
+def _follower_bench_leg(config, spec):
+    """Run the workload against a read replica tailing a live primary.
+
+    The primary runs as its own ``mega-repro serve`` process on a
+    throwaway WAL directory — the honest two-node topology, whose ingest
+    work does not share this interpreter's lock with the follower's read
+    path.  The follower tails the WAL and serves every read, while the
+    load generator redirects each ``not_primary``-refused ingest to the
+    primary over stdio (the redirect counter lands in the follower's
+    BENCH report).
+    """
+    import dataclasses
+    import tempfile
+
+    from repro.service import ReplicaServer, run_load
+    from repro.service.drill import _ServeProcess
+
+    wal_root = tempfile.mkdtemp(prefix="mega-follower-bench-")
+    wal_dir = str(pathlib.Path(wal_root) / "wal")
+    cfg_follower = dataclasses.replace(config, wal_dir=None)
+    primary = _ServeProcess([
+        "--scale", config.scale,
+        "--snapshots", str(config.n_snapshots),
+        # the primary in this leg is an ingest-only node (every read goes
+        # to the follower) — one worker is its steady-state footprint
+        "--workers", "1",
+        "--graphs", ",".join(spec.graphs),
+        "--wal-dir", wal_dir,
+    ])
+    try:
+        health = primary.request({"op": "health"})  # readiness barrier
+        if health.get("role") != "primary":  # pragma: no cover - defensive
+            raise RuntimeError(f"serve child unhealthy: {health}")
+        replica = ReplicaServer(
+            wal_dir, cfg_follower, follower_id="bench-follower"
+        )
+        replica.start()
+        try:
+            return run_load(
+                replica.service, spec, primary=_RemotePrimary(primary)
+            )
+        finally:
+            replica.stop()
+    finally:
+        primary.shutdown()
+
+
+def _serve_bench_compare(args, config, spec, write_out: bool) -> int:
+    """Run the identical workload in alternative topologies.
+
+    ``--compare-shm`` runs the single-node service with and without the
+    shm plane (the zero-copy speedup); ``--with-follower`` additionally
+    (or on its own, against a plain single-node baseline) runs the
+    workload against a WAL-tailing read replica and reports the
+    follower-read throughput ratio.  The JSON report carries every run
+    plus the comparison so the headline ratios are committed alongside
+    the raw numbers.
     """
     import dataclasses
     import json as _json
 
+    from repro.experiments.runner import scenario_cache
     from repro.service import QueryService, run_load
 
+    # warm the genesis scenarios once, before any leg: the first leg must
+    # not be the one paying graph generation for everybody (the legs run
+    # in one process and share this cache on the coordinator side)
+    for g in spec.graphs:
+        scenario_cache(g, config.scale, n_snapshots=config.n_snapshots)
+
     reports = {}
-    for label, use_shm in (("shm", True), ("no_shm", False)):
+    legs = []
+    if args.compare_shm:
+        legs += [("shm", True), ("no_shm", False)]
+    else:
+        legs += [("single", config.use_shm)]
+    for label, use_shm in legs:
         cfg = dataclasses.replace(config, use_shm=use_shm)
-        print(f"[compare-shm: running workload with shm "
+        print(f"[compare: running single-node workload with shm "
               f"{'on' if use_shm else 'off'}]", file=sys.stderr)
         with QueryService(cfg) as service:
             reports[label] = run_load(service, spec)
         print(reports[label].format_table())
         print()
-    shm_qps = reports["shm"].results["throughput_qps"]
-    base_qps = reports["no_shm"].results["throughput_qps"]
-    speedup = shm_qps / max(base_qps, 1e-9)
-    print(
-        f"== shm plane comparison ==\n"
-        f"throughput with shm    {shm_qps:.1f} q/s\n"
-        f"throughput without shm {base_qps:.1f} q/s\n"
-        f"speedup {speedup:.2f}x"
-    )
+    if args.with_follower:
+        print("[compare: running workload against a WAL-tailing follower]",
+              file=sys.stderr)
+        reports["follower"] = _follower_bench_leg(config, spec)
+        print(reports["follower"].format_table())
+        print()
+    baseline = "shm" if args.compare_shm else "single"
+    base_qps = reports[baseline].results["throughput_qps"]
+    comparison = {f"throughput_qps_{baseline}": base_qps}
+    lines = ["== topology comparison =="]
+    if args.compare_shm:
+        no_shm_qps = reports["no_shm"].results["throughput_qps"]
+        speedup = base_qps / max(no_shm_qps, 1e-9)
+        comparison.update(
+            throughput_qps_no_shm=no_shm_qps, speedup_qps=speedup
+        )
+        lines += [
+            f"throughput with shm    {base_qps:.1f} q/s",
+            f"throughput without shm {no_shm_qps:.1f} q/s",
+            f"speedup {speedup:.2f}x",
+        ]
+    if args.with_follower:
+        follower_qps = reports["follower"].results["throughput_qps"]
+        ratio = follower_qps / max(base_qps, 1e-9)
+        comparison.update(
+            throughput_qps_follower=follower_qps,
+            follower_read_qps_ratio=ratio,
+        )
+        lines += [
+            f"throughput via follower {follower_qps:.1f} q/s "
+            f"({ratio:.2f}x of single-node reads)",
+        ]
+        if ratio < 0.9:
+            print(
+                f"[follower read throughput {ratio:.2f}x of single-node; "
+                f"expected >= 0.90x]",
+                file=sys.stderr,
+            )
+    print("\n".join(lines))
     if write_out:
         path = pathlib.Path(args.out)
         payload = {
-            "bench": "service-compare-shm",
-            "schema_version": 1,
-            "comparison": {
-                "throughput_qps_shm": shm_qps,
-                "throughput_qps_no_shm": base_qps,
-                "speedup_qps": speedup,
-            },
-            "shm": _json.loads(reports["shm"].to_json()),
-            "no_shm": _json.loads(reports["no_shm"].to_json()),
+            "bench": "service-compare-shm" if args.compare_shm
+            else "service-follower",
+            "schema_version": 2,
+            "comparison": comparison,
         }
+        for label, report in reports.items():
+            payload[label] = _json.loads(report.to_json())
         path.write_text(_json.dumps(payload, indent=2, sort_keys=True) + "\n")
         print(f"[wrote {path}]")
     if any(r.degraded for r in reports.values()):
@@ -605,6 +771,14 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="JSON-lines query service on stdin/stdout"
     )
     add_service_options(p_serve)
+    p_serve.add_argument("--follow", default=None, metavar="WAL_DIR",
+                         help="run as a read replica: tail this primary "
+                         "WAL directory, serve reads, refuse ingest with "
+                         "a not_primary redirect; the promote op fails "
+                         "over")
+    p_serve.add_argument("--follower-id", default="replica-1",
+                         help="replication cursor name under "
+                         "<wal_dir>/followers/ (one per replica)")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser(
@@ -624,6 +798,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="fraction of queries over a random sub-window")
     p_bench.add_argument("--ingest-every", type=float, default=0.0,
                          help="ingest a synthesized delta every N seconds")
+    p_bench.add_argument("--ingest-edges", type=int, default=8,
+                         help="edges added and deleted per synthesized "
+                         "delta (sizes the per-epoch apply work)")
     p_bench.add_argument("--deadline-ms", type=float, default=0.0,
                          help="per-query execution deadline in milliseconds "
                          "(0 = none); expired queries are shed")
@@ -641,9 +818,20 @@ def build_parser() -> argparse.ArgumentParser:
                          "N acknowledged ingests, restart it from the WAL, "
                          "and assert zero acknowledged-delta loss plus "
                          "query parity")
+    p_bench.add_argument("--failover-at-epoch", type=int, default=0,
+                         metavar="N",
+                         help="run the failover drill instead of the load "
+                         "harness: SIGKILL the serving primary after N "
+                         "acknowledged ingests, promote an in-process "
+                         "follower, fence the zombie, and assert zero "
+                         "acknowledged-delta loss plus query parity")
     p_bench.add_argument("--compare-shm", action="store_true",
                          help="run the identical workload twice — shm plane "
                          "on, then off — and report the q/s speedup")
+    p_bench.add_argument("--with-follower", action="store_true",
+                         help="also run the workload against a WAL-tailing "
+                         "read replica (ingest redirects to the primary) "
+                         "and report the follower-read q/s ratio")
     p_bench.add_argument("--trace-out", type=int, default=0, metavar="N",
                          help="embed up to N per-query span timelines in "
                          "the JSON report (0 = none)")

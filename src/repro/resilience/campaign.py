@@ -55,6 +55,10 @@ WAL_POINTS = (
     "service.crash-on-ingest",
 )
 
+#: fault points inside the replica tailer (repro.service.replica); their
+#: workload is a primary + follower pair replicating over a temp WAL dir
+REPLICA_POINTS = ("replica.stale-read", "replica.tail-gap")
+
 #: default watchdog for campaign trials — generous for the workloads the
 #: campaign runs, tight enough that a corrupted stream cannot hang it
 TRIAL_BUDGET = Budget(max_rounds=200_000, max_events=20_000_000,
@@ -357,6 +361,74 @@ def _wal_trial(
     return injected, detected, recovered, detail
 
 
+def _replica_trial(
+    point: str, seed: int, skip: int, budget: Budget
+) -> tuple[bool, bool, bool, dict]:
+    """Drive a primary -> follower replication loop with ``point`` armed.
+
+    A real :class:`~repro.service.replica.ReplicaServer` tails a live
+    primary's WAL with the fault plan wired into its poller; the trial
+    steps ``poll_once()`` by hand so the injection point is
+    deterministic.  A stale read must surface as nonzero replication lag
+    before the replica converges; a dropped tail record must trip gap
+    detection and force a snapshot re-sync.  Either way the replica must
+    end the trial exactly caught up with the primary.  Returns
+    ``(injected, detected, recovered, detail)``.
+    """
+    from repro.service import QueryService, ServiceConfig
+    from repro.service.replica import ReplicaServer
+
+    detail: dict = {}
+    plan = faults.FaultPlan([point], seed=seed, skip=skip)
+    with tempfile.TemporaryDirectory(prefix="mega-replica-trial-") as root:
+        wal_dir = f"{root}/wal"
+        primary = QueryService(ServiceConfig(
+            scale="tiny", n_snapshots=4, workers=1, wal_dir=wal_dir,
+        )).start()
+        replica = ReplicaServer(
+            wal_dir,
+            ServiceConfig(scale="tiny", n_snapshots=4, workers=1),
+            follower_id="trial-follower",
+            fault_hook=plan.maybe_fire,
+        )
+        detected = False
+        try:
+            primary.ingest("PK", seed=1)
+            replica.start(tail_thread=False)  # initial sync lands epoch 1
+            for k in range(2, 2 + max(4, skip + 2)):
+                primary.ingest("PK", seed=k)
+                replica.poll_once()
+                if plan.fired and not detected:
+                    # damage is *detected* when it is observable: lag on a
+                    # withheld batch, or the forced re-sync after a gap
+                    lag = replica.lag_epochs()
+                    detected = lag > 0 or replica.resyncs > 1
+                    detail["lag_after_fire"] = lag
+            # a dropped record needs a successor to trip gap detection;
+            # one extra epoch plus drain polls must converge the replica
+            primary.ingest("PK", seed=99)
+            for _ in range(4):
+                replica.poll_once()
+            final_lag = replica.lag_epochs()
+            detail.update(
+                resyncs=replica.resyncs,
+                final_lag_epochs=final_lag,
+                primary_epoch=primary.epoch("PK"),
+                replica_epoch=replica.service.epoch("PK"),
+            )
+            for record in plan.fired:
+                detail.update(record.detail)
+            injected = bool(plan.fired)
+            recovered = (
+                injected and detected and final_lag == 0
+                and replica.service.epoch("PK") == primary.epoch("PK")
+            )
+        finally:
+            replica.stop(drain=False)
+            primary.stop(drain=False)
+    return injected, detected, recovered, detail
+
+
 def run_trial(
     scenario: EvolvingScenario,
     algorithm: Algorithm,
@@ -375,6 +447,21 @@ def run_trial(
     if point in WAL_POINTS:
         t0 = time.perf_counter()
         injected, detected, recovered, detail = _wal_trial(
+            point, seed, skip, budget
+        )
+        return TrialOutcome(
+            point=point,
+            injected=injected,
+            detected=detected,
+            recovered=recovered,
+            masked=False,
+            escaped=False,
+            elapsed=time.perf_counter() - t0,
+            detail=detail,
+        )
+    if point in REPLICA_POINTS:
+        t0 = time.perf_counter()
+        injected, detected, recovered, detail = _replica_trial(
             point, seed, skip, budget
         )
         return TrialOutcome(

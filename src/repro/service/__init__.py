@@ -19,9 +19,11 @@ Modules:
 * :mod:`repro.service.wal`     — write-ahead log: durable ingest, crash
   recovery, compaction;
 * :mod:`repro.service.server`  — JSON-lines front end (``mega-repro serve``);
+* :mod:`repro.service.replica` — WAL-shipping read replicas: follower
+  mode, promotion, fencing (``mega-repro serve --follow``);
 * :mod:`repro.service.loadgen` — load harness (``mega-repro serve-bench``);
-* :mod:`repro.service.drill`   — SIGKILL-and-recover drill
-  (``serve-bench --crash-at-epoch``).
+* :mod:`repro.service.drill`   — SIGKILL-and-recover and failover drills
+  (``serve-bench --crash-at-epoch`` / ``--failover-at-epoch``).
 
 Observability (span timelines, the metrics registry behind the
 ``metrics`` op, sampled kernel profiling) lives in :mod:`repro.obs` and
@@ -36,15 +38,23 @@ from repro.service.batcher import (
 )
 from repro.service.cache import ResultCache
 from repro.service.core import (
+    NotPrimaryError,
     QueryService,
+    ReplicationGapError,
     ServiceConfig,
     ServiceStats,
     SimulatedCrash,
 )
-from repro.service.drill import DrillReport, run_crash_drill
+from repro.service.drill import (
+    DrillReport,
+    FailoverReport,
+    run_crash_drill,
+    run_failover_drill,
+)
 from repro.service.ingest import DeltaBatch, apply_delta, synthesize_delta
 from repro.service.loadgen import BenchReport, LoadSpec, run_load
 from repro.service.pool import PlanPayload, PlanResult, WorkerPool
+from repro.service.replica import REPLICA_FAULT_POINTS, ReplicaServer
 from repro.service.request import (
     QueryRequest,
     QueryResponse,
@@ -53,9 +63,15 @@ from repro.service.request import (
 )
 from repro.service.server import ServiceFrontend, serve_stdio
 from repro.service.wal import (
+    WalFencedError,
+    WalPosition,
     WalRecovery,
     WalWriteError,
     WriteAheadLog,
+    advance_fence,
+    current_fence_token,
+    read_follower_cursors,
+    read_from,
     recover_wal,
 )
 
@@ -64,27 +80,39 @@ __all__ = [
     "BenchReport",
     "DeltaBatch",
     "DrillReport",
+    "FailoverReport",
     "LoadSpec",
+    "NotPrimaryError",
     "PendingQuery",
     "PlanPayload",
     "PlanResult",
     "QueryRequest",
     "QueryResponse",
     "QueryService",
+    "REPLICA_FAULT_POINTS",
+    "ReplicaServer",
+    "ReplicationGapError",
     "ResultCache",
     "ServiceConfig",
     "ServiceFrontend",
     "ServiceStats",
     "SimulatedCrash",
     "SnapshotSummary",
+    "WalFencedError",
+    "WalPosition",
     "WalRecovery",
     "WalWriteError",
     "WorkerPool",
     "WriteAheadLog",
+    "advance_fence",
     "apply_delta",
     "coalesce",
+    "current_fence_token",
+    "read_follower_cursors",
+    "read_from",
     "recover_wal",
     "run_crash_drill",
+    "run_failover_drill",
     "run_load",
     "serve_stdio",
     "split_expired",

@@ -50,6 +50,7 @@ op.  Two invariants the instrumentation enforces:
 
 from __future__ import annotations
 
+import itertools
 import logging
 import threading
 import time
@@ -73,10 +74,20 @@ from repro.service.shm import (
     ScenarioPlane,
     sweep_orphan_segments,
 )
-from repro.service.wal import WalRecovery, WriteAheadLog, recover_wal
+from repro.service.wal import (
+    WalRecovery,
+    WriteAheadLog,
+    advance_fence,
+    current_fence_token,
+    read_follower_cursors,
+    read_from,
+    recover_wal,
+)
 
 __all__ = [
     "COORDINATOR_FAULT_POINTS",
+    "NotPrimaryError",
+    "ReplicationGapError",
     "ServiceConfig",
     "ServiceStats",
     "SimulatedCrash",
@@ -101,9 +112,40 @@ COORDINATOR_FAULT_POINTS = (
     "service.crash-on-ingest",
 )
 
+#: process-wide service ids: each QueryService owns a distinct delta
+#: chain, keyed into the live-scenario cache via ``PlanPayload.chain``
+_SERVICE_IDS = itertools.count(1)
+
 
 class SimulatedCrash(RuntimeError):
     """Injected coordinator death mid-ingest (``service.crash-on-ingest``)."""
+
+
+class NotPrimaryError(RuntimeError):
+    """An ingest reached a follower: only the primary accepts writes.
+
+    The front end maps this to a ``not_primary`` redirect response so
+    clients re-aim their writes at the primary (docs/SERVICE.md,
+    Replication).
+    """
+
+    def __init__(self, role: str, primary_wal_dir: str | None = None) -> None:
+        self.role = role
+        self.primary_wal_dir = primary_wal_dir
+        hint = f" (primary WAL: {primary_wal_dir})" if primary_wal_dir else ""
+        super().__init__(
+            f"ingest refused: this node is a {role}, not the primary{hint}"
+        )
+
+
+class ReplicationGapError(RuntimeError):
+    """A replicated epoch does not extend the follower's log contiguously.
+
+    The tailer treats this as "the stream moved under me" (missed a
+    compaction, skipped a damaged record) and re-syncs wholesale from the
+    primary's snapshot — a follower must serve a *prefix* of the
+    primary's epoch order, never an interpolation across a hole.
+    """
 
 
 @dataclass
@@ -157,6 +199,8 @@ _COUNTER_HELP = {
     "drain_timeouts": "stop(drain=True) calls that timed out",
     "wal_records": "records appended to the write-ahead log",
     "wal_compactions": "WAL compactions performed",
+    "replicated": "delta batches applied from the primary's WAL (follower)",
+    "not_primary": "ingests refused with a not_primary redirect",
     "missing_source": (
         "plan results lacking a query's source (resolved as errors, "
         "never cached)"
@@ -215,6 +259,10 @@ class QueryService:
 
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
+        #: delta-chain id stamped into every PlanPayload: two services in
+        #: one process (a primary and its read replica, back-to-back
+        #: tests) must never share a live-scenario cache entry
+        self.service_id = next(_SERVICE_IDS)
         self.metrics = MetricsRegistry()
         self.stats = ServiceStats(self.metrics)
         self.cache = ResultCache(self.config.cache_size)
@@ -257,6 +305,16 @@ class QueryService:
         self._round_profile: dict = {}
         self.wal: WriteAheadLog | None = None
         self.last_recovery: WalRecovery | None = None
+        #: "primary" accepts ingest; "follower" (set by
+        #: :class:`repro.service.replica.ReplicaServer`) serves reads only
+        #: and refuses ingest with a ``not_primary`` redirect
+        self.role = "primary"
+        #: the follower's view of the primary's WAL directory (None on a
+        #: primary); doubles as the redirect hint in NotPrimaryError
+        self.primary_wal_dir: str | None = None
+        #: back-reference the owning ReplicaServer installs so health and
+        #: metrics can report replication lag from the follower side
+        self.replica = None
         coord = [
             p for p in self.config.inject_fault
             if p in COORDINATOR_FAULT_POINTS
@@ -323,6 +381,29 @@ class QueryService:
                 help,
             )
         reg.gauge_fn(
+            "mega_replication_followers",
+            lambda: len(self.follower_lags()),
+            "followers with a registered replication cursor",
+        )
+        reg.gauge_fn(
+            "mega_replication_max_lag_epochs",
+            lambda: max(self.follower_lags().values(), default=0),
+            "largest per-follower replication lag in epochs (primary side)",
+        )
+        reg.gauge_fn(
+            "mega_replication_lag_epochs",
+            lambda: (
+                self.replica.lag_epochs() if self.replica is not None else 0
+            ),
+            "epochs this follower trails the primary's observed tip",
+        )
+        reg.gauge_fn(
+            "mega_fencing_token",
+            self._fencing_token,
+            "this writer's fencing token (0 = unfenced/read-only); a "
+            "follower reports the primary token it observes",
+        )
+        reg.gauge_fn(
             "mega_shm_enabled", lambda: int(self.plane is not None),
             "1 when the shared-memory scenario plane is on",
         )
@@ -366,14 +447,20 @@ class QueryService:
             # before publishing any of our own
             sweep_orphan_segments()
         wal_dir = wal_dir if wal_dir is not None else self.config.wal_dir
-        if wal_dir and self.wal is None:
+        if wal_dir and self.wal is None and self.role == "primary":
             recovery = recover_wal(wal_dir)
             self._install_recovery(recovery)
+            # fence the directory at its recovered tip before writing:
+            # our records carry the new token, and any process still
+            # holding the *old* token that appends at or past this point
+            # is a zombie whose records every reader quarantines
+            token = advance_fence(wal_dir, read_from(wal_dir).position)
             self.wal = WriteAheadLog(
                 wal_dir,
                 fsync=self.config.wal_fsync,
                 segment_bytes=self.config.wal_segment_bytes,
                 fault_hook=self._maybe_fire,
+                fence_token=token,
             )
         self._running = True
         self._started_at = time.monotonic()
@@ -577,7 +664,14 @@ class QueryService:
         With a WAL configured the delta is appended (and fsynced, per
         policy) *before* the in-memory apply: an acknowledged ingest is
         durable, and a WAL write failure raises without acknowledging.
+
+        On a follower this raises :class:`NotPrimaryError` — writes have
+        exactly one home, and the front end turns the refusal into a
+        ``not_primary`` redirect the client can follow.
         """
+        if self.role != "primary":
+            self.stats.inc("not_primary")
+            raise NotPrimaryError(self.role, self.primary_wal_dir)
         compact_due = False
         with self._graphs_lock:
             live = self._graphs.setdefault(graph, _LiveGraph())
@@ -598,6 +692,7 @@ class QueryService:
                         sources=(),
                         epoch=live.epoch,
                         deltas=tuple(live.deltas),
+                        chain=self.service_id,
                     )
                 )
                 delta = synthesize_delta(
@@ -639,6 +734,62 @@ class QueryService:
         if compact_due:
             log.info("wal compacted after epoch %d of %s", epoch, graph)
         return epoch
+
+    def apply_replicated(self, graph: str, epoch: int, delta_wire: dict) -> bool:
+        """Apply one epoch shipped from the primary's WAL (follower path).
+
+        Idempotent on replays (``epoch`` at or below the local tip is a
+        no-op returning False); a gap raises
+        :class:`ReplicationGapError` so the tailer re-syncs from the
+        snapshot instead of serving a non-prefix state.  Returns True when
+        the epoch advanced the local log.
+        """
+        with self._graphs_lock:
+            live = self._graphs.setdefault(graph, _LiveGraph())
+            if epoch <= live.epoch:
+                return False
+            if epoch != live.epoch + 1:
+                raise ReplicationGapError(
+                    f"replicated {graph} epoch {epoch} does not extend "
+                    f"local epoch {live.epoch}"
+                )
+            live.deltas.append(DeltaBatch.from_wire(delta_wire))
+        self.cache.invalidate_graph(graph)
+        self.stats.inc("replicated")
+        return True
+
+    def follower_lags(self) -> dict[str, int]:
+        """Per-follower replication lag in epochs (primary side).
+
+        Scans the ``followers/`` cursor files next to the WAL and compares
+        each follower's applied epochs with the live ones; empty on a
+        node without a WAL (including followers).
+        """
+        if self.wal is None:
+            return {}
+        cursors = read_follower_cursors(self.wal.wal_dir)
+        if not cursors:
+            return {}
+        with self._graphs_lock:
+            epochs = {g: lg.epoch for g, lg in self._graphs.items()}
+        out: dict[str, int] = {}
+        for follower_id, doc in cursors.items():
+            applied = doc.get("epochs", {})
+            out[follower_id] = max(
+                (epochs.get(g, 0) - int(applied.get(g, 0)) for g in epochs),
+                default=0,
+            )
+        return out
+
+    def _fencing_token(self) -> int:
+        """This writer's token; a follower (which holds no token of its
+        own) reports the primary token it observes in the WAL dir — the
+        one promotion would supersede."""
+        if self.wal is not None:
+            return self.wal.fence_token
+        if self.primary_wal_dir is not None:
+            return current_fence_token(self.primary_wal_dir)
+        return 0
 
     def _snapshot_graphs_locked(self) -> dict:
         """JSON-able image of every delta log (caller holds _graphs_lock)."""
@@ -683,8 +834,21 @@ class QueryService:
         if self.last_recovery is not None:
             wal["recovery"] = self.last_recovery.summary()
         degraded = bool(stats["errored"] or stats["rejected"])
+        follower_lags = self.follower_lags()
+        replication = {
+            "role": self.role,
+            "fencing_token": self._fencing_token(),
+            "replication_lag_epochs": (
+                self.replica.lag_epochs() if self.replica is not None
+                else max(follower_lags.values(), default=0)
+            ),
+            "followers": follower_lags,
+        }
+        if self.replica is not None:
+            replication.update(self.replica.health())
         return {
             "status": "degraded" if degraded else "ok",
+            **replication,
             "running": self._running,
             "uptime_s": round(time.monotonic() - self._started_at, 3),
             "epochs": epochs,
@@ -788,6 +952,7 @@ class QueryService:
             fault_seed=self.config.fault_seed,
             shm=manifest,
             profile_every=self.config.profile_rounds,
+            chain=self.service_id,
         )
         self.stats.inc("plans")
         self.stats.inc("plan_queries", len(queries))
@@ -847,6 +1012,7 @@ class QueryService:
                     sources=(),
                     epoch=epoch,
                     deltas=deltas,
+                    chain=self.service_id,
                 )
             )
             self.plane.publish(scenario, graph, scale, epoch)

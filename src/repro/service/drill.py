@@ -20,6 +20,22 @@ service on the same ``--wal-dir`` and asserts:
 
 ``mega-repro serve-bench --crash-at-epoch N`` runs this and exits
 non-zero on any loss or mismatch; CI smokes it at tiny scale.
+
+**Failover drill** (``serve-bench --failover-at-epoch N``,
+:func:`run_failover_drill`): the same SIGKILL, but with a live read
+replica tailing the primary's WAL.  Instead of restarting the victim,
+the drill *promotes* the follower — replay to the WAL tip, write a new
+fencing token, accept ingest — then simulates the nastiest race: the
+dead primary's ghost appending one more record with its stale token.
+Asserted: zero acknowledged-epoch loss across the failover, parity on
+every registry algorithm against an uninterrupted replay (including
+epochs ingested *after* promotion), the zombie append detected and
+quarantined (never applied), and zero orphaned shm segments.
+
+Subprocess plumbing: the child's stdout goes to a temp *file*, not a
+pipe — a pipe that fills while the parent is blocked elsewhere deadlocks
+teardown — and every response read polls that file under an explicit
+timeout, so a wedged child fails the drill instead of hanging it.
 """
 
 from __future__ import annotations
@@ -29,13 +45,20 @@ import os
 import signal
 import subprocess
 import sys
+import tempfile
 import time
 from dataclasses import dataclass, field
 
 from repro.algorithms import ALGORITHMS, get_algorithm
 from repro.service.shm import list_orphan_segments
 
-__all__ = ["CrashDrillError", "DrillReport", "run_crash_drill"]
+__all__ = [
+    "CrashDrillError",
+    "DrillReport",
+    "FailoverReport",
+    "run_crash_drill",
+    "run_failover_drill",
+]
 
 #: per-exchange ceiling; far above any tiny/small-scale op
 OP_TIMEOUT_S = 180.0
@@ -104,25 +127,58 @@ class DrillReport:
 
 
 class _ServeProcess:
-    """One `mega-repro serve` child on line-delimited JSON pipes."""
+    """One `mega-repro serve` child: JSON lines in on a pipe, out to a file.
+
+    Responses stream to a temp file instead of a pipe: a pipe whose
+    buffer fills while the parent is busy (or after the child dies with
+    output pending) wedges ``wait()``/``readline()`` forever, which used
+    to hang drill teardown.  A file never back-pressures the child, and
+    the reader polls it under an explicit deadline.
+    """
 
     def __init__(self, cli_args: list[str]) -> None:
+        fd, self._out_path = tempfile.mkstemp(
+            prefix="mega-drill-", suffix=".jsonl"
+        )
+        self._writer = os.fdopen(fd, "w")
+        self._reader = open(self._out_path, "r")
+        # own session/process group: a SIGKILL drill must take down the
+        # child's forked pool workers too, not orphan them onto init
         self.proc = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve", *cli_args],
             stdin=subprocess.PIPE,
-            stdout=subprocess.PIPE,
+            stdout=self._writer,
             stderr=subprocess.DEVNULL,
             text=True,
+            start_new_session=True,
         )
 
-    def request(self, op: dict) -> dict:
+    def _read_line(self, timeout: float = OP_TIMEOUT_S) -> str:
+        """Next complete response line, polling the output file."""
+        deadline = time.monotonic() + timeout
+        while True:
+            mark = self._reader.tell()
+            line = self._reader.readline()
+            if line.endswith("\n"):
+                return line
+            # partial line (child mid-write) or nothing yet: rewind
+            self._reader.seek(mark)
+            if self.proc.poll() is not None:
+                return ""  # dead and drained
+            if time.monotonic() >= deadline:
+                raise CrashDrillError(
+                    f"no response from serve process within {timeout:.0f}s"
+                )
+            time.sleep(0.01)
+
+    def request(self, op: dict, timeout: float = OP_TIMEOUT_S) -> dict:
         if self.proc.poll() is not None:
             raise CrashDrillError(
                 f"serve process exited early (rc={self.proc.returncode})"
             )
         self.proc.stdin.write(json.dumps(op) + "\n")
         self.proc.stdin.flush()
-        line = self.proc.stdout.readline()
+        line = self._read_line(timeout)
         if not line:
             raise CrashDrillError(
                 "serve process closed stdout mid-session "
@@ -130,12 +186,31 @@ class _ServeProcess:
             )
         return json.loads(line)
 
+    def _close_files(self) -> None:
+        for fh in (self._writer, self._reader):
+            try:
+                fh.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        try:
+            os.unlink(self._out_path)
+        except FileNotFoundError:  # pragma: no cover - raced cleanup
+            pass
+
+    def _killpg(self) -> None:
+        try:
+            os.killpg(self.proc.pid, signal.SIGKILL)
+        except ProcessLookupError:  # pragma: no cover - group already gone
+            pass
+
     def sigkill(self) -> None:
-        os.kill(self.proc.pid, signal.SIGKILL)
+        self._killpg()
         self.proc.wait(timeout=30)
-        # release the pipes of the corpse
-        self.proc.stdin.close()
-        self.proc.stdout.close()
+        try:
+            self.proc.stdin.close()
+        except OSError:  # pragma: no cover - pipe already broken
+            pass
+        self._close_files()
 
     def shutdown(self) -> None:
         try:
@@ -145,8 +220,13 @@ class _ServeProcess:
                 self.proc.stdin.close()
             except OSError:
                 pass
-            self.proc.wait(timeout=OP_TIMEOUT_S)
-            self.proc.stdout.close()
+            try:
+                self.proc.wait(timeout=OP_TIMEOUT_S)
+            except subprocess.TimeoutExpired:
+                # a wedged child must fail loudly, not hang the drill
+                self._killpg()
+                self.proc.wait(timeout=30)
+            self._close_files()
 
 
 def _reference_summaries(
@@ -266,6 +346,291 @@ def run_crash_drill(
         parity=parity,
         wal_recovery=wal_recovery,
         orphans_after_crash=orphans_after_crash,
+        orphan_segments=list_orphan_segments(),
+        elapsed_s=time.monotonic() - t0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# failover drill: kill the primary, promote the follower
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FailoverReport:
+    """Outcome of one kill-the-primary / promote-the-follower drill."""
+
+    graph: str
+    failover_at_epoch: int
+    #: last epoch the primary acknowledged before the SIGKILL
+    acked_epoch: int
+    #: follower's epoch the moment it was promoted (must equal acked)
+    promoted_epoch: int
+    #: epochs ingested on the new primary after promotion
+    post_promote_ingests: int
+    #: epoch served at drill end (acked + post_promote_ingests)
+    final_epoch: int
+    old_fence_token: int = 0
+    new_fence_token: int = 0
+    #: the simulated zombie append was skipped by the tailing read AND
+    #: quarantined by the next full recovery — never applied
+    zombie_fenced: bool = False
+    #: epoch after the zombie append (must still be final_epoch)
+    epoch_after_zombie: int = 0
+    #: algorithm name -> digests matched an uninterrupted replay
+    parity: dict[str, bool] = field(default_factory=dict)
+    replication: dict = field(default_factory=dict)
+    orphans_after_kill: int = 0
+    orphan_segments: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def lost_deltas(self) -> int:
+        return max(0, self.acked_epoch - self.promoted_epoch)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.promoted_epoch == self.acked_epoch
+            and self.final_epoch
+            == self.acked_epoch + self.post_promote_ingests
+            and self.epoch_after_zombie == self.final_epoch
+            and self.zombie_fenced
+            and self.new_fence_token > self.old_fence_token
+            and bool(self.parity)
+            and all(self.parity.values())
+            and not self.orphan_segments
+        )
+
+    def to_json(self) -> str:
+        from repro.service.loadgen import BENCH_SCHEMA_VERSION
+
+        return json.dumps(
+            {
+                "bench": "service",
+                "schema_version": BENCH_SCHEMA_VERSION,
+                "drill": "failover",
+                "graph": self.graph,
+                "failover_at_epoch": self.failover_at_epoch,
+                "results": {
+                    "ok": self.ok,
+                    "acked_epoch": self.acked_epoch,
+                    "promoted_epoch": self.promoted_epoch,
+                    "lost_deltas": self.lost_deltas,
+                    "post_promote_ingests": self.post_promote_ingests,
+                    "final_epoch": self.final_epoch,
+                    "epoch_after_zombie": self.epoch_after_zombie,
+                    "zombie_fenced": self.zombie_fenced,
+                    "old_fence_token": self.old_fence_token,
+                    "new_fence_token": self.new_fence_token,
+                    "parity": dict(sorted(self.parity.items())),
+                    "replication": self.replication,
+                    "orphans_after_kill": self.orphans_after_kill,
+                    "orphan_segments": self.orphan_segments,
+                    "elapsed_s": round(self.elapsed_s, 3),
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"== failover drill: SIGKILL primary of {self.graph} at epoch "
+            f"{self.failover_at_epoch}, promote the follower ==",
+            f"acknowledged epoch {self.acked_epoch}  "
+            f"promoted at epoch {self.promoted_epoch}  "
+            f"lost acknowledged deltas {self.lost_deltas}",
+            f"fencing token {self.old_fence_token} -> "
+            f"{self.new_fence_token}  zombie append "
+            f"{'fenced' if self.zombie_fenced else 'NOT FENCED'}  "
+            f"epoch after zombie {self.epoch_after_zombie}",
+            f"post-promotion ingests {self.post_promote_ingests}  "
+            f"final epoch {self.final_epoch}",
+        ]
+        for algo, match in sorted(self.parity.items()):
+            lines.append(
+                f"  parity {algo:<8} {'ok' if match else 'MISMATCH'}"
+            )
+        lines.append(
+            f"shm segments: {self.orphans_after_kill} stranded by the "
+            f"kill, {len(self.orphan_segments)} orphaned at drill end"
+        )
+        if self.orphan_segments:
+            lines.append(f"  ORPHANS: {', '.join(self.orphan_segments)}")
+        lines.append(
+            f"verdict: {'PASS' if self.ok else 'FAIL'} "
+            f"({self.elapsed_s:.1f}s)"
+        )
+        return "\n".join(lines)
+
+
+def run_failover_drill(
+    wal_dir: str,
+    failover_at_epoch: int = 3,
+    graph: str = "PK",
+    scale: str = "tiny",
+    n_snapshots: int = 4,
+    workers: int = 1,
+    algos: list[str] | None = None,
+    source: int = 1,
+    post_promote_ingests: int = 2,
+    catchup_timeout_s: float = 60.0,
+) -> FailoverReport:
+    """Kill the serving primary mid-ingest and promote a live follower.
+
+    The primary runs as a separate ``mega-repro serve`` process on
+    ``wal_dir``; the follower is an in-process
+    :class:`~repro.service.replica.ReplicaServer` tailing the same
+    directory.  After ``failover_at_epoch`` acknowledged ingests the
+    primary is SIGKILLed, the follower is promoted, a zombie append with
+    the dead primary's fencing token is injected, and the new primary
+    ingests ``post_promote_ingests`` more epochs.  Parity is asserted
+    against an uninterrupted from-scratch replay of the full seeded
+    chain on every requested algorithm.
+    """
+    from repro.service.core import ServiceConfig
+    from repro.service.replica import ReplicaServer
+    from repro.service.request import QueryRequest
+    from repro.service.wal import (
+        WriteAheadLog,
+        current_fence_token,
+        read_from,
+        recover_wal,
+    )
+
+    if failover_at_epoch < 1:
+        raise ValueError("--failover-at-epoch must be >= 1")
+    algos = algos if algos else sorted(a.lower() for a in ALGORITHMS)
+    t0 = time.monotonic()
+    cli_args = [
+        "--scale", scale,
+        "--snapshots", str(n_snapshots),
+        "--workers", str(workers),
+        "--graphs", graph,
+        "--wal-dir", wal_dir,
+    ]
+
+    primary = _ServeProcess(cli_args)
+    replica = None
+    acked = 0
+    try:
+        # a real query first so the kill lands on a warmed primary
+        primary.request(
+            {"op": "query", "graph": graph, "algo": algos[0],
+             "source": source}
+        )
+        old_token = current_fence_token(wal_dir)
+        replica = ReplicaServer(
+            wal_dir,
+            ServiceConfig(
+                scale=scale, n_snapshots=n_snapshots, workers=workers
+            ),
+            follower_id="drill-follower",
+        ).start()
+        for k in range(1, failover_at_epoch + 1):
+            resp = primary.request(
+                {"op": "ingest", "graph": graph, "seed": k}
+            )
+            if not resp.get("ok"):
+                raise CrashDrillError(f"ingest {k} refused: {resp}")
+            acked = int(resp["epoch"])
+        # the follower must observe every acknowledged epoch before the
+        # kill — replication lag drains to zero under the timeout guard
+        deadline = time.monotonic() + catchup_timeout_s
+        while replica.service.epoch(graph) < acked:
+            if time.monotonic() >= deadline:
+                raise CrashDrillError(
+                    f"follower stuck at epoch "
+                    f"{replica.service.epoch(graph)} < {acked} after "
+                    f"{catchup_timeout_s:.0f}s"
+                )
+            time.sleep(0.01)
+        # lag must have been *observable* while replicating
+        health = primary.request({"op": "health"})
+        replication = {
+            "followers_seen_by_primary": list(
+                health.get("followers", {})
+            ),
+            "follower_health": replica.health(),
+        }
+    except BaseException:
+        if replica is not None:
+            replica.stop(drain=False)
+        raise
+    finally:
+        # SIGKILL right after the last ack: everything acknowledged must
+        # survive the failover, nothing unacknowledged is in flight
+        primary.sigkill()
+    orphans_after_kill = len(list_orphan_segments())
+
+    try:
+        new_token = replica.promote()
+        promoted_epoch = replica.service.epoch(graph)
+
+        # the nastiest race: the dead primary's ghost appends one more
+        # record with its stale token — it must be skipped by every
+        # read and quarantined by the next recovery, never applied
+        zombie = WriteAheadLog(wal_dir, fence_token=old_token)
+        zombie.append(
+            {
+                "op": "ingest",
+                "graph": graph,
+                "epoch": promoted_epoch + 1,
+                "delta": {"adds": [[0, 1, 1.0]], "dels": []},
+            }
+        )
+        zombie.close()
+        zombie_read_fenced = read_from(wal_dir).fenced >= 1
+
+        final_epoch = promoted_epoch
+        for k in range(1, post_promote_ingests + 1):
+            final_epoch = replica.service.ingest(graph, seed=acked + k)
+        epoch_after_zombie = replica.service.epoch(graph)
+
+        reference = _reference_summaries(
+            graph, scale, n_snapshots, final_epoch, algos, source
+        )
+        parity: dict[str, bool] = {}
+        for algo_name in algos:
+            handle = replica.service.submit(
+                QueryRequest(graph=graph, algo=algo_name, source=source)
+            )
+            resp = handle.wait(timeout=OP_TIMEOUT_S)
+            parity[algo_name] = bool(
+                resp is not None
+                and resp.ok
+                and resp.epoch == final_epoch
+                and _digests_match(
+                    [s.as_dict() for s in resp.summaries],
+                    reference[algo_name],
+                )
+            )
+        replication["promoted_health"] = replica.health()
+    finally:
+        replica.stop()
+
+    # the quarantine half of the fencing contract: a full recovery of
+    # the directory detects the zombie record and quarantines it, and
+    # replaying the WAL from scratch reproduces exactly the final epoch
+    recovery = recover_wal(wal_dir)
+    zombie_quarantined = recovery.fenced >= 1
+    replication["final_recovery"] = recovery.summary()
+
+    return FailoverReport(
+        graph=graph,
+        failover_at_epoch=failover_at_epoch,
+        acked_epoch=acked,
+        promoted_epoch=promoted_epoch,
+        post_promote_ingests=post_promote_ingests,
+        final_epoch=final_epoch,
+        old_fence_token=old_token,
+        new_fence_token=new_token,
+        zombie_fenced=zombie_read_fenced and zombie_quarantined,
+        epoch_after_zombie=epoch_after_zombie,
+        parity=parity,
+        replication=replication,
+        orphans_after_kill=orphans_after_kill,
         orphan_segments=list_orphan_segments(),
         elapsed_s=time.monotonic() - t0,
     )

@@ -22,21 +22,24 @@ a perf trajectory to beat.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import asdict, dataclass
 
 import numpy as np
 
 from repro.obs.trace import stage_percentiles
-from repro.service.core import QueryService, ServiceConfig
+from repro.service.core import NotPrimaryError, QueryService, ServiceConfig
 from repro.service.request import QueryRequest
 
 __all__ = ["LoadSpec", "BenchReport", "run_load"]
 
+#: 4: replication fields — ``redirects`` (ingests re-aimed at the primary
+#: after a ``not_primary`` refusal), ``role``, ``replication_lag_epochs``;
 #: 3: per-stage latency percentiles (``stage_latency_ms``), sampled span
-#: timelines (``traces``), optional ``round_profile``; every schema-2
-#: field is preserved
-BENCH_SCHEMA_VERSION = 3
+#: timelines (``traces``), optional ``round_profile``.  Every schema-3
+#: field is preserved.
+BENCH_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -56,6 +59,9 @@ class LoadSpec:
     window_fraction: float = 0.2
     #: ingest a synthesized delta every this many seconds (0 = never)
     ingest_every_s: float = 0.0
+    #: edges added *and* deleted per synthesized delta — sizes the
+    #: per-epoch apply work every reader of the chain must absorb
+    ingest_edges: int = 8
     #: per-query execution deadline in seconds (0 = none)
     deadline_s: float = 0.0
     #: client-side retries of shed/rejected queries (0 = give up at once)
@@ -110,7 +116,7 @@ class BenchReport:
             f"cached {r['cached']}  errored {r['errored']}  "
             f"rejected {r['rejected']}",
             f"shed {r['shed']}  client retries {r['client_retries']}  "
-            f"gave up {r['gave_up']}",
+            f"gave up {r['gave_up']}  redirects {r.get('redirects', 0)}",
             f"throughput {r['throughput_qps']:.1f} q/s  "
             f"(offered {r['offered_qps']:.1f} q/s "
             f"over {r['duration_s']:.1f}s)",
@@ -129,6 +135,11 @@ class BenchReport:
                 f"wal records {r['wal']['records']}  "
                 f"lag {r['wal']['lag_records']}  "
                 f"compactions {r['wal']['compactions']}"
+            )
+        if r.get("role", "primary") != "primary":
+            lines.append(
+                f"role {r['role']}  replication lag "
+                f"{r.get('replication_lag_epochs', 0)} epochs"
             )
         stages = r.get("stage_latency_ms", {})
         if stages:
@@ -256,11 +267,21 @@ def _retry_query(
     return response, attempts
 
 
-def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
+def run_load(
+    service: QueryService,
+    spec: LoadSpec,
+    primary: QueryService | None = None,
+) -> BenchReport:
     """Drive ``service`` with ``spec``; both must already be configured.
 
     The service must be started; this call blocks for the workload
     duration plus drain time.
+
+    ``primary`` is the redirect target when ``service`` is a follower:
+    an ingest refused with ``not_primary`` backs off briefly (the same
+    cooperative-client posture as the shed/reject retry loop) and is
+    re-sent there, counted under ``redirects`` in the report.  Without a
+    target the refusal propagates.
     """
     cfg = service.config
     rng = np.random.default_rng(spec.seed)
@@ -272,19 +293,74 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
 
     arrivals = _plan_arrivals(cfg, spec, rng, pools)
 
-    next_ingest = spec.ingest_every_s if spec.ingest_every_s > 0 else None
-    ingest_seed = spec.seed
+    # writes come from their own client thread: the read arrival loop
+    # never stalls on an ingest apply, a redirect backoff, or the
+    # round-trip to a remote primary — readers and writers are separate
+    # clients in any real deployment, and serializing them here would
+    # understate read throughput in exactly the follower topology the
+    # redirect path exists for
+    redirects = 0
+    write_errors: list[BaseException] = []
+    stop_writes = threading.Event()
+    writer_rng = np.random.default_rng(spec.seed + 0xD00D)
+
+    def _writer() -> None:
+        nonlocal redirects
+        seed = spec.seed
+        writes = 0
+        next_due = spec.ingest_every_s
+        while not stop_writes.is_set():
+            wait = start + next_due - time.monotonic()
+            if wait > 0 and stop_writes.wait(wait):
+                break
+            seed += 1
+            graph = spec.graphs[writes % len(spec.graphs)]
+            writes += 1
+            try:
+                try:
+                    service.ingest(
+                        graph, seed=seed,
+                        n_add=spec.ingest_edges, n_del=spec.ingest_edges,
+                    )
+                except NotPrimaryError:
+                    if primary is None:
+                        raise
+                    # cooperative redirect: brief jittered backoff, then
+                    # re-aim the write at the primary
+                    time.sleep(
+                        min(spec.retry_base_s, 0.05)
+                        * (0.5 + float(writer_rng.random()))
+                    )
+                    primary.ingest(
+                        graph, seed=seed,
+                        n_add=spec.ingest_edges, n_del=spec.ingest_edges,
+                    )
+                    redirects += 1
+            except BaseException as exc:  # noqa: BLE001 - rethrown below
+                write_errors.append(exc)
+                return
+            next_due += spec.ingest_every_s
+
     start = time.monotonic()
+    writer = None
+    if spec.ingest_every_s > 0:
+        writer = threading.Thread(
+            target=_writer, name="loadgen-writer", daemon=True
+        )
+        writer.start()
     handles = []
-    for due, request in arrivals:
-        now = time.monotonic() - start
-        if next_ingest is not None and now >= next_ingest:
-            ingest_seed += 1
-            service.ingest(request.graph, seed=ingest_seed)
-            next_ingest += spec.ingest_every_s
-        if due > now:
-            time.sleep(due - now)
-        handles.append(service.submit(request))
+    try:
+        for due, request in arrivals:
+            now = time.monotonic() - start
+            if due > now:
+                time.sleep(due - now)
+            handles.append(service.submit(request))
+    finally:
+        stop_writes.set()
+        if writer is not None:
+            writer.join(timeout=30.0)
+    if write_errors:
+        raise write_errors[0]
     submitted_window = time.monotonic() - start
 
     deadline = time.monotonic() + spec.drain_timeout_s
@@ -351,12 +427,23 @@ def run_load(service: QueryService, spec: LoadSpec) -> BenchReport:
         "cache_hit_rate": stats["cache"]["hit_rate"],
         "retries": stats["retries"],
         "ingests": stats["ingests"],
+        "redirects": redirects,
+        "role": service.role,
+        "replication_lag_epochs": (
+            service.replica.lag_epochs()
+            if service.replica is not None
+            else max(service.follower_lags().values(), default=0)
+        ),
         "faults": {
             "injected": len(cfg.inject_fault),
             "recovered": stats["faults_recovered"],
         },
         "wal": (
             service.wal.stats() if service.wal is not None
+            else {"enabled": False}
+        ),
+        "shm": (
+            service.plane.stats() if service.plane is not None
             else {"enabled": False}
         ),
         "stage_latency_ms": {

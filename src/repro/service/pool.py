@@ -94,6 +94,11 @@ class PlanPayload:
     kind: str = "plan"  # "plan" | "ping" | "clear"
     #: shared-memory scenario manifest (zero-copy attach); None = replay
     shm: ScenarioManifest | None = None
+    #: delta-chain owner (the service's id): two services hosting the
+    #: same (graph, scale, n_snapshots) in one process — e.g. a primary
+    #: and a read replica — have divergent ingest histories, so their
+    #: live-scenario caches must never be shared
+    chain: int = 0
     #: sample engine round timings every N rounds while executing this
     #: plan (0 = profiling off; see repro.obs.profile)
     profile_every: int = 0
@@ -175,7 +180,7 @@ def _live_scenario(payload: PlanPayload):
     """The scenario at ``payload.epoch``, advanced incrementally."""
     from repro.experiments.runner import scenario_cache
 
-    key = (payload.graph, payload.scale, payload.n_snapshots)
+    key = (payload.graph, payload.scale, payload.n_snapshots, payload.chain)
     cached = _LIVE.get(key)
     if cached is not None and cached[0] == payload.epoch:
         return cached[1]

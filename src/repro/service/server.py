@@ -13,11 +13,20 @@ a shell pipe, a test harness).  Operations::
      "dels": [[u, v], ...]}                -> explicit delta batch
     {"op": "stats"}                        -> service counters
     {"op": "health"}                       -> epochs, WAL lag, queue depth,
-                                              degraded state
+                                              role + replication lag +
+                                              fencing token, degraded state
     {"op": "metrics"}                      -> Prometheus text exposition of
                                               every registered instrument
+    {"op": "promote"}                      -> follower only: finish replay,
+                                              fence the old primary, start
+                                              accepting ingest
     {"op": "clear_caches"}                 -> coordinator + worker caches
     {"op": "shutdown"}                     -> drain and exit
+
+An ``ingest`` sent to a follower (``mega-repro serve --follow <dir>``) is
+refused with ``{"ok": false, "error": "not_primary", ...}`` so clients
+redirect their writes to the primary; reads are served normally at the
+follower's replicated epoch (a prefix of the primary's epoch order).
 
 Queries accept an optional ``"deadline_ms"``: if the service cannot start
 executing within it, the query is shed with a ``retry_after_s`` hint
@@ -33,11 +42,14 @@ from __future__ import annotations
 
 import json
 import sys
-from typing import IO
+from typing import IO, TYPE_CHECKING
 
-from repro.service.core import QueryService
+from repro.service.core import NotPrimaryError, QueryService
 from repro.service.ingest import DeltaBatch
 from repro.service.request import QueryRequest
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.service.replica import ReplicaServer
 
 __all__ = ["ServiceFrontend", "serve_stdio"]
 
@@ -48,8 +60,14 @@ QUERY_TIMEOUT_S = 300.0
 class ServiceFrontend:
     """Decode one JSON-lines operation, run it, encode the response."""
 
-    def __init__(self, service: QueryService) -> None:
+    def __init__(
+        self,
+        service: QueryService,
+        replica: "ReplicaServer | None" = None,
+    ) -> None:
         self.service = service
+        #: set when serving a follower: enables the ``promote`` op
+        self.replica = replica
         self.shutdown_requested = False
 
     def handle_line(self, line: str) -> dict:
@@ -109,18 +127,29 @@ class ServiceFrontend:
 
     def _op_ingest(self, message: dict) -> dict:
         graph = message.get("graph", "PK")
-        if "adds" in message or "dels" in message:
-            delta = DeltaBatch.from_lists(
-                message.get("adds", []), message.get("dels", [])
-            )
-            epoch = self.service.ingest(graph, delta=delta)
-        else:
-            epoch = self.service.ingest(
-                graph,
-                seed=int(message.get("seed", 0)),
-                n_add=int(message.get("n_add", 8)),
-                n_del=int(message.get("n_del", 8)),
-            )
+        try:
+            if "adds" in message or "dels" in message:
+                delta = DeltaBatch.from_lists(
+                    message.get("adds", []), message.get("dels", [])
+                )
+                epoch = self.service.ingest(graph, delta=delta)
+            else:
+                epoch = self.service.ingest(
+                    graph,
+                    seed=int(message.get("seed", 0)),
+                    n_add=int(message.get("n_add", 8)),
+                    n_del=int(message.get("n_del", 8)),
+                )
+        except NotPrimaryError as exc:
+            # a structured redirect, not a generic error: the client
+            # re-aims the write at the primary and retries
+            return {
+                "ok": False,
+                "error": "not_primary",
+                "role": exc.role,
+                "primary_wal_dir": exc.primary_wal_dir,
+                "detail": str(exc),
+            }
         return {"ok": True, "graph": graph, "epoch": epoch}
 
     def _op_stats(self, message: dict) -> dict:
@@ -131,6 +160,20 @@ class ServiceFrontend:
 
     def _op_metrics(self, message: dict) -> dict:
         return {"ok": True, "metrics": self.service.metrics_text()}
+
+    def _op_promote(self, message: dict) -> dict:
+        if self.replica is None:
+            return {
+                "ok": False,
+                "error": f"promote: this node is a {self.service.role}, "
+                         f"not a follower",
+            }
+        token = self.replica.promote()
+        return {
+            "ok": True,
+            "role": self.service.role,
+            "fencing_token": token,
+        }
 
     def _op_clear_caches(self, message: dict) -> dict:
         self.service.clear_caches()
@@ -145,13 +188,19 @@ def serve_stdio(
     service: QueryService,
     stdin: IO[str] | None = None,
     stdout: IO[str] | None = None,
+    replica: "ReplicaServer | None" = None,
 ) -> int:
     """Serve JSON lines until EOF or a shutdown op; returns an exit code
-    (0 clean, 1 degraded — errored or shed queries during the session)."""
+    (0 clean, 1 degraded — errored or shed queries during the session).
+
+    With ``replica`` set the session is a follower: the replica's
+    lifecycle (initial sync + tailer thread) brackets the loop and the
+    ``promote`` op is live.
+    """
     stdin = stdin if stdin is not None else sys.stdin
     stdout = stdout if stdout is not None else sys.stdout
-    frontend = ServiceFrontend(service)
-    with service:
+    frontend = ServiceFrontend(service, replica=replica)
+    with (replica if replica is not None else service):
         for line in stdin:
             if not line.strip():
                 continue

@@ -21,7 +21,9 @@ Lifecycle
   *retires* the old segment — it is unlinked once its refcount drains
   (POSIX keeps the mapping valid for already-attached workers even after
   the unlink).
-* Segment names embed the creating PID (``megashm-<pid>-<seq>``) so a
+* Segment names embed the creating PID (``megashm-<pid>-<plane>-<seq>``,
+  where ``<plane>`` disambiguates multiple planes in one process — a
+  primary and a follower replica, say) so a
   restarted service can :func:`sweep_orphan_segments` left behind by a
   crashed predecessor — the kill-and-recover drill asserts this sweep
   leaves ``/dev/shm`` clean.
@@ -40,6 +42,7 @@ attach fails (e.g. a manifest outliving a coordinator restart).
 from __future__ import annotations
 
 import atexit
+import itertools
 import logging
 import os
 import threading
@@ -105,6 +108,11 @@ class ScenarioManifest:
 
 #: serializes the register-suppression monkeypatch (coordinator threads)
 _TRACK_LOCK = threading.Lock()
+
+#: per-process plane instance counter: a primary and a follower (or a
+#: drill harness) can each own a plane in one process, and their segment
+#: names must not collide — the name embeds this id after the PID
+_PLANE_IDS = itertools.count(1)
 
 
 class _suppress_tracking:
@@ -255,6 +263,7 @@ class ScenarioPlane:
         self._by_name: dict[str, _Segment] = {}
         self._seq = 0
         self._pid = os.getpid()
+        self._plane_id = next(_PLANE_IDS)
         self.published = 0
         self.retired = 0
         # last-resort cleanup if the owner forgets to stop the service;
@@ -279,7 +288,7 @@ class ScenarioPlane:
         arrays = _scenario_arrays(scenario)
         with self._lock:
             self._seq += 1
-            name = f"{SEGMENT_PREFIX}{self._pid}-{self._seq}"
+            name = f"{SEGMENT_PREFIX}{self._pid}-{self._plane_id}-{self._seq}"
             generation = self._seq
         shm, specs, total = _write_segment(name, arrays)
         manifest = ScenarioManifest(

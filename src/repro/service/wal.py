@@ -35,6 +35,29 @@ Two registered fault points make both paths provable from the campaign
 (``mega-repro faults``): ``service.wal-torn-write`` cuts a record short
 mid-append, ``service.wal-corrupt-record`` flips a payload byte after the
 CRC is computed.
+
+Replication (PR 6, :mod:`repro.service.replica`): the WAL doubles as the
+shipping stream between a primary and its read replicas.
+
+* :class:`WalPosition` is a durable ``(segment, offset, compactions)``
+  cursor; :meth:`WriteAheadLog.position` reports the writer's tip and
+  :func:`read_from` reads everything committed after a cursor *without
+  mutating the directory* — an in-progress tail record is "not yet",
+  never "torn", because the writer may still be alive.  Segment indices
+  are globally monotonic (compaction stamps ``next_segment`` into the
+  snapshot), so ``(segment, offset)`` totally orders all records ever
+  written to one directory.
+* A cursor that points into a compacted-away segment cannot be resumed
+  record-by-record; :func:`read_from` signals ``reset`` and the caller
+  re-syncs from the snapshot (:func:`read_snapshot`) plus the surviving
+  segments.
+* **Fencing**: ``fence.json`` holds a monotonic token history.  A writer
+  stamps its token into every record; :func:`advance_fence` (called by
+  replica promotion) records the new token *and the position it took
+  over at*.  On any later read, a record written at or past a fence
+  position by a staler token is a zombie primary's late append: it is
+  quarantined, never applied — the read-side half of the fencing
+  contract that makes promotion safe without consensus.
 """
 
 from __future__ import annotations
@@ -44,6 +67,7 @@ import logging
 import os
 import pathlib
 import struct
+import time
 import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Iterator
@@ -53,10 +77,21 @@ from repro.resilience.faults import Fire, maybe_fire, register_fault_point
 
 __all__ = [
     "FSYNC_POLICIES",
+    "FenceEvent",
+    "WalPosition",
     "WalRecovery",
+    "WalTail",
     "WalWriteError",
     "WriteAheadLog",
+    "advance_fence",
+    "current_fence_token",
+    "drop_follower_cursor",
+    "read_fences",
+    "read_follower_cursors",
+    "read_from",
+    "read_snapshot",
     "recover_wal",
+    "write_follower_cursor",
 ]
 
 log = logging.getLogger(__name__)
@@ -80,11 +115,223 @@ FSYNC_POLICIES = ("always", "batch", "never")
 
 SNAPSHOT_NAME = "snapshot.json"
 QUARANTINE_NAME = "quarantine.log"
+FENCE_NAME = "fence.json"
 _SEGMENT_GLOB = "wal-*.seg"
+#: key under which compaction stamps writer metadata into the snapshot
+SNAPSHOT_WAL_KEY = "wal"
 
 
 class WalWriteError(RuntimeError):
     """An append failed before the record was durably committed."""
+
+
+class WalFencedError(WalWriteError):
+    """The writer's fencing token has been superseded (it is a zombie)."""
+
+
+@dataclass(frozen=True)
+class WalPosition:
+    """Durable replication cursor: everything up to here has been read.
+
+    ``segment``/``offset`` name the byte after the last consumed record;
+    ``compactions`` is the directory's compaction count when the cursor
+    was taken, so a reader can tell "nothing new" apart from "the ground
+    moved under you" (:func:`read_from` signals the latter as ``reset``).
+    ``segment == 0`` is the genesis cursor: read from the oldest data.
+    """
+
+    segment: int = 0
+    offset: int = 0
+    compactions: int = 0
+
+    def key(self) -> tuple[int, int]:
+        """Total order over all records of one WAL directory."""
+        return (self.segment, self.offset)
+
+    def as_dict(self) -> dict:
+        return {
+            "segment": self.segment,
+            "offset": self.offset,
+            "compactions": self.compactions,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "WalPosition":
+        return cls(
+            segment=int(d.get("segment", 0)),
+            offset=int(d.get("offset", 0)),
+            compactions=int(d.get("compactions", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class FenceEvent:
+    """One promotion: ``token`` took over at ``(segment, offset)``."""
+
+    token: int
+    segment: int
+    offset: int
+
+
+def _fence_path(wal_dir: pathlib.Path) -> pathlib.Path:
+    return pathlib.Path(wal_dir) / FENCE_NAME
+
+
+def read_fences(wal_dir: str | pathlib.Path) -> list[FenceEvent]:
+    """The fence history of a WAL directory, oldest first ([] if none)."""
+    path = _fence_path(pathlib.Path(wal_dir))
+    if not path.exists():
+        return []
+    try:
+        doc = json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        log.warning("wal fence: %s unreadable; treating as no fences", path)
+        return []
+    return sorted(
+        (
+            FenceEvent(int(f["token"]), int(f["segment"]), int(f["offset"]))
+            for f in doc.get("fences", [])
+        ),
+        key=lambda f: f.token,
+    )
+
+
+def current_fence_token(wal_dir: str | pathlib.Path) -> int:
+    """The latest fencing token (0 = the directory was never fenced)."""
+    fences = read_fences(wal_dir)
+    return fences[-1].token if fences else 0
+
+
+def advance_fence(
+    wal_dir: str | pathlib.Path, position: WalPosition
+) -> int:
+    """Record the next fencing token as of ``position``; returns it.
+
+    Called on first primary start (token 1 at the empty tip) and on every
+    promotion.  Any record a staler writer appends at or beyond
+    ``position`` is quarantined by every subsequent read.
+    """
+    wal_dir = pathlib.Path(wal_dir)
+    wal_dir.mkdir(parents=True, exist_ok=True)
+    fences = read_fences(wal_dir)
+    token = (fences[-1].token + 1) if fences else 1
+    fences.append(FenceEvent(token, position.segment, position.offset))
+    atomic_write(
+        _fence_path(wal_dir),
+        json.dumps(
+            {
+                "fences": [
+                    {"token": f.token, "segment": f.segment,
+                     "offset": f.offset}
+                    for f in fences
+                ]
+            },
+            sort_keys=True,
+        ),
+    )
+    return token
+
+
+def _record_allowed(
+    fences: list[FenceEvent], token: int, segment: int, offset: int
+) -> bool:
+    """Is a record with ``token`` at ``(segment, offset)`` legitimate?
+
+    A record is a zombie append iff some newer token fenced the log at or
+    before the record's position: the writer kept appending after it had
+    been superseded.
+    """
+    for fence in fences:
+        if fence.token > token and (segment, offset) >= (
+            fence.segment, fence.offset,
+        ):
+            return False
+    return True
+
+
+def read_snapshot(wal_dir: str | pathlib.Path) -> dict | None:
+    """The compaction snapshot, or None (unreadable snapshots are None
+    too — segments alone still recover post-snapshot churn)."""
+    path = pathlib.Path(wal_dir) / SNAPSHOT_NAME
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (json.JSONDecodeError, UnicodeDecodeError):
+        return None
+
+
+def _snapshot_wal_stamp(wal_dir: pathlib.Path) -> dict:
+    snapshot = read_snapshot(wal_dir)
+    if not isinstance(snapshot, dict):
+        return {}
+    stamp = snapshot.get(SNAPSHOT_WAL_KEY)
+    return stamp if isinstance(stamp, dict) else {}
+
+
+FOLLOWERS_DIR = "followers"
+
+
+def write_follower_cursor(
+    wal_dir: str | pathlib.Path,
+    follower_id: str,
+    position: WalPosition,
+    epochs: dict[str, int],
+) -> None:
+    """Persist a follower's replication cursor next to the primary's WAL.
+
+    One atomic JSON file per follower under ``followers/``; the primary
+    scans them to report per-follower replication lag in ``health`` and
+    the metrics render, and a restarted follower resumes from its own
+    cursor instead of a full re-sync.
+    """
+    cursor_dir = pathlib.Path(wal_dir) / FOLLOWERS_DIR
+    cursor_dir.mkdir(parents=True, exist_ok=True)
+    atomic_write(
+        cursor_dir / f"{follower_id}.json",
+        json.dumps(
+            {
+                "id": follower_id,
+                "position": position.as_dict(),
+                "epochs": {g: int(e) for g, e in sorted(epochs.items())},
+                "updated_unix": time.time(),
+            },
+            sort_keys=True,
+        ),
+    )
+
+
+def read_follower_cursors(
+    wal_dir: str | pathlib.Path,
+) -> dict[str, dict]:
+    """Every follower cursor in a WAL directory (id -> cursor doc)."""
+    cursor_dir = pathlib.Path(wal_dir) / FOLLOWERS_DIR
+    if not cursor_dir.is_dir():
+        return {}
+    out: dict[str, dict] = {}
+    for path in sorted(cursor_dir.glob("*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            log.warning("follower cursor %s unreadable; skipped", path)
+            continue
+        doc["position"] = WalPosition.from_dict(doc.get("position", {}))
+        doc["age_s"] = max(0.0, time.time() - float(
+            doc.get("updated_unix", 0.0)
+        ))
+        out[str(doc.get("id", path.stem))] = doc
+    return out
+
+
+def drop_follower_cursor(
+    wal_dir: str | pathlib.Path, follower_id: str
+) -> None:
+    """Remove a follower's cursor (promotion: it is not a follower now)."""
+    path = pathlib.Path(wal_dir) / FOLLOWERS_DIR / f"{follower_id}.json"
+    try:
+        path.unlink()
+    except FileNotFoundError:
+        pass
 
 
 def _segment_name(index: int) -> str:
@@ -114,6 +361,7 @@ class WriteAheadLog:
         segment_bytes: int = 4 * 1024 * 1024,
         sync_every: int = 32,
         fault_hook: Callable[[str], Fire | None] | None = None,
+        fence_token: int | None = None,
     ) -> None:
         if fsync not in FSYNC_POLICIES:
             raise ValueError(
@@ -125,15 +373,27 @@ class WriteAheadLog:
         self.segment_bytes = int(segment_bytes)
         self.sync_every = max(1, int(sync_every))
         self._maybe_fire = fault_hook if fault_hook is not None else maybe_fire
+        #: stamped into every record so a zombie writer's late appends are
+        #: detectable; None adopts the directory's current token
+        self.fence_token = (
+            current_fence_token(self.wal_dir)
+            if fence_token is None else int(fence_token)
+        )
+        stamp = _snapshot_wal_stamp(self.wal_dir)
         existing = _segments(self.wal_dir)
-        self._segment_index = (
-            _segment_index(existing[-1]) + 1 if existing else 1
+        # segment indices are globally monotonic even across compaction
+        # (which deletes all segments): the compaction snapshot stamps the
+        # next index, so (segment, offset) totally orders all records ever
+        # written here — the property WalPosition cursors rely on.
+        self._segment_index = max(
+            _segment_index(existing[-1]) + 1 if existing else 1,
+            int(stamp.get("next_segment", 1)),
         )
         self._fh = None
         self._segment_size = 0
         self.records = 0  # appended this process
         self.synced = 0  # appended and known fsync-durable
-        self.compactions = 0
+        self.compactions = int(stamp.get("compactions", 0))
 
     # -- write path --------------------------------------------------------
 
@@ -153,6 +413,8 @@ class WriteAheadLog:
         Raises :class:`WalWriteError` if the record could not be committed
         — the caller must NOT acknowledge the operation then.
         """
+        if self.fence_token:
+            record = {**record, "fence": self.fence_token}
         payload = json.dumps(record, sort_keys=True).encode("utf-8")
         crc = zlib.crc32(payload) & 0xFFFFFFFF
 
@@ -203,6 +465,20 @@ class WriteAheadLog:
             self.rotate()
         return self.records
 
+    def position(self) -> WalPosition:
+        """The writer's durable tip: everything before it is committed.
+
+        A reader that has consumed up to this position has seen every
+        record this writer acknowledged; the cursor stays valid across
+        rotation (indices only grow) and detects compaction via the
+        ``compactions`` counter.
+        """
+        return WalPosition(
+            segment=self._segment_index,
+            offset=self._segment_size,
+            compactions=self.compactions,
+        )
+
     def sync(self) -> None:
         """Force everything appended so far onto stable storage."""
         if self._fh is not None:
@@ -232,7 +508,12 @@ class WriteAheadLog:
         resets to zero.
         """
         path = self.wal_dir / SNAPSHOT_NAME
-        atomic_write(path, json.dumps(snapshot, sort_keys=True))
+        stamped = dict(snapshot)
+        stamped[SNAPSHOT_WAL_KEY] = {
+            "compactions": self.compactions + 1,
+            "next_segment": self._segment_index + 1,
+        }
+        atomic_write(path, json.dumps(stamped, sort_keys=True))
         if self._fh is not None:
             self._fh.close()
             self._fh = None
@@ -260,6 +541,7 @@ class WriteAheadLog:
             "lag_records": self.records - self.synced,
             "compactions": self.compactions,
             "fsync": self.fsync,
+            "fence_token": self.fence_token,
         }
 
 
@@ -277,6 +559,9 @@ class WalRecovery:
     warnings: list[str] = field(default_factory=list)
     truncated_tail: bool = False
     quarantined: int = 0
+    #: zombie-primary appends caught by the fencing contract (a subset of
+    #: ``quarantined``: they also land in quarantine.log)
+    fenced: int = 0
 
     @property
     def clean(self) -> bool:
@@ -289,6 +574,7 @@ class WalRecovery:
             "warnings": len(self.warnings),
             "truncated_tail": self.truncated_tail,
             "quarantined": self.quarantined,
+            "fenced": self.fenced,
         }
 
 
@@ -312,7 +598,10 @@ def _scan_segment(
     segment: pathlib.Path,
     is_last: bool,
     out: WalRecovery,
+    fences: list[FenceEvent] | None = None,
 ) -> Iterator[dict]:
+    fences = fences or []
+    seg_index = _segment_index(segment)
     data = segment.read_bytes()
     offset = 0
     while offset < len(data):
@@ -365,6 +654,20 @@ def _scan_segment(
             out.quarantined += 1
             offset = header_end + length
             continue
+        token = int(record.pop("fence", 0) or 0)
+        if not _record_allowed(fences, token, seg_index, offset):
+            _quarantine(
+                wal_dir, segment.name, offset, payload,
+                f"fenced: token {token} superseded before this position",
+            )
+            out.warnings.append(
+                f"{segment.name}: zombie append at byte {offset} (fence "
+                f"token {token} was superseded); record quarantined"
+            )
+            out.quarantined += 1
+            out.fenced += 1
+            offset = header_end + length
+            continue
         yield record
         offset = header_end + length
 
@@ -389,10 +692,153 @@ def recover_wal(wal_dir: str | pathlib.Path) -> WalRecovery:
             # replaying segments alone still recovers post-snapshot churn
             out.warnings.append(f"{SNAPSHOT_NAME} unreadable ({exc}); ignored")
             out.snapshot = None
+    if isinstance(out.snapshot, dict):
+        # the writer stamp (compaction count, next segment index) is WAL
+        # metadata, not service payload — keep the round trip exact
+        out.snapshot.pop(SNAPSHOT_WAL_KEY, None)
+    fences = read_fences(wal_dir)
     segments = _segments(wal_dir)
     for i, segment in enumerate(segments):
         last = i == len(segments) - 1
-        out.records.extend(_scan_segment(wal_dir, segment, last, out))
+        out.records.extend(_scan_segment(wal_dir, segment, last, out, fences))
     for warning in out.warnings:
         log.warning("wal recovery: %s", warning)
     return out
+
+
+# ---------------------------------------------------------------------------
+# incremental tailing (replication read path)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WalTail:
+    """One :func:`read_from` step: new records plus the advanced cursor.
+
+    ``reset`` means the cursor pointed at data that no longer exists
+    (compaction folded it into the snapshot): the records list is empty
+    and the caller must re-sync from :func:`read_snapshot` plus a genesis
+    read before trusting any further tails.
+    """
+
+    records: list[dict] = field(default_factory=list)
+    position: WalPosition = field(default_factory=WalPosition)
+    reset: bool = False
+    warnings: list[str] = field(default_factory=list)
+    #: zombie-primary appends skipped by the fencing check (never applied,
+    #: but NOT quarantined on disk — tailing must not mutate the primary's
+    #: directory; the owner quarantines them on its own recovery)
+    fenced: int = 0
+
+
+def read_from(
+    wal_dir: str | pathlib.Path, position: WalPosition | None = None
+) -> WalTail:
+    """Read every record committed after ``position``, without mutating.
+
+    Unlike :func:`recover_wal` this never truncates or quarantines: an
+    incomplete frame at the tip of the *highest* segment is an in-progress
+    append by a possibly-live writer — the cursor parks just before it and
+    the next call retries.  An incomplete frame in a rotated segment is a
+    genuine torn write (the writer rotated away and died); its remainder
+    is skipped with a warning.  CRC-failing and fence-violating records
+    are skipped with warnings but left on disk for the owner to repair.
+
+    ``position=None`` (or ``segment == 0``) is the genesis read: everything
+    in the surviving segments, oldest first.  Callers doing an initial
+    sync read :func:`read_snapshot` first — post-compaction segments only
+    hold churn since that snapshot.
+    """
+    wal_dir = pathlib.Path(wal_dir)
+    position = position or WalPosition()
+    stamp = _snapshot_wal_stamp(wal_dir)
+    disk_compactions = int(stamp.get("compactions", 0))
+    if position.segment and disk_compactions > position.compactions:
+        # the segments the cursor ordered against were (at least partly)
+        # folded into the snapshot; record-by-record resume is impossible
+        return WalTail(
+            position=WalPosition(compactions=disk_compactions),
+            reset=True,
+            warnings=[
+                f"compaction #{disk_compactions} superseded cursor "
+                f"({position.segment}, {position.offset}); re-sync from "
+                f"{SNAPSHOT_NAME}"
+            ],
+        )
+    fences = read_fences(wal_dir)
+    tail = WalTail(position=WalPosition(
+        position.segment, position.offset, disk_compactions,
+    ))
+    segments = [
+        s for s in _segments(wal_dir)
+        if _segment_index(s) >= position.segment
+    ]
+    if not segments:
+        return tail
+    last_index = _segment_index(segments[-1])
+    for segment in segments:
+        seg_index = _segment_index(segment)
+        is_last = seg_index == last_index
+        data = segment.read_bytes()
+        offset = position.offset if seg_index == position.segment else 0
+        consumed = offset
+        while offset < len(data):
+            header_end = offset + _HEADER.size
+            incomplete = header_end > len(data)
+            length = crc = 0
+            if not incomplete:
+                length, crc = _HEADER.unpack_from(data, offset)
+                if length == 0 or length > MAX_RECORD_BYTES:
+                    # frame corruption mid-segment: resynchronising within
+                    # the byte stream is impossible, skip the remainder
+                    tail.warnings.append(
+                        f"{segment.name}: implausible record length "
+                        f"{length} at byte {offset}; skipping remainder"
+                    )
+                    consumed = len(data)
+                    break
+                incomplete = header_end + length > len(data)
+            if incomplete:
+                if is_last:
+                    # an in-progress append by a possibly-live writer:
+                    # park here and retry next poll — never truncate
+                    break
+                tail.warnings.append(
+                    f"{segment.name}: torn record at byte {offset} in a "
+                    f"rotated segment; skipping its remainder"
+                )
+                consumed = len(data)
+                break
+            payload = data[header_end: header_end + length]
+            next_offset = header_end + length
+            if (zlib.crc32(payload) & 0xFFFFFFFF) != crc:
+                tail.warnings.append(
+                    f"{segment.name}: CRC mismatch at byte {offset}; "
+                    f"record skipped (owner quarantines on recovery)"
+                )
+                offset = consumed = next_offset
+                continue
+            try:
+                record = json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                tail.warnings.append(
+                    f"{segment.name}: undecodable record at byte {offset}; "
+                    f"record skipped"
+                )
+                offset = consumed = next_offset
+                continue
+            token = int(record.pop("fence", 0) or 0)
+            if not _record_allowed(fences, token, seg_index, offset):
+                tail.warnings.append(
+                    f"{segment.name}: zombie append at byte {offset} "
+                    f"(fence token {token} was superseded); skipped"
+                )
+                tail.fenced += 1
+                offset = consumed = next_offset
+                continue
+            tail.records.append(record)
+            offset = consumed = next_offset
+        tail.position = WalPosition(seg_index, consumed, disk_compactions)
+    for warning in tail.warnings:
+        log.warning("wal tail: %s", warning)
+    return tail

@@ -1,0 +1,257 @@
+"""WAL-shipping read replicas: follower mode, promotion, failover drill.
+
+The replica unit tests drive ``poll_once()`` by hand against a live
+tiny-scale primary so every replication step is deterministic; the
+failover drill (subprocess + SIGKILL + promotion) runs once end to end.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.resilience import faults
+from repro.resilience.campaign import REPLICA_POINTS, run_trial
+from repro.service import (
+    LoadSpec,
+    NotPrimaryError,
+    QueryRequest,
+    QueryService,
+    ReplicaServer,
+    ServiceConfig,
+    WriteAheadLog,
+    current_fence_token,
+    read_from,
+    run_failover_drill,
+    run_load,
+)
+
+TINY = dict(scale="tiny", n_snapshots=4, workers=1)
+
+
+def _primary(tmp_path) -> QueryService:
+    return QueryService(
+        ServiceConfig(**TINY, wal_dir=str(tmp_path / "wal"))
+    ).start()
+
+
+def _replica(tmp_path, **kwargs) -> ReplicaServer:
+    return ReplicaServer(
+        tmp_path / "wal", ServiceConfig(**TINY), **kwargs
+    )
+
+
+def _summaries(service: QueryService, source: int = 1) -> list[dict]:
+    response = service.submit(
+        QueryRequest("PK", "sssp", source)
+    ).wait(timeout=120)
+    assert response is not None and response.ok
+    return [s.as_dict() for s in response.summaries]
+
+
+def test_follower_syncs_serves_reads_and_refuses_ingest(tmp_path):
+    primary = _primary(tmp_path)
+    try:
+        for k in (1, 2):
+            primary.ingest("PK", seed=k)
+        replica = _replica(tmp_path)
+        replica.start(tail_thread=False)
+        try:
+            # initial sync landed both epochs; reads are served from the
+            # follower's own pool and match the primary exactly
+            assert replica.service.epoch("PK") == 2
+            assert _summaries(replica.service) == _summaries(primary)
+            # writes have exactly one home
+            with pytest.raises(NotPrimaryError) as exc:
+                replica.service.ingest("PK", seed=3)
+            assert exc.value.role == "follower"
+            assert replica.service.service_stats()["not_primary"] == 1
+            # incremental tail: one new epoch, one poll, applied
+            primary.ingest("PK", seed=3)
+            assert replica.poll_once() == 1
+            assert replica.service.epoch("PK") == 3
+            # replays are idempotent, never double-applied
+            assert replica.poll_once() == 0
+            # the primary sees the follower's checkpoint and zero lag
+            assert primary.follower_lags() == {"replica-1": 0}
+            health = primary.health()
+            assert health["role"] == "primary"
+            assert health["followers"] == {"replica-1": 0}
+        finally:
+            replica.stop(drain=False)
+    finally:
+        primary.stop(drain=False)
+
+
+def test_follower_lag_visible_in_health_and_metrics(tmp_path):
+    primary = _primary(tmp_path)
+    plan = faults.FaultPlan(["replica.stale-read"], seed=0)
+    replica = _replica(tmp_path, fault_hook=plan.maybe_fire)
+    try:
+        primary.ingest("PK", seed=1)
+        replica.start(tail_thread=False)
+        primary.ingest("PK", seed=2)
+        assert replica.poll_once() == 0  # the batch was withheld
+        assert replica.lag_epochs() == 1
+        health = replica.service.health()
+        assert health["role"] == "follower"
+        assert health["replication_lag_epochs"] == 1
+        # a follower reports the primary token it observes
+        assert health["fencing_token"] == current_fence_token(
+            tmp_path / "wal"
+        )
+        assert ("mega_replication_lag_epochs 1"
+                in replica.service.metrics_text())
+        # the primary sees the same staleness through the cursor file
+        assert primary.follower_lags()["replica-1"] == 1
+        # next poll converges (the plan fires at most once)
+        assert replica.poll_once() == 1
+        assert replica.lag_epochs() == 0
+    finally:
+        replica.stop(drain=False)
+        primary.stop(drain=False)
+
+
+def test_promotion_fences_zombie_and_accepts_ingest(tmp_path):
+    wal_dir = tmp_path / "wal"
+    primary = _primary(tmp_path)
+    try:
+        for k in (1, 2):
+            primary.ingest("PK", seed=k)
+    finally:
+        primary.stop(drain=False)
+    old_token = current_fence_token(wal_dir)
+    replica = ReplicaServer(wal_dir, ServiceConfig(**TINY))
+    try:
+        replica.start(tail_thread=False)
+        assert replica.service.epoch("PK") == 2
+        token = replica.promote()
+        assert token == current_fence_token(wal_dir) > old_token
+        assert replica.promote() == token  # idempotent
+        assert replica.service.role == "primary"
+        assert replica.service.health()["fencing_token"] == token
+        # the promoted node ingests durably under the new token
+        assert replica.service.ingest("PK", seed=3) == 3
+        # a late append by the dead primary (still holding the old
+        # token) is refused by every reader
+        zombie = WriteAheadLog(wal_dir, fsync="always",
+                               fence_token=old_token)
+        zombie.append({
+            "op": "ingest", "graph": "PK", "epoch": 3,
+            "delta": {"adds": [[0, 9, 9.0]], "dels": []},
+        })
+        zombie.close()
+        tail = read_from(wal_dir)
+        assert tail.fenced == 1
+        assert [
+            r["epoch"] for r in tail.records if r.get("op") == "ingest"
+        ] == [1, 2, 3]
+    finally:
+        replica.stop(drain=False)
+
+
+def test_tail_gap_forces_resync_and_converges(tmp_path):
+    primary = _primary(tmp_path)
+    plan = faults.FaultPlan(["replica.tail-gap"], seed=0)
+    replica = _replica(tmp_path, fault_hook=plan.maybe_fire)
+    try:
+        primary.ingest("PK", seed=1)
+        replica.start(tail_thread=False)
+        resyncs_before = replica.resyncs
+        primary.ingest("PK", seed=2)  # dropped by the armed fault
+        replica.poll_once()
+        primary.ingest("PK", seed=3)  # trips gap detection
+        replica.poll_once()
+        assert replica.resyncs == resyncs_before + 1
+        assert replica.service.epoch("PK") == primary.epoch("PK") == 3
+    finally:
+        replica.stop(drain=False)
+        primary.stop(drain=False)
+
+
+@pytest.mark.parametrize("point", REPLICA_POINTS)
+def test_fault_campaign_replica_trials_recover(point):
+    outcome = run_trial(None, None, point, seed=0, skip=1)
+    assert outcome.verdict == "recovered", outcome.detail
+
+
+def test_run_load_redirects_ingest_to_primary(tmp_path):
+    primary = _primary(tmp_path)
+    replica = _replica(tmp_path)
+    try:
+        replica.start()
+        spec = LoadSpec(duration_s=0.4, rate_qps=40, seed=1, n_sources=4,
+                        ingest_every_s=0.15)
+        report = run_load(replica.service, spec, primary=primary)
+        r = report.results
+        assert not report.degraded
+        assert r["role"] == "follower"
+        assert r["redirects"] >= 1 and r["ingests"] == 0
+        assert "redirects" in report.format_table()
+    finally:
+        replica.stop(drain=False)
+        primary.stop(drain=False)
+
+
+def test_failover_drill_zero_loss_and_parity(tmp_path):
+    report = run_failover_drill(
+        tmp_path / "wal", failover_at_epoch=2, algos=["bfs"],
+    )
+    assert report.ok, report.format_table()
+    assert report.lost_deltas == 0
+    assert report.zombie_fenced
+    assert report.new_fence_token > report.old_fence_token
+    assert report.orphan_segments == []
+    table = report.format_table()
+    assert "PASS" in table and "zombie append fenced" in table
+
+
+def test_replica_tail_thread_converges_without_manual_polls(tmp_path):
+    primary = _primary(tmp_path)
+    replica = _replica(tmp_path, poll_interval_s=0.02)
+    try:
+        primary.ingest("PK", seed=1)
+        replica.start()  # background tailer
+        primary.ingest("PK", seed=2)
+        deadline = time.monotonic() + 30
+        while (replica.service.epoch("PK") < 2
+               and time.monotonic() < deadline):
+            time.sleep(0.02)
+        assert replica.service.epoch("PK") == 2
+    finally:
+        replica.stop(drain=False)
+        primary.stop(drain=False)
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "argv",
+    [
+        ["serve", "--follow", "somewhere", "--wal-dir", "elsewhere"],
+        ["serve-bench", "--failover-at-epoch", "-1"],
+        ["serve-bench", "--crash-at-epoch", "1", "--failover-at-epoch", "1"],
+    ],
+)
+def test_cli_replica_bad_arguments_exit_2(argv, capsys):
+    assert main(argv) == 2
+    assert capsys.readouterr().err.strip()
+
+
+def test_cli_failover_drill_writes_report(tmp_path, capsys):
+    out = tmp_path / "BENCH_failover.json"
+    rc = main([
+        "serve-bench", "--scale", "tiny", "--snapshots", "4",
+        "--workers", "1", "--failover-at-epoch", "2", "--algos", "bfs",
+        "--wal-dir", str(tmp_path / "wal"), "--out", str(out),
+    ])
+    assert rc == 0
+    assert "PASS" in capsys.readouterr().out
+    import json
+
+    doc = json.loads(out.read_text())
+    assert doc["drill"] == "failover"
+    assert doc["results"]["ok"] and doc["results"]["lost_deltas"] == 0

@@ -358,8 +358,11 @@ def _bench_schema_ok(doc: dict) -> None:
         "offered_qps", "throughput_qps", "duration_s", "latency_ms",
         "plans", "batching_factor", "cache_hit_rate", "retries",
         "ingests", "faults", "wal", "stage_latency_ms", "traces",
+        # schema 4: replication fields
+        "redirects", "role", "replication_lag_epochs",
     ):
         assert key in r, key
+    assert r["role"] in ("primary", "follower")
     for p in ("p50", "p95", "p99", "mean"):
         assert isinstance(r["latency_ms"][p], float)
     # schema 3: per-stage percentiles over the queries' span timelines
@@ -388,22 +391,36 @@ def test_run_load_report_schema_and_clean_exit():
 
 
 def test_checked_in_bench_baseline_schema():
-    """The committed baseline is the shm-vs-copy comparison document:
-    two full single-run reports plus the headline throughput ratio."""
+    """The committed baseline is the topology comparison document: full
+    single-run reports (shm on/off, plus the workload served through a
+    WAL-tailing read replica) and the headline throughput ratios."""
     path = pathlib.Path(__file__).resolve().parents[1] / "BENCH_service.json"
     doc = json.loads(path.read_text())
     assert doc["bench"] == "service-compare-shm"
-    assert doc["schema_version"] == 1
-    for mode in ("shm", "no_shm"):
+    assert doc["schema_version"] == 2
+    for mode in ("shm", "no_shm", "follower"):
         _bench_schema_ok(doc[mode])
         assert doc[mode]["results"]["errored"] == 0
         assert doc[mode]["results"]["gave_up"] == 0
+    assert doc["follower"]["results"]["role"] == "follower"
+    assert doc["follower"]["results"]["redirects"] >= 1
     comp = doc["comparison"]
     assert comp["speedup_qps"] == pytest.approx(
         comp["throughput_qps_shm"] / comp["throughput_qps_no_shm"]
     )
-    # the committed artifact must demonstrate the zero-copy win
-    assert comp["speedup_qps"] >= 1.3
+    # the artifact is measured by the open-loop harness whose writer runs
+    # on its own thread (the earlier 1.81x figure came from the serialized
+    # harness, where inline ingest stalled the arrival loop and gated the
+    # no-shm leg's offered load); at the committed operating point every
+    # topology keeps pace with the offered rate, so the plane must be a
+    # wash or better — its structural wins (zero-copy attach, per-worker
+    # memory, cold-start) are asserted functionally in test_shm.py
+    assert comp["speedup_qps"] >= 0.95
+    # ... and that follower reads keep pace with single-node serving
+    assert comp["follower_read_qps_ratio"] == pytest.approx(
+        comp["throughput_qps_follower"] / comp["throughput_qps_shm"]
+    )
+    assert comp["follower_read_qps_ratio"] >= 0.9
 
 
 # -- CLI -------------------------------------------------------------------

@@ -32,8 +32,13 @@ from repro.service.wal import (
     _HEADER,
     QUARANTINE_NAME,
     SNAPSHOT_NAME,
+    WalPosition,
     WalWriteError,
     WriteAheadLog,
+    advance_fence,
+    current_fence_token,
+    read_from,
+    read_snapshot,
 )
 
 TINY = dict(scale="tiny", n_snapshots=4, workers=1)
@@ -197,6 +202,145 @@ def test_wal_injected_torn_write_never_acknowledges(tmp_path):
     recovery = recover_wal(tmp_path)
     assert [r["epoch"] for r in recovery.records] == acked
     assert not recovery.clean  # the torn frame was noticed
+
+
+# -- replication cursor: read_from, rotation, compaction, fencing ----------
+
+
+def test_read_from_genesis_and_incremental_cursor(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    records = _fill(wal, 3)
+    tail = read_from(tmp_path)
+    assert tail.records == records and not tail.reset
+    position = tail.position
+    # the cursor round-trips through its wire form (follower checkpoint)
+    assert WalPosition.from_dict(position.as_dict()) == position
+    assert read_from(tmp_path, position).records == []
+    wal.append(_record(4))
+    wal.append(_record(5))
+    incremental = read_from(tmp_path, position)
+    assert incremental.records == [_record(4), _record(5)]
+    assert read_from(tmp_path, incremental.position).records == []
+    wal.close()
+
+
+def test_read_from_follows_appends_across_rotation(tmp_path):
+    # segment_bytes=1 rotates after every append: each record lands in
+    # its own segment and the cursor must follow without a gap
+    wal = WriteAheadLog(tmp_path, fsync="always", segment_bytes=1)
+    records = _fill(wal, 3)
+    tail = read_from(tmp_path)
+    assert tail.records == records
+    more = [_record(4), _record(5)]
+    for r in more:
+        wal.append(r)
+    assert read_from(tmp_path, tail.position).records == more
+    wal.close()
+
+
+def test_read_from_cursor_into_compacted_away_segment_resets(tmp_path):
+    # regression: a cursor pointing into a segment that compaction
+    # deleted must surface as an explicit reset, never as silently-empty
+    # progress (the follower would stall forever at a dead offset)
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    _fill(wal, 4)
+    position = read_from(tmp_path).position
+    wal.compact({"epochs": {"PK": 4}, "logs": {"PK": []}})
+    wal.append(_record(5))
+    tail = read_from(tmp_path, position)
+    assert tail.reset and tail.records == [] and tail.warnings
+    # re-sync: snapshot plus a genesis read, then the cursor is live again
+    assert read_snapshot(tmp_path)["epochs"] == {"PK": 4}
+    fresh = read_from(tmp_path)
+    assert fresh.records == [_record(5)]
+    assert fresh.position.compactions == 1
+    assert not read_from(tmp_path, fresh.position).reset
+    wal.close()
+
+
+def test_read_from_parks_before_in_progress_frame_then_resumes(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    records = _fill(wal, 2)
+    position = read_from(tmp_path).position
+    # a half-written frame at the tip of the live segment is an append in
+    # progress: the tailer parks before it — never truncates —
+    payload = json.dumps(_record(3), sort_keys=True).encode("utf-8")
+    frame = _HEADER.pack(
+        len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+    ) + payload
+    with open(wal.segment_path, "ab") as fh:
+        fh.write(frame[:7])
+    parked = read_from(tmp_path, position)
+    assert parked.records == [] and parked.position == position
+    # — and picks the record up once the writer finishes the frame
+    with open(wal.segment_path, "ab") as fh:
+        fh.write(frame[7:])
+    assert read_from(tmp_path, position).records == [_record(3)]
+    assert recover_wal(tmp_path).records == records + [_record(3)]
+    wal.close()
+
+
+def test_read_from_skips_torn_record_in_rotated_segment(tmp_path):
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    _fill(wal, 2)
+    # half a frame reaches disk, then the writer rotates away and dies:
+    # that torn tail is permanent, not in-progress — skip with a warning
+    payload = json.dumps(_record(3), sort_keys=True).encode("utf-8")
+    frame = _HEADER.pack(
+        len(payload), zlib.crc32(payload) & 0xFFFFFFFF
+    ) + payload
+    with open(wal.segment_path, "ab") as fh:
+        fh.write(frame[: len(frame) // 2])
+    wal.rotate()
+    wal.append(_record(4))
+    tail = read_from(tmp_path)
+    assert tail.records == [_record(1), _record(2), _record(4)]
+    assert any("torn record" in w for w in tail.warnings)
+    wal.close()
+
+
+def test_compaction_racing_tailer_with_old_segment_held_open(tmp_path):
+    # the follower may hold a rotated segment open while the primary
+    # compacts it away (POSIX keeps the inode alive); the follower's
+    # *next* tail must detect the compaction and reset rather than keep
+    # ordering against deleted files
+    wal = WriteAheadLog(tmp_path, fsync="always")
+    _fill(wal, 3)
+    mid = read_from(tmp_path).position
+    with open(wal.segment_path) as held:
+        wal.compact({"epochs": {"PK": 3}, "logs": {"PK": []}})
+        wal.append(_record(4))
+        raced = read_from(tmp_path, mid)
+        assert raced.reset and raced.records == []
+        assert held.readable()  # stale handle still open, never consulted
+    resynced = read_from(tmp_path)
+    assert resynced.records == [_record(4)]
+    wal.close()
+
+
+def test_fence_advance_and_zombie_append_detection(tmp_path):
+    old = WriteAheadLog(tmp_path, fsync="always")
+    records = _fill(old, 2)
+    tip = read_from(tmp_path).position
+    token = advance_fence(tmp_path, tip)
+    assert token == 1 and current_fence_token(tmp_path) == 1
+    new = WriteAheadLog(tmp_path, fsync="always", fence_token=token)
+    new.append(_record(3))
+    # the fenced-off writer appends after the fence position: a zombie —
+    # every reader must refuse the record, and recovery quarantines it
+    old.append(_record(99))
+    old.close()
+    tail = read_from(tmp_path)
+    assert tail.records == records + [_record(3)]
+    assert tail.fenced == 1
+    recovery = recover_wal(tmp_path)
+    assert recovery.records == records + [_record(3)]
+    assert recovery.fenced == 1 and recovery.quarantined == 1
+    assert (tmp_path / QUARANTINE_NAME).exists()
+    # records appended *before* the fence keep their validity: only the
+    # post-fence zombie write is refused
+    assert records[0] in recovery.records
+    new.close()
 
 
 # -- recovery into the service ---------------------------------------------
