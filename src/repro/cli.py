@@ -8,9 +8,12 @@ Usage::
     mega-repro simulate --graph Wen --algo sssp --workflow boe --pipeline
     mega-repro faults --scale tiny
     mega-repro serve --scale tiny --workers 4
+    mega-repro serve --scale tiny --shards 4 --wal-dir /tmp/fleet
     mega-repro serve --follow /path/to/primary-wal --follower-id r2
     mega-repro serve-bench --scale tiny --duration 5 --rate 50
     mega-repro serve-bench --failover-at-epoch 3
+    mega-repro serve-bench --compare-shards 1,2,4 --ingest-every 0.5
+    mega-repro serve-bench --shards 2 --shard-kill-at-epoch 2
 """
 
 from __future__ import annotations
@@ -269,6 +272,13 @@ def _service_config(args: argparse.Namespace):
                 ))
     if args.wal_compact_every < 0:
         raise SystemExit(_fail_usage("--wal-compact-every must be >= 0"))
+    if getattr(args, "shards", 1) < 1:
+        raise SystemExit(_fail_usage("--shards must be >= 1"))
+    if getattr(args, "shards", 1) > 1 and args.mode != "eval":
+        raise SystemExit(_fail_usage(
+            "--shards > 1 requires --mode eval: the accelerator-model "
+            "simulator is a whole-graph engine"
+        ))
     if args.profile_rounds < 0:
         raise SystemExit(_fail_usage("--profile-rounds must be >= 0"))
     return ServiceConfig(
@@ -290,9 +300,36 @@ def _service_config(args: argparse.Namespace):
     )
 
 
+def _sharded_service(config, n_shards: int):
+    """Shard fleet behind one scatter-gather front end.
+
+    ``config.wal_dir`` (if set) becomes the WAL *root*; each shard owns
+    ``<root>/shard-<i>`` so recovery stays strictly per-shard.
+    """
+    from repro.service.sharding import ScatterGatherFrontEnd, ShardManager
+
+    return ScatterGatherFrontEnd(ShardManager(n_shards, config))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QueryService, serve_stdio
 
+    if args.shards > 1:
+        if args.follow:
+            return _fail_usage(
+                "--shards and --follow are mutually exclusive: replication "
+                "is per-shard (point a follower at one shard's WAL "
+                "directory)"
+            )
+        frontend = _sharded_service(_service_config(args), args.shards)
+        print(
+            f"[serving on stdin/stdout: scale={args.scale} "
+            f"snapshots={args.snapshots} shards={args.shards} "
+            f"workers={args.workers}/shard "
+            f"batching={'on' if args.batching else 'off'}]",
+            file=sys.stderr,
+        )
+        return serve_stdio(frontend)
     if args.follow:
         from repro.service import ReplicaServer
 
@@ -369,6 +406,51 @@ def _cmd_failover_drill(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_shard_kill_drill(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.service import run_shard_kill_drill
+
+    wal_root = args.wal_dir or tempfile.mkdtemp(prefix="mega-shard-drill-")
+    graph = _parse_names(args.graphs)[0]
+    algos = [a.lower() for a in _parse_names(args.algos)]
+    report = run_shard_kill_drill(
+        wal_root,
+        n_shards=max(2, args.shards),
+        crash_at_epoch=args.shard_kill_at_epoch,
+        graph=graph,
+        scale=args.scale,
+        n_snapshots=args.snapshots,
+        workers=args.workers,
+        algos=algos,
+    )
+    print(report.format_table())
+    return 0 if report.ok else 1
+
+
+def _parse_shard_counts(raw: str) -> list[int]:
+    counts = []
+    for part in raw.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            n = int(part)
+        except ValueError:
+            raise SystemExit(_fail_usage(
+                f"--compare-shards takes comma-separated integers; "
+                f"got {part!r}"
+            )) from None
+        if n < 1:
+            raise SystemExit(_fail_usage("--compare-shards counts must "
+                                         "be >= 1"))
+        counts.append(n)
+    if not counts:
+        raise SystemExit(_fail_usage("--compare-shards needs at least one "
+                                     "shard count"))
+    return counts
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.service import LoadSpec, QueryService, run_load
 
@@ -377,15 +459,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         raise SystemExit(_fail_usage("--crash-at-epoch must be >= 0"))
     if args.failover_at_epoch < 0:
         raise SystemExit(_fail_usage("--failover-at-epoch must be >= 0"))
-    if args.crash_at_epoch and args.failover_at_epoch:
+    if args.shard_kill_at_epoch < 0:
+        raise SystemExit(_fail_usage("--shard-kill-at-epoch must be >= 0"))
+    drills = [
+        name for name, armed in [
+            ("--crash-at-epoch", args.crash_at_epoch),
+            ("--failover-at-epoch", args.failover_at_epoch),
+            ("--shard-kill-at-epoch", args.shard_kill_at_epoch),
+        ] if armed
+    ]
+    if len(drills) > 1:
         raise SystemExit(_fail_usage(
-            "--crash-at-epoch and --failover-at-epoch are separate drills; "
-            "pick one"
+            f"{' and '.join(drills)} are separate drills; pick one"
         ))
     if args.crash_at_epoch:
         return _cmd_crash_drill(args)
     if args.failover_at_epoch:
         return _cmd_failover_drill(args)
+    if args.shard_kill_at_epoch:
+        return _cmd_shard_kill_drill(args)
     write_out = not args.no_out and bool(args.out)
     if not args.out and not args.no_out:
         print(
@@ -407,9 +499,22 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         max_retries=args.retries,
         trace_sample=max(0, args.trace_out),
     )
+    if args.compare_shards:
+        if args.compare_shm or args.with_follower:
+            raise SystemExit(_fail_usage(
+                "--compare-shards is its own comparison; drop "
+                "--compare-shm/--with-follower"
+            ))
+        counts = _parse_shard_counts(args.compare_shards)
+        return _serve_bench_compare_shards(args, config, spec, counts,
+                                           write_out)
     if args.compare_shm or args.with_follower:
         return _serve_bench_compare(args, config, spec, write_out)
-    with QueryService(config) as service:
+    service_ctx = (
+        _sharded_service(config, args.shards) if args.shards > 1
+        else QueryService(config)
+    )
+    with service_ctx as service:
         report = run_load(service, spec)
     print(report.format_table())
     if write_out:
@@ -588,6 +693,102 @@ def _serve_bench_compare(args, config, spec, write_out: bool) -> int:
     return 0
 
 
+def _serve_bench_compare_shards(
+    args, config, spec, counts: list[int], write_out: bool
+) -> int:
+    """Identical offered load at each shard count, one scaling table.
+
+    Every leg replays the same seeded open-loop schedule (arrivals,
+    sources, windows, and the writer thread's ingest cadence are all
+    functions of ``--seed``), so the only variable is the shard count;
+    shard count 1 runs the plain single-node service as the baseline.
+    The methodology note in the JSON report records the host's CPU
+    budget: shards are separate worker pools inside one host, so q/s
+    scaling with shard count requires free cores — on a single-core
+    host the multi-shard legs measure scatter-gather protocol overhead,
+    not parallel speedup, and the honest numbers say so.
+    """
+    import dataclasses
+    import json as _json
+    import os as _os
+
+    from repro.experiments.runner import scenario_cache
+    from repro.service import QueryService, run_load
+    from repro.service.loadgen import BENCH_SCHEMA_VERSION
+
+    # warm the genesis scenarios once so the first leg is not the one
+    # paying graph generation for everybody
+    for g in spec.graphs:
+        scenario_cache(g, config.scale, n_snapshots=config.n_snapshots)
+
+    reports: dict[int, object] = {}
+    for n in counts:
+        print(f"[compare: {n} shard(s), identical offered load]",
+              file=sys.stderr)
+        ctx = (
+            _sharded_service(dataclasses.replace(config), n) if n > 1
+            else QueryService(config)
+        )
+        with ctx as service:
+            reports[n] = run_load(service, spec)
+        print(reports[n].format_table())
+        print()
+    base_qps = reports[counts[0]].results["throughput_qps"]
+    cpus = _os.cpu_count() or 1
+    lines = ["== shard scaling (identical offered load per leg) =="]
+    comparison: dict[str, object] = {"baseline_shards": counts[0]}
+    for n in counts:
+        r = reports[n].results
+        qps = r["throughput_qps"]
+        ratio = qps / max(base_qps, 1e-9)
+        comparison[f"throughput_qps_{n}shard"] = qps
+        comparison[f"speedup_{n}shard"] = ratio
+        lines.append(
+            f"shards {n:<2} {qps:8.1f} q/s  {ratio:5.2f}x  "
+            f"p95 {r['latency_ms']['p95']:.1f} ms"
+        )
+    lines.append(f"host cpus {cpus}")
+    methodology = (
+        f"Each leg replays the identical seeded open-loop workload "
+        f"(seed {spec.seed}, {spec.rate_qps:g} q/s offered for "
+        f"{spec.duration_s:g}s, writer-thread ingest every "
+        f"{spec.ingest_every_s:g}s); only the shard count varies, with "
+        f"1 shard serving as the plain single-node baseline. Shards are "
+        f"separate OS worker pools inside one host process, so "
+        f"throughput scaling with shard count requires free CPU cores. "
+        f"This host exposes {cpus} CPU core(s)"
+        + (
+            ": with a single core the multi-shard legs time-slice one "
+            "core and measure the scatter-gather protocol overhead "
+            "(frontier exchange, per-shard dispatch), not parallel "
+            "speedup — expect q/s at N shards to trail the 1-shard "
+            "baseline here, and to scale only on multi-core hosts."
+            if cpus == 1 else "."
+        )
+    )
+    print("\n".join(lines))
+    if write_out:
+        path = pathlib.Path(args.out)
+        payload = {
+            "bench": "service-shards",
+            "schema_version": BENCH_SCHEMA_VERSION,
+            "comparison": comparison,
+            "methodology": methodology,
+            "host_cpus": cpus,
+        }
+        for n, report in reports.items():
+            payload[f"shards_{n}"] = _json.loads(report.to_json())
+        path.write_text(_json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote {path}]")
+    if any(r.degraded for r in reports.values()):
+        print(
+            "[degraded run: dropped/errored queries or unrecovered fault]",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_bench_kernels(args: argparse.Namespace) -> int:
     from repro.perf import run_kernel_bench
 
@@ -717,6 +918,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--scale", default="tiny", choices=sorted(SCALES))
         p.add_argument("--snapshots", type=int, default=8)
         p.add_argument("--workers", type=int, default=2)
+        p.add_argument("--shards", type=int, default=1,
+                       help="partition the evolving graph into N "
+                       "vertex-owned shards, each with its own worker "
+                       "pool, shm plane, and WAL directory, behind one "
+                       "scatter-gather front end (1 = unsharded)")
         p.add_argument("--graphs", default="PK",
                        help="comma-separated Table 2 short names")
         p.add_argument("--algos", default="sssp",
@@ -825,6 +1031,20 @@ def build_parser() -> argparse.ArgumentParser:
                          "acknowledged ingests, promote an in-process "
                          "follower, fence the zombie, and assert zero "
                          "acknowledged-delta loss plus query parity")
+    p_bench.add_argument("--shard-kill-at-epoch", type=int, default=0,
+                         metavar="N",
+                         help="run the shard kill drill instead of the "
+                         "load harness: SIGKILL one shard's worker "
+                         "processes mid-serving (the fleet must serve "
+                         "through it), then SIGKILL the whole sharded "
+                         "serve child after N acknowledged ingests, "
+                         "restart it on the same --wal-dir root, and "
+                         "assert every shard recovers exactly the acked "
+                         "epoch from its own WAL plus query parity")
+    p_bench.add_argument("--compare-shards", default=None, metavar="N,M,...",
+                         help="run the identical workload once per shard "
+                         "count (e.g. 1,2,4) and report the q/s scaling "
+                         "table; 1 = plain single-node baseline")
     p_bench.add_argument("--compare-shm", action="store_true",
                          help="run the identical workload twice — shm plane "
                          "on, then off — and report the q/s speedup")

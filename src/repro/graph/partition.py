@@ -34,9 +34,29 @@ class VertexPartitioner:
         self.bounds = bounds
 
     def partition_of(self, vertices: np.ndarray | int) -> np.ndarray | int:
-        """Map vertex ids to partition ids."""
-        idx = np.searchsorted(self.bounds, np.asarray(vertices), side="right") - 1
-        return np.minimum(idx, self.n_partitions - 1)
+        """Map vertex ids to partition ids.
+
+        Raises ``ValueError`` on any id outside ``[0, n_vertices)`` —
+        ``searchsorted`` would otherwise clamp garbage ids onto the first
+        or last partition, and a shard router acting on that answer would
+        silently misroute the edge.  Scalar in, scalar out.
+        """
+        arr = np.asarray(vertices)
+        if arr.size:
+            bad = (arr < 0) | (arr >= self.n_vertices)
+            if np.any(bad):
+                offenders = np.unique(np.atleast_1d(arr)[np.atleast_1d(bad)])
+                raise ValueError(
+                    f"vertex id(s) {offenders[:8].tolist()} outside "
+                    f"[0, {self.n_vertices})"
+                )
+        # side="right" lands duplicated bounds (empty partitions) on the
+        # last duplicate, i.e. the non-empty range actually owning the id
+        idx = np.searchsorted(self.bounds, arr, side="right") - 1
+        idx = np.minimum(idx, self.n_partitions - 1)
+        if arr.ndim == 0:
+            return int(idx)
+        return idx
 
     def vertex_range(self, p: int) -> tuple[int, int]:
         """Half-open vertex range of partition ``p``."""

@@ -25,7 +25,14 @@ from __future__ import annotations
 import math
 import threading
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LabeledCounter",
+    "LabeledGauge",
+    "MetricsRegistry",
+]
 
 #: default latency buckets (seconds): 1 ms .. ~16 s, powers of two
 DEFAULT_BUCKETS = tuple(0.001 * 2**i for i in range(15))
@@ -124,6 +131,64 @@ class _CallbackGauge:
         return [(self.name, self.get())]
 
 
+class _LabeledFamily:
+    """One metric name fanned out over the values of a single label.
+
+    The sharded serving tier wants ``mega_shard_queries_total{shard="2"}``
+    style series without forking the PR 5/6 registry: a family registers
+    under its bare name exactly like any other instrument, and
+    ``labels(value)`` lazily materializes one child per label value.
+    ``samples()`` flattens every child under the family's single
+    ``# HELP`` / ``# TYPE`` header, which is precisely the Prometheus
+    exposition shape for labeled series.
+    """
+
+    _child_cls: type
+
+    def __init__(self, name: str, help: str = "", label: str = "shard") -> None:
+        self.name = name
+        self.help = help
+        self.label = label
+        self._lock = threading.Lock()
+        self._children: dict[str, object] = {}
+
+    def labels(self, value) -> object:
+        key = str(value)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._child_cls(
+                    f'{self.name}{{{self.label}="{key}"}}'
+                )
+                self._children[key] = child
+            return child
+
+    def get(self) -> dict:
+        """``{label value: child value}`` for JSON surfaces and tests."""
+        with self._lock:
+            children = dict(self._children)
+        return {key: child.get() for key, child in children.items()}
+
+    def samples(self) -> list[tuple[str, float]]:
+        with self._lock:
+            children = sorted(self._children.items())
+        return [(child.name, child.get()) for __, child in children]
+
+
+class LabeledCounter(_LabeledFamily):
+    """Counter family over one label dimension (default ``shard``)."""
+
+    kind = "counter"
+    _child_cls = Counter
+
+
+class LabeledGauge(_LabeledFamily):
+    """Gauge family over one label dimension (default ``shard``)."""
+
+    kind = "gauge"
+    _child_cls = Gauge
+
+
 class Histogram:
     """Cumulative-bucket histogram (Prometheus semantics)."""
 
@@ -205,6 +270,20 @@ class MetricsRegistry:
     def gauge(self, name: str, help: str = "", initial: float = 0.0) -> Gauge:
         return self._register(
             name, lambda: Gauge(name, help, initial), "gauge"
+        )
+
+    def labeled_counter(
+        self, name: str, help: str = "", label: str = "shard"
+    ) -> LabeledCounter:
+        return self._register(
+            name, lambda: LabeledCounter(name, help, label), "counter"
+        )
+
+    def labeled_gauge(
+        self, name: str, help: str = "", label: str = "shard"
+    ) -> LabeledGauge:
+        return self._register(
+            name, lambda: LabeledGauge(name, help, label), "gauge"
         )
 
     def gauge_fn(self, name: str, fn, help: str = "") -> None:

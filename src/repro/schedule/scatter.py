@@ -1,0 +1,93 @@
+"""Scatter planning over a vertex-partitioned evolving graph.
+
+The sharded serving tier (``repro.service.sharding``) evaluates one query
+as rounds of per-shard relaxation with cross-shard frontier exchange — the
+massively-parallel-computation framing of streaming graph algorithms: each
+machine holds a sublinear slice of the edges and rounds exchange only the
+boundary values that improved.  This module is the pure-numpy planning
+layer: it knows how to seed a multi-state scatter and how to route
+``(vertex, state, value)`` triples to the shards that own the vertices,
+and it imports nothing from the service so the schedule package stays a
+leaf dependency.
+
+State ids follow the multi-query BOE layout
+(:mod:`repro.core.multi_query`): query ``q``'s snapshot ``k`` is state
+``q * n_snapshots + k``, so state ``s`` evaluates snapshot ``s %
+n_snapshots`` and gathered rows drop straight into a
+``MultiQueryResult``-shaped value matrix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.base import Algorithm
+from repro.graph.partition import VertexPartitioner
+
+__all__ = ["seed_triples", "route_by_owner", "merge_triples"]
+
+
+def seed_triples(
+    sources: tuple[int, ...] | list[int],
+    n_snapshots: int,
+    algorithm: Algorithm,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Initial ``(vertex, state, value)`` triples of a scatter evaluation.
+
+    Every query's source vertex is seeded with ``source_value`` in each of
+    its ``n_snapshots`` states — the scatter analogue of
+    ``initial_values`` applied across the whole (query, snapshot) matrix.
+    """
+    q = len(sources)
+    vertices = np.repeat(np.asarray(sources, dtype=np.int64), n_snapshots)
+    states = np.arange(q * n_snapshots, dtype=np.int64)
+    values = np.full(q * n_snapshots, algorithm.source_value, dtype=np.float64)
+    return vertices, states, values
+
+
+def route_by_owner(
+    partitioner: VertexPartitioner,
+    vertices: np.ndarray,
+    states: np.ndarray,
+    values: np.ndarray,
+) -> dict[int, tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Group triples by the shard owning each vertex.
+
+    One stable argsort over the owner ids, then one contiguous slice per
+    shard — no per-shard boolean scans.  Returns only shards that own at
+    least one triple, so empty shards cost nothing in the exchange.
+    """
+    if vertices.size == 0:
+        return {}
+    owners = np.asarray(partitioner.partition_of(vertices))
+    order = np.argsort(owners, kind="stable")
+    owners = owners[order]
+    v, s, val = vertices[order], states[order], values[order]
+    shard_ids, starts = np.unique(owners, return_index=True)
+    bounds = np.append(starts, owners.size)
+    return {
+        int(shard): (v[a:b], s[a:b], val[a:b])
+        for shard, a, b in zip(shard_ids, bounds[:-1], bounds[1:])
+    }
+
+
+def merge_triples(
+    algorithm: Algorithm,
+    values: np.ndarray,
+    vertices: np.ndarray,
+    states: np.ndarray,
+    candidates: np.ndarray,
+) -> None:
+    """Fold ``(vertex, state, value)`` triples into a value matrix.
+
+    ``values`` is the front-end's ``(n_states, n_vertices)`` global state;
+    the reduction is the algorithm's own ``scatter_reduce`` on the
+    flattened matrix, so duplicate candidates for one cell coalesce to the
+    best exactly as the accelerator's event queue would.
+    """
+    if vertices.size == 0:
+        return
+    n = values.shape[1]
+    algorithm.scatter_reduce(
+        values.reshape(-1), states * n + vertices, candidates
+    )

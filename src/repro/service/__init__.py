@@ -22,8 +22,12 @@ Modules:
 * :mod:`repro.service.replica` — WAL-shipping read replicas: follower
   mode, promotion, fencing (``mega-repro serve --follow``);
 * :mod:`repro.service.loadgen` — load harness (``mega-repro serve-bench``);
-* :mod:`repro.service.drill`   — SIGKILL-and-recover and failover drills
-  (``serve-bench --crash-at-epoch`` / ``--failover-at-epoch``).
+* :mod:`repro.service.drill`   — SIGKILL-and-recover, failover, and shard
+  kill drills (``serve-bench --crash-at-epoch`` / ``--failover-at-epoch``
+  / ``--shard-kill-at-epoch``);
+* :mod:`repro.service.sharding` — partitioned serving: per-shard pools,
+  shm planes, and WALs behind one scatter-gather front end
+  (``mega-repro serve --shards N``).
 
 Observability (span timelines, the metrics registry behind the
 ``metrics`` op, sampled kernel profiling) lives in :mod:`repro.obs` and
@@ -48,8 +52,10 @@ from repro.service.core import (
 from repro.service.drill import (
     DrillReport,
     FailoverReport,
+    ShardKillReport,
     run_crash_drill,
     run_failover_drill,
+    run_shard_kill_drill,
 )
 from repro.service.ingest import DeltaBatch, apply_delta, synthesize_delta
 from repro.service.loadgen import BenchReport, LoadSpec, run_load
@@ -62,6 +68,7 @@ from repro.service.request import (
     validate_request,
 )
 from repro.service.server import ServiceFrontend, serve_stdio
+from repro.service.sharding import ScatterGatherFrontEnd, ShardManager
 from repro.service.wal import (
     WalFencedError,
     WalPosition,
@@ -93,9 +100,12 @@ __all__ = [
     "ReplicaServer",
     "ReplicationGapError",
     "ResultCache",
+    "ScatterGatherFrontEnd",
     "ServiceConfig",
     "ServiceFrontend",
     "ServiceStats",
+    "ShardKillReport",
+    "ShardManager",
     "SimulatedCrash",
     "SnapshotSummary",
     "WalFencedError",
@@ -114,6 +124,7 @@ __all__ = [
     "run_crash_drill",
     "run_failover_drill",
     "run_load",
+    "run_shard_kill_drill",
     "serve_stdio",
     "split_expired",
     "synthesize_delta",

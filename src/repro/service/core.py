@@ -180,6 +180,10 @@ class ServiceConfig:
     inject_fault: tuple[str, ...] = ()
     inject_fault_plan: int = 0
     fault_seed: int = 0
+    #: which shard this service is, when it runs as one member of a
+    #: :class:`repro.service.sharding.ShardManager` fleet (-1 = not
+    #: sharded); surfaces in health and shard-labeled metrics
+    shard_id: int = -1
 
 
 #: counter name -> help text; the registry names are
@@ -193,6 +197,7 @@ _COUNTER_HELP = {
     "shed": "queries shed on deadline expiry before execution",
     "plans": "coalesced BOE plans submitted to the pool",
     "plan_queries": "queries riding those plans",
+    "scatter_plans": "scatter sub-plans shipped to this shard's pool",
     "retries": "queries resubmitted as degraded singletons",
     "faults_recovered": "injected faults recovered inside workers",
     "ingests": "delta batches ingested",
@@ -571,6 +576,18 @@ class QueryService:
         with self._graphs_lock:
             return self._graphs.setdefault(graph, _LiveGraph()).epoch
 
+    def graph_epochs(self) -> dict[str, int]:
+        """Epoch of every graph this service has seen (shard reconcile)."""
+        with self._graphs_lock:
+            return {g: lg.epoch for g, lg in self._graphs.items()}
+
+    def graph_deltas(self, graph: str) -> tuple[DeltaBatch, ...]:
+        """Immutable view of a graph's delta log (shard chain rebuild)."""
+        with self._graphs_lock:
+            return tuple(
+                self._graphs.setdefault(graph, _LiveGraph()).deltas
+            )
+
     def retry_after_hint(self) -> float:
         """How long an overloaded client should back off (seconds).
 
@@ -758,6 +775,118 @@ class QueryService:
         self.stats.inc("replicated")
         return True
 
+    def rewind_graph(self, graph: str, epoch: int) -> int:
+        """Truncate a graph's delta log back to ``epoch`` (reconciliation).
+
+        A multi-shard ingest that crashed between per-shard WAL commits
+        leaves some shards' logs ahead of the slowest one; the
+        :class:`~repro.service.sharding.ShardManager` rewinds every shard
+        to the minimum recovered epoch before serving, because WAL
+        recovery skips records at-or-below the local tip — a shard left
+        ahead would silently drop the re-ingested epochs.  The WAL (when
+        configured) is compacted to the truncated image so a later
+        recovery converges to the same state.  Returns the new epoch.
+        """
+        with self._graphs_lock:
+            live = self._graphs.setdefault(graph, _LiveGraph())
+            if epoch >= live.epoch:
+                return live.epoch
+            del live.deltas[epoch:]
+            if self.wal is not None:
+                # compact under the lock so the snapshot provably covers
+                # the truncated log and no append interleaves
+                self.wal.compact(self._snapshot_graphs_locked())
+                self.stats.inc("wal_compactions")
+        self.cache.invalidate_graph(graph)
+        log.info("rewound %s to epoch %d for shard reconciliation",
+                 graph, epoch)
+        return epoch
+
+    def submit_scatter(
+        self,
+        graph: str,
+        algo: str,
+        *,
+        n_states: int,
+        vertex_lo: int,
+        vertex_hi: int,
+        frontier: DeltaBatch,
+        state_block,
+        window: tuple[int, int] | None = None,
+        epoch: int | None = None,
+    ):
+        """Ship one scatter sub-plan to this shard's pool.
+
+        The scatter-gather front end drives rounds itself, so there is no
+        admission queue or coalescing here: the sub-plan goes straight to
+        the pool, stamped with this shard's delta chain and (when
+        current) its published shm manifest, and the returned future
+        resolves to a :class:`~repro.service.pool.PlanResult` whose
+        ``updates``/``boundary`` carry the frontier exchange.  The
+        ``vertex_[lo,hi)`` range both scopes the relaxation and
+        row-restricts the worker's replay path, so a shard worker only
+        ever materializes its own slice of the union CSR.
+        """
+        plan_id = next(self._plan_ids)
+        with self._graphs_lock:
+            live = self._graphs.setdefault(graph, _LiveGraph())
+            if epoch is None:
+                epoch = live.epoch
+            deltas = tuple(live.deltas[:epoch])
+        manifest = self._plane_manifest(
+            graph, epoch, deltas,
+            vertex_lo=vertex_lo, vertex_hi=vertex_hi,
+        )
+        payload = PlanPayload(
+            plan_id=plan_id,
+            graph=graph,
+            scale=self.config.scale,
+            n_snapshots=self.config.n_snapshots,
+            algo=algo,
+            sources=(),
+            window=window,
+            epoch=epoch,
+            deltas=deltas,
+            budget_s=self.config.budget_s,
+            kind="scatter",
+            shm=manifest,
+            chain=self.service_id,
+            profile_every=self.config.profile_rounds,
+            vertex_lo=vertex_lo,
+            vertex_hi=vertex_hi,
+            n_states=n_states,
+            frontier=frontier,
+            state_block=state_block,
+        )
+        self.stats.inc("scatter_plans")
+        with self._inflight_lock:
+            self._inflight.add(plan_id)
+        try:
+            future = self.pool.submit(payload)
+        except Exception:
+            if manifest is not None and self.plane is not None:
+                self.plane.release(manifest)
+            with self._inflight_lock:
+                self._inflight.discard(plan_id)
+            raise
+
+        def _done(fut, m=manifest, pid=plan_id) -> None:
+            if m is not None and self.plane is not None:
+                self.plane.release(m)
+            try:
+                result: PlanResult = fut.result()
+            except Exception:  # noqa: BLE001 - the caller sees it too
+                pass
+            else:
+                if result.elapsed_s > 0:
+                    self._plan_ewma.ewma(result.elapsed_s, alpha=0.2)
+                self._merge_round_profile(result.round_profile)
+            with self._inflight_lock:
+                self._inflight.discard(pid)
+
+        future.add_done_callback(_done)
+        return future
+
     def follower_lags(self) -> dict[str, int]:
         """Per-follower replication lag in epochs (primary side).
 
@@ -846,7 +975,7 @@ class QueryService:
         }
         if self.replica is not None:
             replication.update(self.replica.health())
-        return {
+        out = {
             "status": "degraded" if degraded else "ok",
             **replication,
             "running": self._running,
@@ -871,6 +1000,9 @@ class QueryService:
             ),
             "wal": wal,
         }
+        if self.config.shard_id >= 0:
+            out["shard_id"] = self.config.shard_id
+        return out
 
     # -- batcher thread ----------------------------------------------------
 
@@ -978,7 +1110,12 @@ class QueryService:
         )
 
     def _plane_manifest(
-        self, graph: str, epoch: int, deltas: tuple
+        self,
+        graph: str,
+        epoch: int,
+        deltas: tuple,
+        vertex_lo: int = 0,
+        vertex_hi: int = 0,
     ) -> ScenarioManifest | None:
         """Refcounted manifest of the published scenario for this plan.
 
@@ -987,7 +1124,10 @@ class QueryService:
         Plans admitted under an epoch *older* than the published one get
         ``None`` — retiring a newer generation for a straggler would
         thrash the plane — and fall back to worker-side replay.  Any
-        publish failure degrades to the replay path too.
+        publish failure degrades to the replay path too.  A shard
+        service passes its vertex range so the published scenario is the
+        row-restricted slice its workers expect (a shard's plane only
+        ever holds its own slice, so the key needs no range component).
         """
         if self.plane is None:
             return None
@@ -1013,6 +1153,8 @@ class QueryService:
                     epoch=epoch,
                     deltas=deltas,
                     chain=self.service_id,
+                    vertex_lo=vertex_lo,
+                    vertex_hi=vertex_hi,
                 )
             )
             self.plane.publish(scenario, graph, scale, epoch)

@@ -56,8 +56,10 @@ __all__ = [
     "CrashDrillError",
     "DrillReport",
     "FailoverReport",
+    "ShardKillReport",
     "run_crash_drill",
     "run_failover_drill",
+    "run_shard_kill_drill",
 ]
 
 #: per-exchange ceiling; far above any tiny/small-scale op
@@ -631,6 +633,247 @@ def run_failover_drill(
         parity=parity,
         replication=replication,
         orphans_after_kill=orphans_after_kill,
+        orphan_segments=list_orphan_segments(),
+        elapsed_s=time.monotonic() - t0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# shard kill drill: kill one shard's workers, then the fleet, recover per-WAL
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardKillReport:
+    """Outcome of one shard-fleet kill-and-recover drill."""
+
+    graph: str
+    n_shards: int
+    victim_shard: int
+    crash_at_epoch: int
+    acked_epoch: int
+    #: victim-shard worker processes SIGKILLed mid-serving (phase 1)
+    workers_killed: int
+    #: a query served through the worker kill (retry + pool restart)
+    served_through_kill: bool
+    #: victim shard's pool restarts observed after the worker kill
+    victim_pool_restarts: int
+    #: front-end epoch after the whole-fleet SIGKILL + restart (phase 2)
+    recovered_epoch: int = 0
+    #: shard id -> epoch that shard recovered from its own WAL
+    shard_epochs: dict[int, int] = field(default_factory=dict)
+    #: algorithm name -> digests matched the uninterrupted replay
+    parity: dict[str, bool] = field(default_factory=dict)
+    orphans_after_crash: int = 0
+    orphan_segments: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def lost_deltas(self) -> int:
+        return max(0, self.acked_epoch - self.recovered_epoch)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.recovered_epoch == self.acked_epoch
+            and all(
+                e == self.acked_epoch for e in self.shard_epochs.values()
+            )
+            and self.served_through_kill
+            and self.victim_pool_restarts >= 1
+            and bool(self.parity)
+            and all(self.parity.values())
+            and not self.orphan_segments
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"== shard kill drill: {self.n_shards} shards of {self.graph}, "
+            f"SIGKILL shard {self.victim_shard}'s workers at epoch "
+            f"{self.crash_at_epoch}, then the fleet; recover per-shard "
+            f"WALs ==",
+            f"acknowledged epoch {self.acked_epoch}  "
+            f"recovered epoch {self.recovered_epoch}  "
+            f"lost acknowledged deltas {self.lost_deltas}",
+            f"victim workers killed {self.workers_killed}  "
+            f"served through kill "
+            f"{'yes' if self.served_through_kill else 'NO'}  "
+            f"pool restarts {self.victim_pool_restarts}",
+            "per-shard recovered epochs: "
+            + "  ".join(
+                f"shard {i}={e}" for i, e in sorted(self.shard_epochs.items())
+            ),
+        ]
+        for algo, match in sorted(self.parity.items()):
+            lines.append(
+                f"  parity {algo:<8} {'ok' if match else 'MISMATCH'}"
+            )
+        lines.append(
+            f"shm segments: {self.orphans_after_crash} stranded by the "
+            f"kill, {len(self.orphan_segments)} orphaned at drill end"
+        )
+        if self.orphan_segments:
+            lines.append(f"  ORPHANS: {', '.join(self.orphan_segments)}")
+        lines.append(
+            f"verdict: {'PASS' if self.ok else 'FAIL'} "
+            f"({self.elapsed_s:.1f}s)"
+        )
+        return "\n".join(lines)
+
+
+def _query_with_retries(
+    proc: _ServeProcess, op: dict, attempts: int = 4, pause_s: float = 0.25
+) -> dict:
+    """Cooperative-client retry loop for a drill query.
+
+    A worker kill races the pool's broken-executor detection: the first
+    plan after the kill can fail terminally before the restart lands, so
+    the drill retries the query the way the load generator's client
+    would, instead of treating one raced attempt as the verdict.
+    """
+    resp: dict = {}
+    for _ in range(attempts):
+        resp = proc.request(op)
+        if resp.get("ok"):
+            return resp
+        time.sleep(pause_s)
+    return resp
+
+
+def run_shard_kill_drill(
+    wal_root: str,
+    n_shards: int = 2,
+    victim_shard: int = 0,
+    crash_at_epoch: int = 2,
+    graph: str = "PK",
+    scale: str = "tiny",
+    n_snapshots: int = 4,
+    workers: int = 1,
+    algos: list[str] | None = None,
+    source: int = 1,
+) -> ShardKillReport:
+    """Two-phase kill drill against a sharded ``serve --shards N`` child.
+
+    Phase 1 SIGKILLs every worker process of one shard while the fleet
+    is serving: the shard's pool must restart and the front end's plan
+    retry must serve the in-flight query anyway.  Phase 2 SIGKILLs the
+    whole serve child's session (taking down every shard's workers at
+    once, mid-stream), restarts it on the same ``--wal-dir`` root, and
+    asserts every shard recovered exactly the acknowledged epoch from
+    **its own** WAL directory — the all-fsync ack barrier means no shard
+    may come back short — plus query parity on every registry algorithm
+    against an uninterrupted replay.
+    """
+    if crash_at_epoch < 1:
+        raise ValueError("--shard-kill-at-epoch must be >= 1")
+    if n_shards < 2:
+        raise ValueError("the shard kill drill needs --shards >= 2")
+    if not 0 <= victim_shard < n_shards:
+        raise ValueError(f"victim shard must be in [0, {n_shards})")
+    algos = algos if algos else sorted(a.lower() for a in ALGORITHMS)
+    t0 = time.monotonic()
+    cli_args = [
+        "--scale", scale,
+        "--snapshots", str(n_snapshots),
+        "--workers", str(workers),
+        "--graphs", graph,
+        "--wal-dir", wal_root,
+        "--shards", str(n_shards),
+    ]
+
+    victim_proc = _ServeProcess(cli_args)
+    acked = 0
+    workers_killed = 0
+    served_through_kill = False
+    victim_pool_restarts = 0
+    try:
+        # warm the fleet first: the kill must land on populated worker
+        # caches and an exercised scatter path, not a blank service
+        victim_proc.request(
+            {"op": "query", "graph": graph, "algo": algos[0],
+             "source": source}
+        )
+        for k in range(1, crash_at_epoch + 1):
+            resp = victim_proc.request(
+                {"op": "ingest", "graph": graph, "seed": k}
+            )
+            if not resp.get("ok"):
+                raise CrashDrillError(f"ingest {k} refused: {resp}")
+            acked = int(resp["epoch"])
+
+        health = victim_proc.request({"op": "health"})
+        entries = {
+            e["shard"]: e
+            for e in health.get("sharding", {}).get("shards", [])
+        }
+        if victim_shard not in entries:
+            raise CrashDrillError(
+                f"health reports no shard {victim_shard}: {sorted(entries)}"
+            )
+        for pid in entries[victim_shard]["worker_pids"]:
+            try:
+                os.kill(pid, signal.SIGKILL)
+                workers_killed += 1
+            except ProcessLookupError:  # pragma: no cover - raced exit
+                pass
+        resp = _query_with_retries(
+            victim_proc,
+            {"op": "query", "graph": graph, "algo": algos[0],
+             "source": source},
+        )
+        served_through_kill = bool(resp.get("ok"))
+        health = victim_proc.request({"op": "health"})
+        for e in health.get("sharding", {}).get("shards", []):
+            if e["shard"] == victim_shard:
+                victim_pool_restarts = int(e["pool_restarts"])
+    finally:
+        # phase 2: SIGKILL the whole session right after the last ack —
+        # every shard dies mid-stream with its WAL as the only survivor
+        victim_proc.sigkill()
+    orphans_after_crash = len(list_orphan_segments())
+
+    survivor = _ServeProcess(cli_args)
+    try:
+        health = survivor.request({"op": "health"})
+        if not health.get("ok"):
+            raise CrashDrillError(f"health op failed: {health}")
+        recovered = int(health.get("epochs", {}).get(graph, 0))
+        shard_epochs = {
+            int(e["shard"]): int(e["epochs"].get(graph, 0))
+            for e in health.get("sharding", {}).get("shards", [])
+        }
+        reference = _reference_summaries(
+            graph, scale, n_snapshots, recovered, algos, source
+        )
+        parity: dict[str, bool] = {}
+        for algo_name in algos:
+            resp = survivor.request(
+                {"op": "query", "graph": graph, "algo": algo_name,
+                 "source": source}
+            )
+            parity[algo_name] = bool(
+                resp.get("ok")
+                and int(resp.get("epoch", -1)) == recovered
+                and _digests_match(
+                    resp.get("snapshots", []), reference[algo_name]
+                )
+            )
+    finally:
+        survivor.shutdown()
+
+    return ShardKillReport(
+        graph=graph,
+        n_shards=n_shards,
+        victim_shard=victim_shard,
+        crash_at_epoch=crash_at_epoch,
+        acked_epoch=acked,
+        workers_killed=workers_killed,
+        served_through_kill=served_through_kill,
+        victim_pool_restarts=victim_pool_restarts,
+        recovered_epoch=recovered,
+        shard_epochs=shard_epochs,
+        parity=parity,
+        orphans_after_crash=orphans_after_crash,
         orphan_segments=list_orphan_segments(),
         elapsed_s=time.monotonic() - t0,
     )

@@ -34,12 +34,15 @@ from repro.service.request import QueryRequest
 
 __all__ = ["LoadSpec", "BenchReport", "run_load"]
 
+#: 5: sharding fields — ``n_shards``, per-shard ``shards`` stats (role,
+#: WAL depth, shm generation), and a ``scatter`` block with global round
+#: count, scatter/gather stage latencies, and cross-shard frontier volume;
 #: 4: replication fields — ``redirects`` (ingests re-aimed at the primary
 #: after a ``not_primary`` refusal), ``role``, ``replication_lag_epochs``;
 #: 3: per-stage latency percentiles (``stage_latency_ms``), sampled span
 #: timelines (``traces``), optional ``round_profile``.  Every schema-3
 #: field is preserved.
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
 
 @dataclass
@@ -135,6 +138,18 @@ class BenchReport:
                 f"wal records {r['wal']['records']}  "
                 f"lag {r['wal']['lag_records']}  "
                 f"compactions {r['wal']['compactions']}"
+            )
+        if "n_shards" in r:
+            sc = r.get("scatter", {})
+            triples = sum(sc.get("frontier_triples", {}).values())
+            lines.append(
+                f"shards {r['n_shards']}  "
+                f"scatter rounds {sc.get('global_rounds', 0)}  "
+                f"frontier triples {triples}  "
+                f"scatter p.mean "
+                f"{sc.get('scatter_stage', {}).get('mean_ms', 0.0):.1f}ms  "
+                f"gather p.mean "
+                f"{sc.get('gather_stage', {}).get('mean_ms', 0.0):.1f}ms"
             )
         if r.get("role", "primary") != "primary":
             lines.append(
@@ -454,6 +469,15 @@ def run_load(
     }
     if round_profile.get("sections"):
         results["round_profile"] = round_profile
+    # sharded front ends expose per-shard health and scatter-gather stats;
+    # the plain service has neither attribute and the report omits both
+    manager = getattr(service, "manager", None)
+    if manager is not None:
+        results["n_shards"] = manager.n_shards
+        results["shards"] = manager.shard_health()
+    scatter_stats = getattr(service, "scatter_stats", None)
+    if scatter_stats is not None:
+        results["scatter"] = scatter_stats()
     workload = asdict(spec)
     workload["graphs"] = list(spec.graphs)
     workload["algos"] = list(spec.algos)

@@ -1,0 +1,27 @@
+"""Sharded scatter-gather serving: a partitioned evolving graph behind
+one front end.
+
+``ShardManager`` splits the graph into N vertex-owned shards — each a
+full :class:`~repro.service.core.QueryService` with its own worker pool,
+shm plane, and WAL directory — and routes ingest with an all-fsync ack
+barrier.  ``ScatterGatherFrontEnd`` serves queries as rounds of
+per-shard relaxation with cross-shard frontier exchange, bit-exact with
+the unsharded engine.  See docs/SERVICE.md §Sharding.
+"""
+
+from repro.service.sharding.frontend import ScatterGatherFrontEnd
+from repro.service.sharding.manager import ShardManager, merge_sub_deltas
+from repro.service.sharding.partial import (
+    ScatterOutput,
+    restrict_rows,
+    scatter_relax,
+)
+
+__all__ = [
+    "ScatterGatherFrontEnd",
+    "ScatterOutput",
+    "ShardManager",
+    "merge_sub_deltas",
+    "restrict_rows",
+    "scatter_relax",
+]

@@ -75,6 +75,30 @@ def test_partition_index_out_of_range(graph):
         p.vertex_range(2)
 
 
+def test_partition_of_rejects_out_of_range(graph):
+    p = VertexPartitioner(graph.indptr, 4)
+    with pytest.raises(ValueError, match=r"outside \[0, 256\)"):
+        p.partition_of(np.array([0, 5, 256]))
+    with pytest.raises(ValueError, match="-1"):
+        p.partition_of(-1)
+    with pytest.raises(ValueError):
+        p.partition_of(np.array([999, 1000]))
+
+
+def test_partition_of_scalar_in_scalar_out(graph):
+    p = VertexPartitioner(graph.indptr, 4)
+    got = p.partition_of(7)
+    assert isinstance(got, int)
+    lo, hi = p.vertex_range(got)
+    assert lo <= 7 < hi
+
+
+def test_partition_of_empty_array(graph):
+    p = VertexPartitioner(graph.indptr, 4)
+    out = p.partition_of(np.empty(0, dtype=np.int64))
+    assert out.size == 0
+
+
 def test_cross_fraction_bounds(graph):
     p = VertexPartitioner(graph.indptr, 4)
     f = p.cross_fraction(graph.src_of_edge, graph.dst)
