@@ -10,10 +10,13 @@ Usage::
     mega-repro serve --scale tiny --workers 4
     mega-repro serve --scale tiny --shards 4 --wal-dir /tmp/fleet
     mega-repro serve --follow /path/to/primary-wal --follower-id r2
+    mega-repro serve --cluster 3 --node-id node-0 --wal-dir /tmp/wal \
+        --ack-mode quorum:1
     mega-repro serve-bench --scale tiny --duration 5 --rate 50
     mega-repro serve-bench --failover-at-epoch 3
     mega-repro serve-bench --compare-shards 1,2,4 --ingest-every 0.5
     mega-repro serve-bench --shards 2 --shard-kill-at-epoch 2
+    mega-repro serve-bench --cluster 3 --chaos-kill 3
 """
 
 from __future__ import annotations
@@ -281,6 +284,33 @@ def _service_config(args: argparse.Namespace):
         ))
     if args.profile_rounds < 0:
         raise SystemExit(_fail_usage("--profile-rounds must be >= 0"))
+    from repro.service import parse_ack_mode
+
+    try:
+        mode, _needed = parse_ack_mode(args.ack_mode)
+    except ValueError as exc:
+        raise SystemExit(_fail_usage(str(exc))) from None
+    if mode == "quorum" and not (
+        args.wal_dir or getattr(args, "follow", None)
+    ):
+        raise SystemExit(_fail_usage(
+            "--ack-mode quorum:k needs replication: give the primary a "
+            "--wal-dir followers can tail"
+        ))
+    if args.quorum_timeout <= 0:
+        raise SystemExit(_fail_usage("--quorum-timeout must be > 0"))
+    cluster = getattr(args, "cluster", 0)
+    if cluster < 0 or cluster == 1:
+        raise SystemExit(_fail_usage(
+            "--cluster takes the group size (>= 2), or 0 to disable"
+        ))
+    if cluster and getattr(args, "shards", 1) > 1:
+        raise SystemExit(_fail_usage(
+            "--cluster and --shards are mutually exclusive: replication "
+            "groups are per-shard (run one cluster per shard WAL)"
+        ))
+    if getattr(args, "heartbeat_interval", 0.5) <= 0:
+        raise SystemExit(_fail_usage("--heartbeat-interval must be > 0"))
     return ServiceConfig(
         scale=args.scale,
         n_snapshots=args.snapshots,
@@ -297,6 +327,10 @@ def _service_config(args: argparse.Namespace):
         wal_compact_every=args.wal_compact_every,
         profile_rounds=args.profile_rounds,
         inject_fault=inject,
+        ack_mode=args.ack_mode,
+        quorum_timeout_s=args.quorum_timeout,
+        node_id=getattr(args, "node_id", "") or "",
+        cluster=cluster,
     )
 
 
@@ -314,6 +348,47 @@ def _sharded_service(config, n_shards: int):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import QueryService, serve_stdio
 
+    if args.cluster:
+        from repro.service import ClusterNode, ReplicaServer
+
+        config = _service_config(args)
+        try:
+            if args.follow:
+                # a follower member: tail the shared directory under a
+                # ticking supervisor that can elect itself
+                node_id = args.node_id or args.follower_id
+                replica = ReplicaServer(
+                    args.follow, config, follower_id=node_id
+                )
+                node = ClusterNode(
+                    args.follow, node_id,
+                    replica=replica,
+                    cluster_size=args.cluster,
+                    heartbeat_interval_s=args.heartbeat_interval,
+                )
+            else:
+                if not args.wal_dir:
+                    return _fail_usage(
+                        "--cluster primaries need --wal-dir: the shared "
+                        "WAL directory is the replication medium"
+                    )
+                node_id = args.node_id or "node-0"
+                node = ClusterNode(
+                    args.wal_dir, node_id,
+                    service=QueryService(config),
+                    cluster_size=args.cluster,
+                    heartbeat_interval_s=args.heartbeat_interval,
+                )
+        except ValueError as exc:  # bad --node-id / --follower-id
+            return _fail_usage(str(exc))
+        print(
+            f"[cluster member {node_id!r} of {args.cluster}: "
+            f"role={node.role} ack_mode={args.ack_mode} "
+            f"heartbeat={args.heartbeat_interval:g}s]",
+            file=sys.stderr,
+        )
+        # the node is the lifecycle bracket *and* the promote target
+        return serve_stdio(node.service, replica=node)
     if args.shards > 1:
         if args.follow:
             return _fail_usage(
@@ -338,11 +413,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 "--follow and --wal-dir are mutually exclusive: a follower "
                 "tails the primary's WAL and only owns one after promotion"
             )
-        replica = ReplicaServer(
-            args.follow,
-            _service_config(args),
-            follower_id=args.follower_id,
-        )
+        try:
+            replica = ReplicaServer(
+                args.follow,
+                _service_config(args),
+                follower_id=args.follower_id,
+            )
+        except ValueError as exc:  # a path-traversing --follower-id
+            return _fail_usage(str(exc))
         print(
             f"[following {args.follow} as {args.follower_id!r}: serving "
             f"reads, redirecting ingest; send {{\"op\": \"promote\"}} to "
@@ -428,6 +506,33 @@ def _cmd_shard_kill_drill(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_chaos_drill(args: argparse.Namespace) -> int:
+    import tempfile
+
+    from repro.service import run_chaos_kill_drill
+
+    wal_dir = args.wal_dir or tempfile.mkdtemp(prefix="mega-chaos-drill-")
+    graph = _parse_names(args.graphs)[0]
+    algos = [a.lower() for a in _parse_names(args.algos)]
+    report = run_chaos_kill_drill(
+        wal_dir,
+        cluster=args.cluster or 3,
+        kill_at_epoch=args.chaos_kill,
+        graph=graph,
+        scale=args.scale,
+        n_snapshots=args.snapshots,
+        workers=args.workers,
+        algos=algos,
+        load_duration_s=args.duration if args.duration > 0 else 15.0,
+    )
+    print(report.format_table())
+    if not args.no_out and args.out:
+        path = pathlib.Path(args.out)
+        path.write_text(report.to_json() + "\n")
+        print(f"[wrote {path}]")
+    return 0 if report.ok else 1
+
+
 def _parse_shard_counts(raw: str) -> list[int]:
     counts = []
     for part in raw.split(","):
@@ -461,11 +566,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         raise SystemExit(_fail_usage("--failover-at-epoch must be >= 0"))
     if args.shard_kill_at_epoch < 0:
         raise SystemExit(_fail_usage("--shard-kill-at-epoch must be >= 0"))
+    if args.chaos_kill < 0:
+        raise SystemExit(_fail_usage("--chaos-kill must be >= 0"))
     drills = [
         name for name, armed in [
             ("--crash-at-epoch", args.crash_at_epoch),
             ("--failover-at-epoch", args.failover_at_epoch),
             ("--shard-kill-at-epoch", args.shard_kill_at_epoch),
+            ("--chaos-kill", args.chaos_kill),
         ] if armed
     ]
     if len(drills) > 1:
@@ -478,6 +586,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         return _cmd_failover_drill(args)
     if args.shard_kill_at_epoch:
         return _cmd_shard_kill_drill(args)
+    if args.chaos_kill:
+        return _cmd_chaos_drill(args)
     write_out = not args.no_out and bool(args.out)
     if not args.out and not args.no_out:
         print(
@@ -972,6 +1082,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="sample engine kernel timings every N rounds inside "
             "workers (0 = off); aggregates land in the bench report",
         )
+        p.add_argument("--ack-mode", default="local",
+                       help="ingest ack durability: 'local' (fsync here) "
+                       "or 'quorum:k' (hold the ack until k followers "
+                       "report the epoch durable; times out into a "
+                       "degraded ack, never silent loss)")
+        p.add_argument("--quorum-timeout", type=float, default=5.0,
+                       metavar="S",
+                       help="seconds to hold a quorum ack before "
+                       "degrading it to local durability")
+        p.add_argument("--cluster", type=int, default=0, metavar="N",
+                       help="join an N-node self-healing replication "
+                       "group on the WAL directory: heartbeats, failure "
+                       "detection, automatic leader election (0 = off)")
+        p.add_argument("--node-id", default=None,
+                       help="this member's name in the cluster (beacons, "
+                       "fence claims, replication cursor)")
+        p.add_argument("--heartbeat-interval", type=float, default=0.5,
+                       metavar="S",
+                       help="cluster heartbeat beacon cadence in seconds")
 
     p_serve = sub.add_parser(
         "serve", help="JSON-lines query service on stdin/stdout"
@@ -1041,6 +1170,15 @@ def build_parser() -> argparse.ArgumentParser:
                          "restart it on the same --wal-dir root, and "
                          "assert every shard recovers exactly the acked "
                          "epoch from its own WAL plus query parity")
+    p_bench.add_argument("--chaos-kill", type=int, default=0,
+                         metavar="N",
+                         help="run the unattended cluster chaos drill "
+                         "instead of the load harness: a --cluster-sized "
+                         "replication group takes quorum-acked ingest, "
+                         "the primary is SIGKILLed after N acked epochs "
+                         "with no promotion driver, and the cluster must "
+                         "elect a new primary by itself with zero "
+                         "quorum-acked loss plus query parity")
     p_bench.add_argument("--compare-shards", default=None, metavar="N,M,...",
                          help="run the identical workload once per shard "
                          "count (e.g. 1,2,4) and report the q/s scaling "

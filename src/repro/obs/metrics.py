@@ -169,6 +169,12 @@ class _LabeledFamily:
             children = dict(self._children)
         return {key: child.get() for key, child in children.items()}
 
+    def discard(self, value) -> None:
+        """Drop one child series (a departed follower or shard must stop
+        exporting, not freeze at its last value forever)."""
+        with self._lock:
+            self._children.pop(str(value), None)
+
     def samples(self) -> list[tuple[str, float]]:
         with self._lock:
             children = sorted(self._children.items())

@@ -59,6 +59,11 @@ WAL_POINTS = (
 #: workload is a primary + follower pair replicating over a temp WAL dir
 REPLICA_POINTS = ("replica.stale-read", "replica.tail-gap")
 
+#: fault points in the cluster supervisor (repro.service.cluster); their
+#: workload is a manually-ticked primary + follower group on an injected
+#: clock, so suspicion and election rounds are deterministic
+CLUSTER_POINTS = ("cluster.heartbeat-drop", "cluster.split-fence")
+
 #: default watchdog for campaign trials — generous for the workloads the
 #: campaign runs, tight enough that a corrupted stream cannot hang it
 TRIAL_BUDGET = Budget(max_rounds=200_000, max_events=20_000_000,
@@ -429,6 +434,162 @@ def _replica_trial(
     return injected, detected, recovered, detail
 
 
+def _cluster_trial(
+    point: str, seed: int, skip: int, budget: Budget
+) -> tuple[bool, bool, bool, dict]:
+    """Drive a manually-ticked two-node cluster with ``point`` armed.
+
+    Both members run on a :class:`ManualClock`, so every suspicion value
+    and election round is deterministic.  ``cluster.heartbeat-drop``
+    eats one primary beacon: the follower's phi must *spike* (detected)
+    and the hysteresis must absorb the blip once beacons resume — no
+    election, suspicion back down (recovered).  ``cluster.split-fence``
+    kills the primary (it simply stops beating) and injects a rival
+    fence claim just before the elector's CAS: the elector must lose
+    cleanly (detected) and win the *next* token after its election
+    grace, promoting with every applied epoch intact (recovered).
+    Returns ``(injected, detected, recovered, detail)``.
+    """
+    from repro.service import QueryService, ServiceConfig
+    from repro.service.cluster import ClusterNode, ManualClock
+    from repro.service.replica import ReplicaServer
+
+    detail: dict = {}
+    interval = 0.1
+    clk = ManualClock()
+    plan = faults.FaultPlan([point], seed=seed, skip=skip)
+    with tempfile.TemporaryDirectory(prefix="mega-cluster-trial-") as root:
+        wal_dir = f"{root}/wal"
+        primary = QueryService(ServiceConfig(
+            scale="tiny", n_snapshots=4, workers=1, wal_dir=wal_dir,
+        )).start()
+        replica = ReplicaServer(
+            wal_dir,
+            ServiceConfig(scale="tiny", n_snapshots=4, workers=1),
+            follower_id="trial-follower",
+        )
+        drop = point == "cluster.heartbeat-drop"
+        pnode = ClusterNode(
+            wal_dir, "trial-primary",
+            service=primary,
+            cluster_size=2,
+            heartbeat_interval_s=interval,
+            clock=clk.now,
+        )
+        fnode = ClusterNode(
+            wal_dir, "trial-follower",
+            replica=replica,
+            cluster_size=2,
+            heartbeat_interval_s=interval,
+            fault_hook=None if drop else plan.maybe_fire,
+            clock=clk.now,
+        )
+        detected = recovered = False
+        try:
+            primary.ingest("PK", seed=1)
+            primary.ingest("PK", seed=2)
+            replica.start(tail_thread=False)
+            # priming rounds: the follower's EWMA learns the cadence and
+            # both sides see each other's beacons
+            for _ in range(6):
+                pnode.tick()
+                clk.advance(interval)
+                fnode.tick()
+                replica.poll_once()
+            if drop:
+                # arm only after priming: the drop must land on a beat
+                # the follower's learned cadence actually expects
+                pnode._fault_hook = plan.maybe_fire
+                injected, detected, recovered = _heartbeat_drop_rounds(
+                    plan, pnode, fnode, clk, interval, skip, detail
+                )
+                detail["primary_role"] = primary.role
+            else:
+                injected, detected, recovered = _split_fence_rounds(
+                    plan, pnode, fnode, clk, interval, detail
+                )
+                detail["replica_epoch"] = replica.service.epoch("PK")
+                detail["primary_epoch"] = primary.epoch("PK")
+                recovered = recovered and (
+                    replica.service.epoch("PK") == primary.epoch("PK")
+                )
+            for record in plan.fired:
+                detail.update(record.detail)
+        finally:
+            replica.stop(drain=False)
+            primary.stop(drain=False)
+    return injected, detected, recovered, detail
+
+
+def _heartbeat_drop_rounds(
+    plan, pnode, fnode, clk, interval: float, skip: int, detail: dict
+) -> tuple[bool, bool, bool]:
+    """Tick until the drop fires; assert spike-then-hysteresis."""
+    for _ in range(skip + 8):
+        pnode.tick()
+        if plan.fired:
+            break
+        clk.advance(interval)
+        fnode.tick()
+    if not plan.fired:
+        return False, False, False
+    # the eaten beat leaves a two-interval beacon gap: the follower's
+    # next observation lands near the end of it and phi must spike
+    clk.advance(interval * 1.9)
+    fnode.tick()
+    spike = fnode.monitor.suspicion("trial-primary")
+    detected = spike > 1.5
+    # beacons resume; the blip must be absorbed, never escalated
+    clk.advance(interval * 0.1)
+    for _ in range(6):
+        pnode.tick()
+        clk.advance(interval)
+        fnode.tick()
+    calm = fnode.monitor.suspicion("trial-primary")
+    detail.update(
+        suspicion_spike=round(spike, 3),
+        suspicion_after=round(calm, 3),
+        elections=fnode.elections,
+        heartbeats_dropped=pnode.heartbeats_dropped,
+    )
+    recovered = (
+        detected
+        and calm < spike
+        and not fnode.monitor.suspects()
+        and fnode.elections == 0
+        and pnode.role == "primary"
+    )
+    return True, detected, recovered
+
+
+def _split_fence_rounds(
+    plan, pnode, fnode, clk, interval: float, detail: dict
+) -> tuple[bool, bool, bool]:
+    """Primary goes dark; the elector must survive a burned CAS round."""
+    actions: list[str] = []
+    for _ in range(120):
+        clk.advance(interval)
+        actions.append(fnode.tick())
+        if actions[-1] == "promoted":
+            break
+    detail.update(
+        actions={a: actions.count(a) for a in sorted(set(actions))},
+        claims_lost=fnode.claims_lost,
+        elections=fnode.elections,
+        fence_token=fnode.replica.service._fencing_token()
+        if fnode.replica is not None else None,
+    )
+    injected = bool(plan.fired)
+    detected = injected and "claim-lost" in actions
+    recovered = (
+        detected
+        and "promoted" in actions
+        and fnode.role == "primary"
+        and fnode.elections == 1
+    )
+    return injected, detected, recovered
+
+
 def run_trial(
     scenario: EvolvingScenario,
     algorithm: Algorithm,
@@ -447,6 +608,21 @@ def run_trial(
     if point in WAL_POINTS:
         t0 = time.perf_counter()
         injected, detected, recovered, detail = _wal_trial(
+            point, seed, skip, budget
+        )
+        return TrialOutcome(
+            point=point,
+            injected=injected,
+            detected=detected,
+            recovered=recovered,
+            masked=False,
+            escaped=False,
+            elapsed=time.perf_counter() - t0,
+            detail=detail,
+        )
+    if point in CLUSTER_POINTS:
+        t0 = time.perf_counter()
+        injected, detected, recovered, detail = _cluster_trial(
             point, seed, skip, budget
         )
         return TrialOutcome(

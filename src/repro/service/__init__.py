@@ -21,10 +21,13 @@ Modules:
 * :mod:`repro.service.server`  — JSON-lines front end (``mega-repro serve``);
 * :mod:`repro.service.replica` — WAL-shipping read replicas: follower
   mode, promotion, fencing (``mega-repro serve --follow``);
+* :mod:`repro.service.cluster` — self-healing N-node replication group:
+  heartbeat failure detection, quorum acks, fence-CAS leader election
+  (``mega-repro serve --cluster N``);
 * :mod:`repro.service.loadgen` — load harness (``mega-repro serve-bench``);
-* :mod:`repro.service.drill`   — SIGKILL-and-recover, failover, and shard
-  kill drills (``serve-bench --crash-at-epoch`` / ``--failover-at-epoch``
-  / ``--shard-kill-at-epoch``);
+* :mod:`repro.service.drill`   — SIGKILL-and-recover, failover, shard
+  kill, and cluster chaos drills (``serve-bench --crash-at-epoch`` /
+  ``--failover-at-epoch`` / ``--shard-kill-at-epoch`` / ``--chaos-kill``);
 * :mod:`repro.service.sharding` — partitioned serving: per-shard pools,
   shm planes, and WALs behind one scatter-gather front end
   (``mega-repro serve --shards N``).
@@ -41,6 +44,11 @@ from repro.service.batcher import (
     split_expired,
 )
 from repro.service.cache import ResultCache
+from repro.service.cluster import (
+    CLUSTER_FAULT_POINTS,
+    ClusterNode,
+    HeartbeatMonitor,
+)
 from repro.service.core import (
     NotPrimaryError,
     QueryService,
@@ -48,11 +56,14 @@ from repro.service.core import (
     ServiceConfig,
     ServiceStats,
     SimulatedCrash,
+    parse_ack_mode,
 )
 from repro.service.drill import (
+    ChaosReport,
     DrillReport,
     FailoverReport,
     ShardKillReport,
+    run_chaos_kill_drill,
     run_crash_drill,
     run_failover_drill,
     run_shard_kill_drill,
@@ -80,14 +91,20 @@ from repro.service.wal import (
     read_follower_cursors,
     read_from,
     recover_wal,
+    safe_follower_id,
+    try_claim_fence,
 )
 
 __all__ = [
     "AdmissionQueue",
     "BenchReport",
+    "CLUSTER_FAULT_POINTS",
+    "ChaosReport",
+    "ClusterNode",
     "DeltaBatch",
     "DrillReport",
     "FailoverReport",
+    "HeartbeatMonitor",
     "LoadSpec",
     "NotPrimaryError",
     "PendingQuery",
@@ -118,15 +135,19 @@ __all__ = [
     "apply_delta",
     "coalesce",
     "current_fence_token",
+    "parse_ack_mode",
     "read_follower_cursors",
     "read_from",
     "recover_wal",
+    "run_chaos_kill_drill",
     "run_crash_drill",
     "run_failover_drill",
     "run_load",
     "run_shard_kill_drill",
+    "safe_follower_id",
     "serve_stdio",
     "split_expired",
     "synthesize_delta",
+    "try_claim_fence",
     "validate_request",
 ]

@@ -1,0 +1,42 @@
+"""Self-healing replication cluster supervision (PR 8).
+
+PR 6 shipped the primary/follower pair but left promotion to an external
+driver.  This package closes the loop so an N-node group survives a
+primary loss on its own:
+
+* :mod:`repro.service.cluster.heartbeat` — liveness beacons over small
+  files in the WAL root (the same transport as follower cursors) and a
+  :class:`HeartbeatMonitor` with phi-accrual-style suspicion, jittered
+  thresholds, and hysteresis;
+* :mod:`repro.service.cluster.supervisor` — the per-node
+  :class:`ClusterNode` brain: beat, observe, demote a fenced-out zombie
+  primary, and elect the most-caught-up live follower through the
+  ``fence.json`` compare-and-swap
+  (:func:`repro.service.wal.try_claim_fence`).
+
+Quorum acknowledgement of ingest (``ServiceConfig.ack_mode``) lives in
+:mod:`repro.service.core`; this package provides the failure detection
+and the leader hand-off around it.
+"""
+
+from repro.service.cluster.heartbeat import (
+    Beacon,
+    HeartbeatMonitor,
+    ManualClock,
+    read_beacons,
+    write_beacon,
+)
+from repro.service.cluster.supervisor import (
+    CLUSTER_FAULT_POINTS,
+    ClusterNode,
+)
+
+__all__ = [
+    "Beacon",
+    "CLUSTER_FAULT_POINTS",
+    "ClusterNode",
+    "HeartbeatMonitor",
+    "ManualClock",
+    "read_beacons",
+    "write_beacon",
+]

@@ -1,0 +1,284 @@
+"""Heartbeat beacons and the phi-accrual-style failure detector.
+
+Every cluster node publishes a small **beacon** file under
+``<wal>/heartbeats/`` — the same shared-directory transport the follower
+cursors already use, so no new channel is introduced.  A beacon carries
+liveness (a monotonically increasing ``seq``), the node's role, the
+fencing token it believes in, and its replication position/epochs (so
+electors can rank candidates without extra round trips).
+
+Detection is deliberately *not* a fixed timeout.  A slow fsync or a GC
+pause must not trigger a spurious failover, so the
+:class:`HeartbeatMonitor`:
+
+* learns each peer's arrival cadence with an EWMA of inter-beacon
+  intervals (the phi-accrual idea: suspicion is elapsed time *normalised
+  by the learned cadence*, not by a wall-clock constant);
+* jitters each observer's trigger threshold deterministically per
+  (observer, peer) pair, so N observers do not all declare death — and
+  start an election stampede — in the same tick;
+* applies hysteresis: suspicion must stay above the trigger threshold
+  for ``confirm_ticks`` consecutive observations to *confirm*, and only
+  drops back below ``clear_factor *`` threshold (or a fresh beacon)
+  clears it.  Between the two thresholds the previous verdict holds.
+
+The monitor takes an injectable ``clock`` so tests (and the fault
+campaign) can replay flapping scenarios deterministically —
+:class:`ManualClock` is the standard test double.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import logging
+import pathlib
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience.checkpoint import atomic_write
+from repro.service.wal import WalPosition, safe_follower_id
+
+__all__ = [
+    "Beacon",
+    "HEARTBEATS_DIR",
+    "HeartbeatMonitor",
+    "ManualClock",
+    "read_beacons",
+    "write_beacon",
+]
+
+log = logging.getLogger(__name__)
+
+HEARTBEATS_DIR = "heartbeats"
+
+
+class ManualClock:
+    """A hand-cranked monotonic clock for deterministic detector tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        self._now += float(dt)
+        return self._now
+
+
+@dataclass(frozen=True)
+class Beacon:
+    """One node's liveness + progress announcement."""
+
+    node_id: str
+    role: str
+    fence_token: int
+    position: WalPosition
+    epochs: dict[str, int]
+    seq: int
+    sent_unix: float
+
+    def progress_key(self) -> tuple[int, int, int]:
+        """Total order on replication progress, for candidate ranking."""
+        return (
+            sum(int(e) for e in self.epochs.values()),
+            self.position.segment,
+            self.position.offset,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "node_id": self.node_id,
+            "role": self.role,
+            "fence_token": int(self.fence_token),
+            "position": self.position.as_dict(),
+            "epochs": {g: int(e) for g, e in sorted(self.epochs.items())},
+            "seq": int(self.seq),
+            "sent_unix": float(self.sent_unix),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "Beacon":
+        return cls(
+            node_id=str(doc.get("node_id", "")),
+            role=str(doc.get("role", "")),
+            fence_token=int(doc.get("fence_token", 0)),
+            position=WalPosition.from_dict(doc.get("position", {})),
+            epochs={
+                str(g): int(e)
+                for g, e in (doc.get("epochs") or {}).items()
+            },
+            seq=int(doc.get("seq", 0)),
+            sent_unix=float(doc.get("sent_unix", 0.0)),
+        )
+
+
+def write_beacon(wal_dir: str | pathlib.Path, beacon: Beacon) -> None:
+    """Publish a node's beacon (atomic rename; liveness needs no fsync —
+    a lost beacon is indistinguishable from a late one and the detector
+    already tolerates both)."""
+    safe_follower_id(beacon.node_id)
+    beat_dir = pathlib.Path(wal_dir) / HEARTBEATS_DIR
+    beat_dir.mkdir(parents=True, exist_ok=True)
+    atomic_write(
+        beat_dir / f"{beacon.node_id}.json",
+        json.dumps(beacon.as_dict(), sort_keys=True),
+    )
+
+
+def read_beacons(wal_dir: str | pathlib.Path) -> dict[str, Beacon]:
+    """Every readable beacon in the WAL root (node id -> beacon)."""
+    beat_dir = pathlib.Path(wal_dir) / HEARTBEATS_DIR
+    if not beat_dir.is_dir():
+        return {}
+    out: dict[str, Beacon] = {}
+    for path in sorted(beat_dir.glob("*.json")):
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            log.warning("heartbeat beacon %s unreadable; skipped", path)
+            continue
+        beacon = Beacon.from_dict(doc)
+        if beacon.node_id:
+            out[beacon.node_id] = beacon
+    return out
+
+
+@dataclass
+class _Arrival:
+    """What one observer has learned about one peer's beacon cadence."""
+
+    seq: int = -1
+    changed_at: float = 0.0
+    ewma_s: float = 0.0
+    samples: int = 0
+
+
+class HeartbeatMonitor:
+    """Per-node failure detector over the beacon files.
+
+    ``observe()`` is the only sampling entry point: it reads the beacon
+    directory, updates cadence estimates and suspicion state, refreshes
+    the labeled suspicion gauges, and returns the beacons it saw.
+    """
+
+    def __init__(
+        self,
+        wal_dir: str | pathlib.Path,
+        node_id: str,
+        *,
+        interval_s: float = 0.1,
+        phi_threshold: float = 6.0,
+        confirm_ticks: int = 2,
+        clear_factor: float = 0.5,
+        jitter_frac: float = 0.2,
+        clock=time.monotonic,
+        registry=None,
+    ):
+        self.wal_dir = pathlib.Path(wal_dir)
+        self.node_id = safe_follower_id(node_id)
+        self.interval_s = float(interval_s)
+        self.phi_threshold = float(phi_threshold)
+        self.confirm_ticks = max(1, int(confirm_ticks))
+        self.clear_factor = float(clear_factor)
+        self.jitter_frac = float(jitter_frac)
+        self._clock = clock
+        self._started = float(clock())
+        self._arrivals: dict[str, _Arrival] = {}
+        self._streaks: dict[str, int] = {}
+        self._confirmed: set[str] = set()
+        self._gauge = None
+        if registry is not None:
+            self._gauge = registry.labeled_gauge(
+                "mega_cluster_suspicion",
+                "failure-detector suspicion per peer "
+                "(elapsed / learned beacon cadence; phi-accrual style)",
+                label="node",
+            )
+
+    # -- cadence / suspicion --------------------------------------------
+
+    def threshold_for(self, node_id: str) -> float:
+        """The trigger threshold this observer applies to ``node_id``.
+
+        Deterministically jittered per (observer, peer) so concurrent
+        observers confirm a death at slightly different times instead of
+        stampeding the fence CAS together.
+        """
+        digest = hashlib.sha256(
+            f"{self.node_id}\x00{node_id}".encode()
+        ).digest()
+        frac = digest[0] / 255.0
+        return self.phi_threshold * (1.0 + self.jitter_frac * frac)
+
+    def suspicion(self, node_id: str) -> float:
+        """Elapsed time since the peer's last *new* beacon, normalised by
+        its learned cadence (intervals-overdue; 0 while it keeps up)."""
+        arr = self._arrivals.get(node_id)
+        now = float(self._clock())
+        if arr is None:
+            # never seen: grow suspicion from monitor start, against the
+            # nominal cadence, so a peer that never comes up still trips
+            elapsed = now - self._started
+            return elapsed / max(self.interval_s, 1e-9)
+        mean = max(arr.ewma_s, 0.25 * self.interval_s)
+        return max(0.0, now - arr.changed_at) / mean
+
+    def confirmed_suspect(self, node_id: str) -> bool:
+        return node_id in self._confirmed
+
+    def suspects(self) -> list[str]:
+        return sorted(self._confirmed)
+
+    def observe(self) -> dict[str, Beacon]:
+        """Sample the beacon directory once and update detector state."""
+        beacons = read_beacons(self.wal_dir)
+        now = float(self._clock())
+        for node_id, beacon in beacons.items():
+            if node_id == self.node_id:
+                continue
+            arr = self._arrivals.get(node_id)
+            if arr is None:
+                self._arrivals[node_id] = _Arrival(
+                    seq=beacon.seq, changed_at=now,
+                    ewma_s=self.interval_s, samples=1,
+                )
+                continue
+            if beacon.seq != arr.seq:
+                gap = max(1e-9, now - arr.changed_at)
+                # one EWMA per peer: alpha 0.2 keeps ~the last dozen
+                # arrivals relevant without chasing a single hiccup
+                arr.ewma_s = (
+                    gap if arr.samples == 0
+                    else 0.8 * arr.ewma_s + 0.2 * gap
+                )
+                arr.seq = beacon.seq
+                arr.changed_at = now
+                arr.samples += 1
+                self._streaks[node_id] = 0
+                self._confirmed.discard(node_id)
+        for node_id in set(self._arrivals) | set(beacons):
+            if node_id == self.node_id:
+                continue
+            phi = self.suspicion(node_id)
+            threshold = self.threshold_for(node_id)
+            if phi >= threshold:
+                streak = self._streaks.get(node_id, 0) + 1
+                self._streaks[node_id] = streak
+                if streak >= self.confirm_ticks:
+                    if node_id not in self._confirmed:
+                        log.warning(
+                            "heartbeat: %s confirms %s suspect "
+                            "(phi %.1f >= %.1f for %d ticks)",
+                            self.node_id, node_id, phi, threshold, streak,
+                        )
+                    self._confirmed.add(node_id)
+            elif phi < threshold * self.clear_factor:
+                # hysteresis: only a clearly-live peer resets; suspicion
+                # hovering between the two thresholds keeps its verdict
+                self._streaks[node_id] = 0
+                self._confirmed.discard(node_id)
+            if self._gauge is not None:
+                self._gauge.labels(node_id).set(round(phi, 3))
+        return beacons

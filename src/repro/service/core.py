@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import itertools
 import logging
+import re
 import threading
 import time
 from dataclasses import dataclass
@@ -92,6 +93,7 @@ __all__ = [
     "ServiceStats",
     "SimulatedCrash",
     "QueryService",
+    "parse_ack_mode",
 ]
 
 log = logging.getLogger(__name__)
@@ -148,6 +150,31 @@ class ReplicationGapError(RuntimeError):
     """
 
 
+_ACK_MODE_RE = re.compile(r"quorum(?::(\d+)|\((\d+)\))")
+
+
+def parse_ack_mode(raw: str) -> tuple[str, int]:
+    """Parse ``ServiceConfig.ack_mode`` into ``(mode, k)``.
+
+    ``"local"`` -> ``("local", 0)``; ``"quorum:2"`` / ``"quorum(2)"`` ->
+    ``("quorum", 2)``.  Raises ``ValueError`` for anything else — a typo
+    in a durability knob must fail loudly at construction, not silently
+    weaken acks.
+    """
+    s = str(raw).strip().lower()
+    if s == "local":
+        return ("local", 0)
+    m = _ACK_MODE_RE.fullmatch(s)
+    if m is not None:
+        k = int(m.group(1) or m.group(2))
+        if k >= 1:
+            return ("quorum", k)
+    raise ValueError(
+        f"invalid ack_mode {raw!r}: expected 'local', 'quorum:k', or "
+        "'quorum(k)' with k >= 1"
+    )
+
+
 @dataclass
 class ServiceConfig:
     """Knobs for one service instance (CLI flags map 1:1)."""
@@ -184,6 +211,20 @@ class ServiceConfig:
     #: :class:`repro.service.sharding.ShardManager` fleet (-1 = not
     #: sharded); surfaces in health and shard-labeled metrics
     shard_id: int = -1
+    #: ingest acknowledgement policy: ``"local"`` acks after the local
+    #: WAL fsync (PR-6 behavior); ``"quorum:k"`` (or ``"quorum(k)"``)
+    #: additionally holds the ack until k followers report the epoch
+    #: durable in their acked-position cursors
+    ack_mode: str = "local"
+    #: how long a quorum ack may wait before degrading (the response is
+    #: marked ``degraded`` — never silent loss, never an unbounded stall)
+    quorum_timeout_s: float = 5.0
+    #: this node's id when supervised as a cluster member
+    #: (``serve --cluster N --node-id ...``); beacon/cursor file name
+    node_id: str = ""
+    #: expected cluster size, 0 = not cluster-supervised (informational:
+    #: surfaces in health; membership itself is whoever beacons)
+    cluster: int = 0
 
 
 #: counter name -> help text; the registry names are
@@ -206,6 +247,11 @@ _COUNTER_HELP = {
     "wal_compactions": "WAL compactions performed",
     "replicated": "delta batches applied from the primary's WAL (follower)",
     "not_primary": "ingests refused with a not_primary redirect",
+    "quorum_acks": "ingests acknowledged with the follower quorum met",
+    "degraded_acks": (
+        "quorum-mode ingests acknowledged degraded (quorum_timeout_s "
+        "elapsed before k followers reported the epoch durable)"
+    ),
     "missing_source": (
         "plan results lacking a query's source (resolved as errors, "
         "never cached)"
@@ -320,6 +366,18 @@ class QueryService:
         #: back-reference the owning ReplicaServer installs so health and
         #: metrics can report replication lag from the follower side
         self.replica = None
+        #: back-reference the cluster supervisor installs
+        #: (:class:`repro.service.cluster.ClusterNode`) so health can
+        #: report this node's cluster view
+        self.cluster_node = None
+        #: (mode, k) — parsed eagerly so a typo in the durability knob
+        #: fails at construction
+        self._ack = parse_ack_mode(self.config.ack_mode)
+        self._follower_lag_gauge = self.metrics.labeled_gauge(
+            "mega_replication_follower_lag_epochs",
+            "per-follower replication lag in epochs (primary side)",
+            label="follower",
+        )
         coord = [
             p for p in self.config.inject_fault
             if p in COORDINATOR_FAULT_POINTS
@@ -685,6 +743,36 @@ class QueryService:
         On a follower this raises :class:`NotPrimaryError` — writes have
         exactly one home, and the front end turns the refusal into a
         ``not_primary`` redirect the client can follow.
+
+        In quorum ack mode (``config.ack_mode = "quorum:k"``) the return
+        additionally waits for k followers — see :meth:`ingest_with_ack`
+        for the ack report; this convenience wrapper keeps the historical
+        bare-epoch return.
+        """
+        epoch, _ack = self.ingest_with_ack(
+            graph, delta=delta, seed=seed, n_add=n_add, n_del=n_del
+        )
+        return epoch
+
+    def ingest_with_ack(
+        self,
+        graph: str,
+        delta: DeltaBatch | None = None,
+        seed: int | None = None,
+        n_add: int = 8,
+        n_del: int = 8,
+    ) -> tuple[int, dict]:
+        """:meth:`ingest` plus the acknowledgement report.
+
+        The report states what the ack *means*: ``{"mode", "required",
+        "acked_by", "degraded", "wait_s"}``.  In local mode the epoch is
+        durable on this node's WAL only.  In quorum mode the return is
+        held (outside the graph lock — reads and other ingests are not
+        stalled) until ``required`` followers report the epoch durable in
+        their acked-position cursors, or ``quorum_timeout_s`` elapses —
+        then the ack is **degraded**: the epoch is locally durable and
+        will replicate, but the caller is told the quorum was not proven.
+        Never silent loss, never an unbounded stall.
         """
         if self.role != "primary":
             self.stats.inc("not_primary")
@@ -750,7 +838,54 @@ class QueryService:
         self.stats.inc("ingests")
         if compact_due:
             log.info("wal compacted after epoch %d of %s", epoch, graph)
-        return epoch
+        return epoch, self._await_quorum(graph, epoch)
+
+    def _await_quorum(self, graph: str, epoch: int) -> dict:
+        """Block until k followers report ``epoch`` durable, or time out.
+
+        Follower cursors (:func:`repro.service.wal.read_follower_cursors`)
+        are the acked-position reports: each is fsynced by the follower
+        *after* it applied the epoch, so an epoch listed there survived
+        onto that follower.  Runs outside ``_graphs_lock`` — a slow
+        follower delays this caller's ack, not the service.
+        """
+        mode, required = self._ack
+        ack = {
+            "mode": mode,
+            "required": required,
+            "acked_by": [],
+            "degraded": False,
+            "wait_s": 0.0,
+        }
+        if mode != "quorum" or self.wal is None:
+            return ack
+        t0 = time.monotonic()
+        deadline = t0 + max(0.0, self.config.quorum_timeout_s)
+        while True:
+            cursors = read_follower_cursors(self.wal.wal_dir)
+            acked = sorted(
+                fid for fid, doc in cursors.items()
+                if int((doc.get("epochs") or {}).get(graph, 0)) >= epoch
+            )
+            now = time.monotonic()
+            if len(acked) >= required:
+                ack.update(acked_by=acked, wait_s=round(now - t0, 6))
+                self.stats.inc("quorum_acks")
+                return ack
+            if now >= deadline:
+                ack.update(
+                    acked_by=acked, degraded=True,
+                    wait_s=round(now - t0, 6),
+                )
+                self.stats.inc("degraded_acks")
+                log.warning(
+                    "quorum ack degraded: %s epoch %d has %d/%d follower "
+                    "acks after %.2fs (epoch is locally durable and will "
+                    "replicate)",
+                    graph, epoch, len(acked), required, now - t0,
+                )
+                return ack
+            time.sleep(0.003)
 
     def apply_replicated(self, graph: str, epoch: int, delta_wire: dict) -> bool:
         """Apply one epoch shipped from the primary's WAL (follower path).
@@ -908,6 +1043,13 @@ class QueryService:
                 (epochs.get(g, 0) - int(applied.get(g, 0)) for g in epochs),
                 default=0,
             )
+        # refresh the labeled gauge family in the same sweep: one series
+        # per follower, and a departed follower's series is dropped, not
+        # frozen at its last value
+        for follower_id, lag in out.items():
+            self._follower_lag_gauge.labels(follower_id).set(lag)
+        for stale in set(self._follower_lag_gauge.get()) - set(out):
+            self._follower_lag_gauge.discard(stale)
         return out
 
     def _fencing_token(self) -> int:
@@ -967,6 +1109,7 @@ class QueryService:
         replication = {
             "role": self.role,
             "fencing_token": self._fencing_token(),
+            "ack_mode": self.config.ack_mode,
             "replication_lag_epochs": (
                 self.replica.lag_epochs() if self.replica is not None
                 else max(follower_lags.values(), default=0)
@@ -1002,6 +1145,8 @@ class QueryService:
         }
         if self.config.shard_id >= 0:
             out["shard_id"] = self.config.shard_id
+        if self.cluster_node is not None:
+            out["cluster"] = self.cluster_node.health()
         return out
 
     # -- batcher thread ----------------------------------------------------

@@ -32,6 +32,21 @@ every registry algorithm against an uninterrupted replay (including
 epochs ingested *after* promotion), the zombie append detected and
 quarantined (never applied), and zero orphaned shm segments.
 
+**Chaos kill drill** (``serve-bench --chaos-kill N``,
+:func:`run_chaos_kill_drill`): the fully unattended version of the
+failover drill.  An N-node replication cluster — the primary as a
+``serve --cluster N`` subprocess, the followers as in-process
+:class:`~repro.service.cluster.ClusterNode` supervisors — takes
+quorum-acked ingest from a redirect-following load generator, and the
+primary is SIGKILLed mid-stream with **no promotion driver anywhere**:
+the followers' heartbeat detectors must confirm the death, the
+most-caught-up follower must win the fence CAS and promote itself, the
+load writer must re-resolve onto the elected primary, and the surviving
+follower must re-target it.  Asserted: zero quorum-acked epoch loss
+across the election, post-election ingest progress, survivor
+convergence, and parity on every registry algorithm against an
+uninterrupted replay of the full seeded chain.
+
 Subprocess plumbing: the child's stdout goes to a temp *file*, not a
 pipe — a pipe that fills while the parent is blocked elsewhere deadlocks
 teardown — and every response read polls that file under an explicit
@@ -46,6 +61,7 @@ import signal
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -53,10 +69,12 @@ from repro.algorithms import ALGORITHMS, get_algorithm
 from repro.service.shm import list_orphan_segments
 
 __all__ = [
+    "ChaosReport",
     "CrashDrillError",
     "DrillReport",
     "FailoverReport",
     "ShardKillReport",
+    "run_chaos_kill_drill",
     "run_crash_drill",
     "run_failover_drill",
     "run_shard_kill_drill",
@@ -144,6 +162,9 @@ class _ServeProcess:
         )
         self._writer = os.fdopen(fd, "w")
         self._reader = open(self._out_path, "r")
+        # the chaos drill's load writer and its supervisor share one
+        # child: requests must not interleave on the stdin pipe
+        self._lock = threading.Lock()
         # own session/process group: a SIGKILL drill must take down the
         # child's forked pool workers too, not orphan them onto init
         self.proc = subprocess.Popen(
@@ -159,8 +180,12 @@ class _ServeProcess:
         """Next complete response line, polling the output file."""
         deadline = time.monotonic() + timeout
         while True:
-            mark = self._reader.tell()
-            line = self._reader.readline()
+            try:
+                mark = self._reader.tell()
+                line = self._reader.readline()
+            except ValueError:
+                # a concurrent sigkill() closed our file mid-read
+                raise CrashDrillError("serve process killed mid-read")
             if line.endswith("\n"):
                 return line
             # partial line (child mid-write) or nothing yet: rewind
@@ -174,19 +199,23 @@ class _ServeProcess:
             time.sleep(0.01)
 
     def request(self, op: dict, timeout: float = OP_TIMEOUT_S) -> dict:
-        if self.proc.poll() is not None:
-            raise CrashDrillError(
-                f"serve process exited early (rc={self.proc.returncode})"
-            )
-        self.proc.stdin.write(json.dumps(op) + "\n")
-        self.proc.stdin.flush()
-        line = self._read_line(timeout)
-        if not line:
-            raise CrashDrillError(
-                "serve process closed stdout mid-session "
-                f"(rc={self.proc.poll()})"
-            )
-        return json.loads(line)
+        with self._lock:
+            if self.proc.poll() is not None:
+                raise CrashDrillError(
+                    f"serve process exited early (rc={self.proc.returncode})"
+                )
+            try:
+                self.proc.stdin.write(json.dumps(op) + "\n")
+                self.proc.stdin.flush()
+            except (OSError, ValueError):
+                raise CrashDrillError("serve process pipe closed")
+            line = self._read_line(timeout)
+            if not line:
+                raise CrashDrillError(
+                    "serve process closed stdout mid-session "
+                    f"(rc={self.proc.poll()})"
+                )
+            return json.loads(line)
 
     def _close_files(self) -> None:
         for fh in (self._writer, self._reader):
@@ -874,6 +903,477 @@ def run_shard_kill_drill(
         shard_epochs=shard_epochs,
         parity=parity,
         orphans_after_crash=orphans_after_crash,
+        orphan_segments=list_orphan_segments(),
+        elapsed_s=time.monotonic() - t0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# chaos kill drill: SIGKILL the cluster primary, the cluster heals itself
+# ---------------------------------------------------------------------------
+
+
+class _StdioPrimary:
+    """Resolver target wrapping the serve subprocess for the load writer.
+
+    Quacks like a primary for :func:`~repro.service.loadgen.run_load`'s
+    redirect-following writer: ``ingest`` raises when the child refuses
+    or is dead (the writer treats an unexplained death as
+    *maybe-applied* and dedups against the successor), and ``epoch``
+    answers the survived-write probe from the health op.
+    """
+
+    def __init__(self, proc: _ServeProcess) -> None:
+        self._proc = proc
+
+    @property
+    def alive(self) -> bool:
+        return self._proc.proc.poll() is None
+
+    def ingest(
+        self, graph: str, seed: int | None = None,
+        n_add: int = 8, n_del: int = 8,
+    ) -> int:
+        op = {"op": "ingest", "graph": graph, "n_add": n_add, "n_del": n_del}
+        if seed is not None:
+            op["seed"] = int(seed)
+        resp = self._proc.request(op)
+        if not resp.get("ok"):
+            raise CrashDrillError(f"subprocess primary refused: {resp}")
+        return int(resp["epoch"])
+
+    def epoch(self, graph: str) -> int:
+        resp = self._proc.request({"op": "health"})
+        return int(resp.get("epochs", {}).get(graph, 0))
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of one unattended cluster chaos-kill drill."""
+
+    graph: str
+    cluster: int
+    kill_at_epoch: int
+    #: last phase-1 epoch whose quorum ack was *proven* (not degraded)
+    quorum_acked_epoch: int = 0
+    #: phase-1 acks that timed out into local-durability degradation
+    degraded_acks: int = 0
+    #: most caught-up follower's applied epoch at the instant of the
+    #: kill — the durability floor every quorum:1-acked epoch sits under
+    quorum_floor: int = 0
+    elected_node: str = ""
+    #: seconds from SIGKILL to a self-elected primary (no driver)
+    election_s: float = 0.0
+    #: elected primary's epoch right after promotion
+    elected_epoch: int = 0
+    old_fence_token: int = 0
+    new_fence_token: int = 0
+    final_epoch: int = 0
+    #: epochs the cluster ingested after the kill (writer kept writing)
+    post_kill_ingests: int = 0
+    #: writer target changes across the election (from the bench report)
+    failovers: int = 0
+    redirects: int = 0
+    #: the load run errored or its writer gave up mid-election
+    load_degraded: bool = True
+    survivor_node: str = ""
+    survivor_epoch: int = 0
+    #: which node the survivor believes is primary after re-targeting
+    survivor_primary_view: str = ""
+    parity: dict[str, bool] = field(default_factory=dict)
+    cluster_health: dict = field(default_factory=dict)
+    orphans_after_kill: int = 0
+    orphan_segments: list[str] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    @property
+    def lost_quorum_acked(self) -> int:
+        return max(0, self.quorum_floor - self.elected_epoch)
+
+    @property
+    def ok(self) -> bool:
+        survivor_ok = self.cluster < 3 or (
+            self.survivor_epoch == self.final_epoch
+            and self.survivor_primary_view == self.elected_node
+        )
+        return (
+            bool(self.elected_node)
+            and self.lost_quorum_acked == 0
+            and self.degraded_acks == 0
+            and self.new_fence_token > self.old_fence_token
+            and self.failovers >= 1
+            and self.post_kill_ingests >= 1
+            and not self.load_degraded
+            and survivor_ok
+            and bool(self.parity)
+            and all(self.parity.values())
+            and not self.orphan_segments
+        )
+
+    def to_json(self) -> str:
+        from repro.service.loadgen import BENCH_SCHEMA_VERSION
+
+        return json.dumps(
+            {
+                "bench": "service",
+                "schema_version": BENCH_SCHEMA_VERSION,
+                "drill": "chaos-kill",
+                "graph": self.graph,
+                "cluster": self.cluster,
+                "kill_at_epoch": self.kill_at_epoch,
+                "results": {
+                    "ok": self.ok,
+                    "quorum_acked_epoch": self.quorum_acked_epoch,
+                    "degraded_acks": self.degraded_acks,
+                    "quorum_floor": self.quorum_floor,
+                    "lost_quorum_acked": self.lost_quorum_acked,
+                    "elected_node": self.elected_node,
+                    "election_s": round(self.election_s, 3),
+                    "elected_epoch": self.elected_epoch,
+                    "old_fence_token": self.old_fence_token,
+                    "new_fence_token": self.new_fence_token,
+                    "final_epoch": self.final_epoch,
+                    "post_kill_ingests": self.post_kill_ingests,
+                    "failovers": self.failovers,
+                    "redirects": self.redirects,
+                    "load_degraded": self.load_degraded,
+                    "survivor_node": self.survivor_node,
+                    "survivor_epoch": self.survivor_epoch,
+                    "survivor_primary_view": self.survivor_primary_view,
+                    "parity": dict(sorted(self.parity.items())),
+                    "cluster_health": self.cluster_health,
+                    "orphans_after_kill": self.orphans_after_kill,
+                    "orphan_segments": self.orphan_segments,
+                    "elapsed_s": round(self.elapsed_s, 3),
+                },
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def format_table(self) -> str:
+        lines = [
+            f"== chaos kill drill: {self.cluster}-node cluster of "
+            f"{self.graph}, SIGKILL the primary at epoch "
+            f"{self.kill_at_epoch}, unattended election ==",
+            f"quorum-acked epoch {self.quorum_acked_epoch}  "
+            f"degraded acks {self.degraded_acks}  "
+            f"quorum floor at kill {self.quorum_floor}",
+            f"elected {self.elected_node or 'NOBODY'} in "
+            f"{self.election_s:.2f}s at epoch {self.elected_epoch}  "
+            f"lost quorum-acked epochs {self.lost_quorum_acked}",
+            f"fencing token {self.old_fence_token} -> "
+            f"{self.new_fence_token}  post-kill ingests "
+            f"{self.post_kill_ingests}  final epoch {self.final_epoch}",
+            f"writer: failovers {self.failovers}  redirects "
+            f"{self.redirects}  "
+            f"{'DEGRADED' if self.load_degraded else 'clean'}",
+            f"survivor {self.survivor_node or '-'}: epoch "
+            f"{self.survivor_epoch}, sees primary "
+            f"{self.survivor_primary_view or '-'}",
+        ]
+        for algo, match in sorted(self.parity.items()):
+            lines.append(
+                f"  parity {algo:<8} {'ok' if match else 'MISMATCH'}"
+            )
+        lines.append(
+            f"shm segments: {self.orphans_after_kill} stranded by the "
+            f"kill, {len(self.orphan_segments)} orphaned at drill end"
+        )
+        if self.orphan_segments:
+            lines.append(f"  ORPHANS: {', '.join(self.orphan_segments)}")
+        lines.append(
+            f"verdict: {'PASS' if self.ok else 'FAIL'} "
+            f"({self.elapsed_s:.1f}s)"
+        )
+        return "\n".join(lines)
+
+
+def run_chaos_kill_drill(
+    wal_dir: str,
+    cluster: int = 3,
+    kill_at_epoch: int = 3,
+    graph: str = "PK",
+    scale: str = "tiny",
+    n_snapshots: int = 4,
+    workers: int = 1,
+    algos: list[str] | None = None,
+    source: int = 1,
+    heartbeat_interval_s: float = 0.1,
+    load_duration_s: float = 15.0,
+    election_timeout_s: float = 60.0,
+    catchup_timeout_s: float = 60.0,
+) -> ChaosReport:
+    """SIGKILL the cluster primary under live quorum-acked load and let
+    the cluster heal itself — **nothing in this drill calls promote()**.
+
+    The primary is a ``mega-repro serve --cluster N`` subprocess on
+    ``wal_dir`` answering ingests at ``--ack-mode quorum:1``; the other
+    ``N - 1`` nodes are in-process followers, each a
+    :class:`~repro.service.replica.ReplicaServer` under a ticking
+    :class:`~repro.service.cluster.ClusterNode`.  Phase 1 ingests
+    ``kill_at_epoch`` seeded epochs and requires every ack to be a
+    proven quorum ack.  Phase 2 starts an open-loop load whose writer
+    follows redirects through :func:`~repro.service.loadgen.run_load`'s
+    ``resolve_primary`` hook, waits until post-phase-1 epochs are
+    visibly replicating, samples the quorum durability floor, and
+    SIGKILLs the child mid-stream.  Phase 3 just *waits*: heartbeat
+    suspicion must confirm the death, exactly one follower must win the
+    fence CAS and promote, the writer must land its in-flight ingest on
+    the new primary without forking the seeded chain, and the surviving
+    follower must re-target.  Parity runs every requested algorithm
+    against an uninterrupted replay of seeds ``1..final_epoch``.
+    """
+    from repro.service.cluster import ClusterNode
+    from repro.service.core import ServiceConfig
+    from repro.service.loadgen import LoadSpec, run_load
+    from repro.service.replica import ReplicaServer
+    from repro.service.request import QueryRequest
+    from repro.service.wal import current_fence_token, recover_wal
+
+    if cluster < 2:
+        raise ValueError("--chaos-kill needs a cluster of >= 2 nodes")
+    if kill_at_epoch < 1:
+        raise ValueError("--chaos-kill must be >= 1")
+    algos = algos if algos else sorted(a.lower() for a in ALGORITHMS)
+    t0 = time.monotonic()
+    cli_args = [
+        "--scale", scale,
+        "--snapshots", str(n_snapshots),
+        "--workers", str(workers),
+        "--graphs", graph,
+        "--wal-dir", wal_dir,
+        "--cluster", str(cluster),
+        "--node-id", "node-0",
+        "--ack-mode", "quorum:1",
+        "--quorum-timeout", "30",
+        "--heartbeat-interval", str(heartbeat_interval_s),
+    ]
+
+    primary = _ServeProcess(cli_args)
+    nodes: list[ClusterNode] = []
+    replicas: list[ReplicaServer] = []
+    try:
+        # a real query first so the kill lands on a warmed primary
+        primary.request(
+            {"op": "query", "graph": graph, "algo": algos[0],
+             "source": source}
+        )
+        old_token = current_fence_token(wal_dir)
+        for i in range(1, cluster):
+            replica = ReplicaServer(
+                wal_dir,
+                ServiceConfig(
+                    scale=scale, n_snapshots=n_snapshots, workers=workers,
+                    ack_mode="quorum:1", quorum_timeout_s=30.0,
+                ),
+                follower_id=f"node-{i}",
+            ).start()
+            replicas.append(replica)
+            node = ClusterNode(
+                wal_dir, f"node-{i}",
+                replica=replica,
+                cluster_size=cluster,
+                heartbeat_interval_s=heartbeat_interval_s,
+            ).start()
+            nodes.append(node)
+
+        # phase 1: controlled ingests — every ack must be a *proven*
+        # quorum ack (a degrade here means replication is not live and
+        # the whole premise of the kill is void)
+        quorum_acked = 0
+        degraded_acks = 0
+        for k in range(1, kill_at_epoch + 1):
+            resp = primary.request(
+                {"op": "ingest", "graph": graph, "seed": k}
+            )
+            if not resp.get("ok"):
+                raise CrashDrillError(f"ingest {k} refused: {resp}")
+            ack = resp.get("ack", {})
+            if ack.get("mode") != "quorum":
+                raise CrashDrillError(
+                    f"expected a quorum ack for epoch {k}, got {ack}"
+                )
+            if ack.get("degraded"):
+                degraded_acks += 1
+            else:
+                quorum_acked = int(resp["epoch"])
+        acked = kill_at_epoch
+
+        deadline = time.monotonic() + catchup_timeout_s
+        while any(r.service.epoch(graph) < acked for r in replicas):
+            if time.monotonic() >= deadline:
+                raise CrashDrillError(
+                    "followers stuck behind the phase-1 epochs: "
+                    + str([r.service.epoch(graph) for r in replicas])
+                )
+            time.sleep(0.01)
+
+        # phase 2: open-loop load; the writer's resolver prefers an
+        # elected in-process primary and falls back to the live child
+        stdio_target = _StdioPrimary(primary)
+
+        def _resolve():
+            for node in nodes:
+                if node.role == "primary":
+                    return node.service
+            return stdio_target if stdio_target.alive else None
+
+        spec = LoadSpec(
+            duration_s=load_duration_s,
+            rate_qps=5.0,
+            # the writer's seeds continue the phase-1 chain (seed+1, ...)
+            seed=kill_at_epoch,
+            graphs=(graph,),
+            algos=(algos[0],),
+            ingest_every_s=0.2,
+            max_retries=3,
+        )
+        load_box: dict = {}
+
+        def _load() -> None:
+            try:
+                load_box["report"] = run_load(
+                    replicas[0].service, spec, resolve_primary=_resolve
+                )
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                load_box["error"] = exc
+
+        load_thread = threading.Thread(
+            target=_load, name="chaos-load", daemon=True
+        )
+        load_thread.start()
+
+        # wait until the writer's post-phase-1 ingests are visibly
+        # replicating, so the kill lands mid-stream, not in a lull
+        deadline = time.monotonic() + catchup_timeout_s
+        while max(r.service.epoch(graph) for r in replicas) <= acked:
+            if "error" in load_box:
+                raise CrashDrillError(
+                    f"load failed before the kill: {load_box['error']!r}"
+                )
+            if time.monotonic() >= deadline:
+                raise CrashDrillError(
+                    "the writer's ingests never replicated before the kill"
+                )
+            time.sleep(0.01)
+
+        # the durability floor: every quorum:1-acked epoch is <= the
+        # most caught-up follower's applied epoch at the kill instant
+        quorum_floor = max(r.service.epoch(graph) for r in replicas)
+        primary.sigkill()
+        kill_t = time.monotonic()
+        orphans_after_kill = len(list_orphan_segments())
+
+        # phase 3: unattended election — this loop only *watches*
+        elected = None
+        deadline = kill_t + election_timeout_s
+        while elected is None:
+            for node in nodes:
+                if node.role == "primary":
+                    elected = node
+                    break
+            if elected is None:
+                if time.monotonic() >= deadline:
+                    raise CrashDrillError(
+                        f"no follower elected itself within "
+                        f"{election_timeout_s:.0f}s of the kill"
+                    )
+                time.sleep(0.01)
+        election_s = time.monotonic() - kill_t
+        elected_epoch = elected.service.epoch(graph)
+        new_token = current_fence_token(wal_dir)
+
+        load_thread.join(
+            timeout=load_duration_s + spec.drain_timeout_s + 120.0
+        )
+        if load_thread.is_alive():
+            raise CrashDrillError("load generator wedged after the election")
+        load_degraded = True
+        failovers = redirects = 0
+        if "report" in load_box:
+            bench = load_box["report"]
+            load_degraded = bench.degraded
+            failovers = int(bench.results.get("failovers", 0))
+            redirects = int(bench.results.get("redirects", 0))
+
+        final_epoch = elected.service.epoch(graph)
+
+        # the surviving follower re-targets the elected primary and
+        # converges on its epoch
+        survivors = [n for n in nodes if n is not elected]
+        survivor_node = survivors[0].node_id if survivors else ""
+        survivor_epoch = final_epoch
+        survivor_view = elected.node_id if not survivors else ""
+        if survivors:
+            s = survivors[0]
+            deadline = time.monotonic() + catchup_timeout_s
+            while time.monotonic() < deadline:
+                survivor_epoch = s.service.epoch(graph)
+                survivor_view = s.primary_node_id or ""
+                if (
+                    survivor_epoch >= final_epoch
+                    and survivor_view == elected.node_id
+                ):
+                    break
+                time.sleep(0.05)
+
+        # parity: the writer's failover dedup keeps the seeded chain
+        # contiguous, so an uninterrupted replay of seeds
+        # 1..final_epoch is the exact reference for every algorithm
+        reference = _reference_summaries(
+            graph, scale, n_snapshots, final_epoch, algos, source
+        )
+        parity: dict[str, bool] = {}
+        for algo_name in algos:
+            handle = elected.service.submit(
+                QueryRequest(graph=graph, algo=algo_name, source=source)
+            )
+            resp = handle.wait(timeout=OP_TIMEOUT_S)
+            parity[algo_name] = bool(
+                resp is not None
+                and resp.ok
+                and resp.epoch == final_epoch
+                and _digests_match(
+                    [s.as_dict() for s in resp.summaries],
+                    reference[algo_name],
+                )
+            )
+        cluster_health = elected.health()
+    finally:
+        primary.sigkill()
+        for node in nodes:
+            node.stop()
+        for replica in replicas:
+            try:
+                replica.stop()
+            except Exception:  # noqa: BLE001 - teardown must finish
+                log_note = True  # noqa: F841 - best-effort teardown
+    cluster_health["final_recovery"] = recover_wal(wal_dir).summary()
+
+    return ChaosReport(
+        graph=graph,
+        cluster=cluster,
+        kill_at_epoch=kill_at_epoch,
+        quorum_acked_epoch=quorum_acked,
+        degraded_acks=degraded_acks,
+        quorum_floor=quorum_floor,
+        elected_node=elected.node_id,
+        election_s=election_s,
+        elected_epoch=elected_epoch,
+        old_fence_token=old_token,
+        new_fence_token=new_token,
+        final_epoch=final_epoch,
+        post_kill_ingests=max(0, final_epoch - quorum_floor),
+        failovers=failovers,
+        redirects=redirects,
+        load_degraded=load_degraded,
+        survivor_node=survivor_node,
+        survivor_epoch=survivor_epoch,
+        survivor_primary_view=survivor_view,
+        parity=parity,
+        cluster_health=cluster_health,
+        orphans_after_kill=orphans_after_kill,
         orphan_segments=list_orphan_segments(),
         elapsed_s=time.monotonic() - t0,
     )

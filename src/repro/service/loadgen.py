@@ -34,6 +34,9 @@ from repro.service.request import QueryRequest
 
 __all__ = ["LoadSpec", "BenchReport", "run_load"]
 
+#: 6: cluster fields — ``failovers`` (writer re-resolutions of the
+#: primary after its target died mid-run, i.e. ingest survived a leader
+#: election) next to the schema-4 ``redirects``;
 #: 5: sharding fields — ``n_shards``, per-shard ``shards`` stats (role,
 #: WAL depth, shm generation), and a ``scatter`` block with global round
 #: count, scatter/gather stage latencies, and cross-shard frontier volume;
@@ -42,7 +45,7 @@ __all__ = ["LoadSpec", "BenchReport", "run_load"]
 #: 3: per-stage latency percentiles (``stage_latency_ms``), sampled span
 #: timelines (``traces``), optional ``round_profile``.  Every schema-3
 #: field is preserved.
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
 
 
 @dataclass
@@ -75,6 +78,10 @@ class LoadSpec:
     drain_timeout_s: float = 60.0
     #: embed this many per-query span timelines in the report (0 = none)
     trace_sample: int = 0
+    #: how long a writer keeps re-resolving the primary after its ingest
+    #: target dies mid-run (a leader election in progress) before giving
+    #: up — the redirect-following client's patience window
+    failover_grace_s: float = 30.0
 
 
 @dataclass
@@ -119,7 +126,8 @@ class BenchReport:
             f"cached {r['cached']}  errored {r['errored']}  "
             f"rejected {r['rejected']}",
             f"shed {r['shed']}  client retries {r['client_retries']}  "
-            f"gave up {r['gave_up']}  redirects {r.get('redirects', 0)}",
+            f"gave up {r['gave_up']}  redirects {r.get('redirects', 0)}  "
+            f"failovers {r.get('failovers', 0)}",
             f"throughput {r['throughput_qps']:.1f} q/s  "
             f"(offered {r['offered_qps']:.1f} q/s "
             f"over {r['duration_s']:.1f}s)",
@@ -286,6 +294,7 @@ def run_load(
     service: QueryService,
     spec: LoadSpec,
     primary: QueryService | None = None,
+    resolve_primary=None,
 ) -> BenchReport:
     """Drive ``service`` with ``spec``; both must already be configured.
 
@@ -297,6 +306,19 @@ def run_load(
     cooperative-client posture as the shed/reject retry loop) and is
     re-sent there, counted under ``redirects`` in the report.  Without a
     target the refusal propagates.
+
+    ``resolve_primary`` generalizes the static target across a leader
+    election: a zero-argument callable returning the current ingest
+    target (anything with ``.ingest``; ``None`` = no primary known yet).
+    When the writer's target dies mid-ingest it keeps re-resolving for
+    up to ``spec.failover_grace_s`` — each change of target counts as a
+    ``failover`` in the report — and, because the in-flight write may
+    have landed on the dead primary's WAL and survived onto its elected
+    successor, it consults the new target's ``epoch`` before re-sending:
+    an epoch past the writer's last confirmed one means the write made
+    it, and re-sending would fork the seeded delta chain.  (That dedup
+    assumes this writer is the only ingest client, which is exactly the
+    drill/bench harness topology.)
     """
     cfg = service.config
     rng = np.random.default_rng(spec.seed)
@@ -315,12 +337,88 @@ def run_load(
     # understate read throughput in exactly the follower topology the
     # redirect path exists for
     redirects = 0
+    failovers = 0
     write_errors: list[BaseException] = []
     stop_writes = threading.Event()
     writer_rng = np.random.default_rng(spec.seed + 0xD00D)
+    #: per-graph epoch of this writer's last confirmed ingest — the dedup
+    #: baseline for failover re-sends (single-writer assumption)
+    confirmed: dict[str, int] = {}
+    #: the writer's current remote target, for failover counting
+    target: list = [None]
+
+    def _acquire_target():
+        if resolve_primary is not None:
+            try:
+                return resolve_primary()
+            except Exception:  # noqa: BLE001 - no primary known right now
+                return None
+        return primary
+
+    def _send(graph: str, seed: int) -> bool:
+        """One logical ingest: local, else redirect, else follow the
+        failover until a new primary answers or the grace runs out."""
+        nonlocal redirects, failovers
+        try:
+            confirmed[graph] = service.ingest(
+                graph, seed=seed,
+                n_add=spec.ingest_edges, n_del=spec.ingest_edges,
+            )
+            return True
+        except NotPrimaryError:
+            if primary is None and resolve_primary is None:
+                raise
+        base = confirmed.get(graph)
+        if base is None:
+            # no confirmed write yet: the follower's applied epoch is the
+            # best available baseline for survived-write detection
+            base = service.epoch(graph)
+        maybe_applied = False
+        deadline = time.monotonic() + max(spec.failover_grace_s, 0.0)
+        while time.monotonic() < deadline:
+            nxt = _acquire_target()
+            if nxt is None:
+                time.sleep(0.02)
+                continue
+            if target[0] is not None and nxt is not target[0]:
+                failovers += 1
+            target[0] = nxt
+            if maybe_applied:
+                # our last attempt died mid-flight; if the (possibly new)
+                # primary already carries an epoch past our baseline, the
+                # write survived the failover — re-sending would fork the
+                # seeded chain
+                epoch_of = getattr(nxt, "epoch", None)
+                if epoch_of is not None:
+                    try:
+                        cur = int(epoch_of(graph))
+                    except Exception:  # noqa: BLE001 - target flapping
+                        time.sleep(0.02)
+                        continue
+                    if cur > base:
+                        confirmed[graph] = cur
+                        return True
+            # cooperative redirect: brief jittered backoff, then re-aim
+            time.sleep(
+                min(spec.retry_base_s, 0.05)
+                * (0.5 + float(writer_rng.random()))
+            )
+            try:
+                epoch = nxt.ingest(
+                    graph, seed=seed,
+                    n_add=spec.ingest_edges, n_del=spec.ingest_edges,
+                )
+            except NotPrimaryError:
+                continue  # stale target (demoted since): re-resolve
+            except Exception:  # noqa: BLE001 - target died mid-send
+                maybe_applied = True
+                continue
+            redirects += 1
+            confirmed[graph] = int(epoch)
+            return True
+        return False
 
     def _writer() -> None:
-        nonlocal redirects
         seed = spec.seed
         writes = 0
         next_due = spec.ingest_every_s
@@ -332,25 +430,11 @@ def run_load(
             graph = spec.graphs[writes % len(spec.graphs)]
             writes += 1
             try:
-                try:
-                    service.ingest(
-                        graph, seed=seed,
-                        n_add=spec.ingest_edges, n_del=spec.ingest_edges,
+                if not _send(graph, seed):
+                    raise TimeoutError(
+                        f"no primary accepted {graph} seed {seed} within "
+                        f"the {spec.failover_grace_s:.1f}s failover grace"
                     )
-                except NotPrimaryError:
-                    if primary is None:
-                        raise
-                    # cooperative redirect: brief jittered backoff, then
-                    # re-aim the write at the primary
-                    time.sleep(
-                        min(spec.retry_base_s, 0.05)
-                        * (0.5 + float(writer_rng.random()))
-                    )
-                    primary.ingest(
-                        graph, seed=seed,
-                        n_add=spec.ingest_edges, n_del=spec.ingest_edges,
-                    )
-                    redirects += 1
             except BaseException as exc:  # noqa: BLE001 - rethrown below
                 write_errors.append(exc)
                 return
@@ -443,6 +527,7 @@ def run_load(
         "retries": stats["retries"],
         "ingests": stats["ingests"],
         "redirects": redirects,
+        "failovers": failovers,
         "role": service.role,
         "replication_lag_epochs": (
             service.replica.lag_epochs()

@@ -70,6 +70,7 @@ from repro.service.wal import (
     drop_follower_cursor,
     read_from,
     read_snapshot,
+    safe_follower_id,
     write_follower_cursor,
 )
 
@@ -113,16 +114,28 @@ class ReplicaServer:
         follower_id: str = "replica-1",
         poll_interval_s: float = 0.05,
         fault_hook: Callable[[str], Fire | None] | None = None,
+        service: QueryService | None = None,
     ) -> None:
         self.primary_wal_dir = pathlib.Path(primary_wal_dir)
-        self.follower_id = follower_id
+        # the id becomes a file name under <wal>/followers/ — reject
+        # anything that could traverse out of that directory
+        self.follower_id = safe_follower_id(follower_id)
         self.poll_interval_s = float(poll_interval_s)
         self._maybe_fire = fault_hook if fault_hook is not None else maybe_fire
-        self.service = QueryService(config)
+        # a demoted primary re-enters follower mode with its service (and
+        # worker pool, caches, front end) intact; fresh followers build
+        # their own
+        self.service = service if service is not None else QueryService(config)
         self.service.role = "follower"
         self.service.primary_wal_dir = str(self.primary_wal_dir)
         self.service.replica = self
         self._lock = threading.Lock()
+        #: serializes whole replication units — a re-sync, one poll's
+        #: apply, a promotion — so ``promote()`` can never run against a
+        #: half-installed snapshot (it waits for the in-flight re-sync to
+        #: finish and then proceeds from consistent state)
+        self._repl_lock = threading.RLock()
+        self.resync_in_progress = False
         self._position = WalPosition()
         #: highest primary epoch per graph this replica has *observed* in
         #: the stream (applied or not) — the basis of self-reported lag
@@ -181,26 +194,34 @@ class ReplicaServer:
         a gap in the stream — record-by-record resume would interpolate
         across missing epochs and break the prefix contract.
         """
-        snapshot = read_snapshot(self.primary_wal_dir)
-        tail = read_from(self.primary_wal_dir)
-        with self._lock:
-            self.fenced_skipped += tail.fenced
-            self.tail_warnings += len(tail.warnings)
-        recovery = WalRecovery(snapshot=snapshot, records=tail.records)
-        self.service._install_recovery(recovery)
-        graphs = set((snapshot or {}).get("logs", {}))
-        graphs.update(
-            r.get("graph", "") for r in tail.records if r.get("op") == "ingest"
-        )
-        for graph in graphs:
-            self.service.cache.invalidate_graph(graph)
-            epoch = self.service.epoch(graph)
-            with self._lock:
-                if epoch > self._seen_epochs.get(graph, 0):
-                    self._seen_epochs[graph] = epoch
-        with self._lock:
-            self._position = tail.position
-            self.resyncs += 1
+        with self._repl_lock:
+            self.resync_in_progress = True
+            try:
+                snapshot = read_snapshot(self.primary_wal_dir)
+                tail = read_from(self.primary_wal_dir)
+                with self._lock:
+                    self.fenced_skipped += tail.fenced
+                    self.tail_warnings += len(tail.warnings)
+                recovery = WalRecovery(
+                    snapshot=snapshot, records=tail.records
+                )
+                self.service._install_recovery(recovery)
+                graphs = set((snapshot or {}).get("logs", {}))
+                graphs.update(
+                    r.get("graph", "")
+                    for r in tail.records if r.get("op") == "ingest"
+                )
+                for graph in graphs:
+                    self.service.cache.invalidate_graph(graph)
+                    epoch = self.service.epoch(graph)
+                    with self._lock:
+                        if epoch > self._seen_epochs.get(graph, 0):
+                            self._seen_epochs[graph] = epoch
+                with self._lock:
+                    self._position = tail.position
+                    self.resyncs += 1
+            finally:
+                self.resync_in_progress = False
         self._write_cursor()
         log.info(
             "replica %s: re-synced to %s (resync #%d)",
@@ -215,6 +236,10 @@ class ReplicaServer:
         """
         if self.promoted:
             return 0
+        with self._repl_lock:
+            return self._poll_locked()
+
+    def _poll_locked(self) -> int:
         with self._lock:
             position = self._position
         tail = read_from(self.primary_wal_dir, position)
@@ -292,6 +317,11 @@ class ReplicaServer:
 
     # -- observability ------------------------------------------------------
 
+    def position(self) -> WalPosition:
+        """The replication cursor (frozen, so safe to hand out)."""
+        with self._lock:
+            return self._position
+
     def lag_epochs(self) -> int:
         """Epochs this replica trails the primary tip it has observed."""
         applied = self._applied_epochs()
@@ -310,6 +340,7 @@ class ReplicaServer:
             "primary_wal_dir": str(self.primary_wal_dir),
             "cursor": position.as_dict(),
             "resyncs": self.resyncs,
+            "resync_in_progress": self.resync_in_progress,
             "fenced_skipped": self.fenced_skipped,
             "tail_warnings": self.tail_warnings,
             "promoted": self.promoted,
@@ -317,7 +348,7 @@ class ReplicaServer:
 
     # -- failover -----------------------------------------------------------
 
-    def promote(self) -> int:
+    def promote(self, claimed_token: int | None = None) -> int:
         """Become the primary: catch up, fence the old role, accept ingest.
 
         1. stop the tailer and replay to the WAL tip (an in-progress tail
@@ -333,10 +364,24 @@ class ReplicaServer:
 
         Returns the new fencing token.  Idempotent: a second call returns
         the token already held.
+
+        ``claimed_token`` is the election path: the cluster supervisor
+        already won the fence CAS (:func:`~repro.service.wal
+        .try_claim_fence`), so the token is adopted instead of advanced —
+        advancing again would burn a token with no owner.
+
+        Serialized against the tailer via the replication lock: a
+        promotion that lands during an in-flight wholesale re-sync waits
+        for the re-sync to complete rather than fencing and serving from
+        a partially-installed snapshot.
         """
         if self.promoted:
             return self.service.wal.fence_token if self.service.wal else 0
         self._stop_tailer()
+        with self._repl_lock:
+            return self._promote_locked(claimed_token)
+
+    def _promote_locked(self, claimed_token: int | None) -> int:
         # final catch-up, bypassing the fault hooks: promotion must land
         # on the true tip even mid-campaign
         while True:
@@ -370,7 +415,10 @@ class ReplicaServer:
             self._resync()
         with self._lock:
             position = self._position
-        token = advance_fence(self.primary_wal_dir, position)
+        if claimed_token is None:
+            token = advance_fence(self.primary_wal_dir, position)
+        else:
+            token = int(claimed_token)
         # the dead primary cannot unlink its own shm segments; as the new
         # owner of the serving role we reclaim them before publishing
         sweep_orphan_segments()

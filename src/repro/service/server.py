@@ -132,9 +132,11 @@ class ServiceFrontend:
                 delta = DeltaBatch.from_lists(
                     message.get("adds", []), message.get("dels", [])
                 )
-                epoch = self.service.ingest(graph, delta=delta)
+                epoch, ack = self.service.ingest_with_ack(
+                    graph, delta=delta
+                )
             else:
-                epoch = self.service.ingest(
+                epoch, ack = self.service.ingest_with_ack(
                     graph,
                     seed=int(message.get("seed", 0)),
                     n_add=int(message.get("n_add", 8)),
@@ -150,7 +152,9 @@ class ServiceFrontend:
                 "primary_wal_dir": exc.primary_wal_dir,
                 "detail": str(exc),
             }
-        return {"ok": True, "graph": graph, "epoch": epoch}
+        # the ack block tells the client what the ack *means* (quorum
+        # proven, or degraded to local durability after the timeout)
+        return {"ok": True, "graph": graph, "epoch": epoch, "ack": ack}
 
     def _op_stats(self, message: dict) -> dict:
         return {"ok": True, "stats": self.service.service_stats()}

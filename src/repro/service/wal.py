@@ -66,7 +66,9 @@ import json
 import logging
 import os
 import pathlib
+import re
 import struct
+import threading
 import time
 import zlib
 from dataclasses import dataclass, field
@@ -91,6 +93,8 @@ __all__ = [
     "read_from",
     "read_snapshot",
     "recover_wal",
+    "safe_follower_id",
+    "try_claim_fence",
     "write_follower_cursor",
 ]
 
@@ -202,21 +206,29 @@ def current_fence_token(wal_dir: str | pathlib.Path) -> int:
     return fences[-1].token if fences else 0
 
 
-def advance_fence(
-    wal_dir: str | pathlib.Path, position: WalPosition
-) -> int:
-    """Record the next fencing token as of ``position``; returns it.
+def _atomic_write_sync(path: pathlib.Path, text: str) -> None:
+    """``atomic_write`` plus an fsync before the rename.
 
-    Called on first primary start (token 1 at the empty tip) and on every
-    promotion.  Any record a staler writer appends at or beyond
-    ``position`` is quarantined by every subsequent read.
+    Fence history and follower acked-position reports are durability
+    statements — a quorum ack or an election claim must survive a power
+    cut — so unlike plain checkpoints they flush before publishing.  The
+    tmp name carries the pid AND thread id: racing electors (a CAS
+    winner publishing while a loser rolls an orphan forward — they write
+    identical content) may share a process, and must never interleave
+    bytes in, or rename away, each other's tmp file.
     """
-    wal_dir = pathlib.Path(wal_dir)
-    wal_dir.mkdir(parents=True, exist_ok=True)
-    fences = read_fences(wal_dir)
-    token = (fences[-1].token + 1) if fences else 1
-    fences.append(FenceEvent(token, position.segment, position.offset))
-    atomic_write(
+    tmp = path.with_name(
+        f"{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    )
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _write_fences(wal_dir: pathlib.Path, fences: list[FenceEvent]) -> None:
+    _atomic_write_sync(
         _fence_path(wal_dir),
         json.dumps(
             {
@@ -229,6 +241,93 @@ def advance_fence(
             sort_keys=True,
         ),
     )
+
+
+def advance_fence(
+    wal_dir: str | pathlib.Path, position: WalPosition
+) -> int:
+    """Record the next fencing token as of ``position``; returns it.
+
+    Called on first primary start (token 1 at the empty tip) and on every
+    promotion.  Any record a staler writer appends at or beyond
+    ``position`` is quarantined by every subsequent read.
+
+    This is an unconditional read-modify-write for the single-promoter
+    paths (manual promotion, first start).  Racing electors must use
+    :func:`try_claim_fence`, which turns the advance into a CAS.
+    """
+    wal_dir = pathlib.Path(wal_dir)
+    wal_dir.mkdir(parents=True, exist_ok=True)
+    fences = read_fences(wal_dir)
+    token = (fences[-1].token + 1) if fences else 1
+    fences.append(FenceEvent(token, position.segment, position.offset))
+    _write_fences(wal_dir, fences)
+    return token
+
+
+def _claim_path(wal_dir: pathlib.Path, token: int) -> pathlib.Path:
+    return wal_dir / f"fence.claim-{token:08d}"
+
+
+def try_claim_fence(
+    wal_dir: str | pathlib.Path,
+    position: WalPosition,
+    expected_token: int,
+) -> int | None:
+    """Compare-and-swap the fence: advance it iff it is still at
+    ``expected_token``.  Returns the claimed token, or None if the CAS
+    lost (someone else already advanced past ``expected_token``).
+
+    The swap is arbitrated by an exclusive-create marker file
+    (``fence.claim-<token>``): among any number of racing electors that
+    read the same ``expected_token``, exactly one ``O_CREAT | O_EXCL``
+    succeeds — the filesystem picks the winner, no consensus protocol
+    needed.  The winner then appends the :class:`FenceEvent` to
+    ``fence.json`` exactly like :func:`advance_fence`.
+
+    A winner that dies between claiming the marker and publishing
+    ``fence.json`` would wedge the token forever, so a loser that finds
+    an orphaned marker (claim exists but the fence history never caught
+    up) rolls the fence forward on the dead winner's behalf — it still
+    returns None (it did not win; the rolled-forward token has no live
+    owner and the next CAS round claims the one after it).
+    """
+    wal_dir = pathlib.Path(wal_dir)
+    wal_dir.mkdir(parents=True, exist_ok=True)
+    fences = read_fences(wal_dir)
+    current = fences[-1].token if fences else 0
+    if current != expected_token:
+        return None
+    token = expected_token + 1
+    claim = _claim_path(wal_dir, token)
+    event = FenceEvent(token, position.segment, position.offset)
+    try:
+        fd = os.open(claim, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        try:
+            doc = json.loads(claim.read_text())
+            orphan = FenceEvent(
+                int(doc["token"]), int(doc["segment"]), int(doc["offset"])
+            )
+        except (OSError, ValueError, KeyError):
+            orphan = None
+        if orphan is not None and current_fence_token(wal_dir) < orphan.token:
+            log.warning(
+                "wal fence: rolling forward orphaned claim for token %d",
+                orphan.token,
+            )
+            _write_fences(wal_dir, fences + [orphan])
+        return None
+    with os.fdopen(fd, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(
+            {"token": token, "segment": position.segment,
+             "offset": position.offset},
+            sort_keys=True,
+        ))
+        fh.flush()
+        os.fsync(fh.fileno())
+    fences.append(event)
+    _write_fences(wal_dir, fences)
     return token
 
 
@@ -271,6 +370,27 @@ def _snapshot_wal_stamp(wal_dir: pathlib.Path) -> dict:
 
 FOLLOWERS_DIR = "followers"
 
+#: follower/node ids become file names under the WAL root — one flat
+#: alphabet, no separators, no leading dot, so ``--follower-id ../x``
+#: cannot escape ``<wal>/followers/``
+_FOLLOWER_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+def safe_follower_id(follower_id: str) -> str:
+    """Validate a follower/node id destined for a path component.
+
+    Returns the id unchanged, or raises ``ValueError`` for anything that
+    could traverse out of the cursor directory (path separators, ``..``
+    components, leading dots, empty or oversized ids).
+    """
+    fid = str(follower_id)
+    if not _FOLLOWER_ID_RE.match(fid) or ".." in fid:
+        raise ValueError(
+            f"invalid follower id {fid!r}: ids must be 1-64 chars of "
+            "[A-Za-z0-9._-], start alphanumeric, and contain no '..'"
+        )
+    return fid
+
 
 def write_follower_cursor(
     wal_dir: str | pathlib.Path,
@@ -284,10 +404,16 @@ def write_follower_cursor(
     scans them to report per-follower replication lag in ``health`` and
     the metrics render, and a restarted follower resumes from its own
     cursor instead of a full re-sync.
+
+    The cursor doubles as the follower's **acked-position report**: the
+    quorum-ack path (:meth:`repro.service.core.QueryService.ingest`)
+    counts an epoch as follower-durable exactly when it appears in the
+    cursor's ``epochs`` map, so the write is fsynced before publication.
     """
+    follower_id = safe_follower_id(follower_id)
     cursor_dir = pathlib.Path(wal_dir) / FOLLOWERS_DIR
     cursor_dir.mkdir(parents=True, exist_ok=True)
-    atomic_write(
+    _atomic_write_sync(
         cursor_dir / f"{follower_id}.json",
         json.dumps(
             {
@@ -327,6 +453,7 @@ def drop_follower_cursor(
     wal_dir: str | pathlib.Path, follower_id: str
 ) -> None:
     """Remove a follower's cursor (promotion: it is not a follower now)."""
+    follower_id = safe_follower_id(follower_id)
     path = pathlib.Path(wal_dir) / FOLLOWERS_DIR / f"{follower_id}.json"
     try:
         path.unlink()

@@ -329,7 +329,11 @@ def test_serve_stdio_protocol_and_exit_codes():
     assert rc == 0
     assert lines[0]["ok"] and lines[0]["status"] == "ok"
     assert lines[1]["ok"] and len(lines[1]["responses"]) == 2
-    assert lines[2] == {"ok": True, "graph": "PK", "epoch": 1}
+    # the ingest response always names its durability level (ack block)
+    assert lines[2]["ok"] and lines[2]["graph"] == "PK"
+    assert lines[2]["epoch"] == 1
+    assert lines[2]["ack"]["mode"] == "local"
+    assert not lines[2]["ack"]["degraded"]
     assert lines[3]["ok"] and lines[3]["epoch"] == 1
     assert lines[4]["stats"]["ingests"] == 1
     assert not lines[5]["ok"] and "unknown op" in lines[5]["error"]
