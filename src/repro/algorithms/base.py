@@ -36,6 +36,13 @@ class Algorithm(abc.ABC):
     source_value: float = 0.0
     #: Whether the edge function reads the edge weight.
     uses_weights: bool = True
+    #: Name of this algorithm's edge function in the compiled kernel
+    #: tier (see ``repro.perf.backend.OPS``), or None to always use the
+    #: vectorized numpy round path.  Only set it when :meth:`candidate`
+    #: is exactly that IEEE-754 double expression AND the class keeps the
+    #: default strict-comparison ``better``/``scatter_reduce`` semantics
+    #: — the compiled round fuses all three.
+    kernel_op: str | None = None
 
     @abc.abstractmethod
     def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:

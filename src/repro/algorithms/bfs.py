@@ -21,6 +21,7 @@ class BFS(Algorithm):
     identity = np.inf
     source_value = 0.0
     uses_weights = False
+    kernel_op = "plus_one"
 
     def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:
         return val_u + 1.0

@@ -22,6 +22,7 @@ class SSNP(Algorithm):
     minimize = True
     identity = np.inf
     source_value = 0.0
+    kernel_op = "max_wt"
 
     def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:
         return np.maximum(val_u, wt)

@@ -19,6 +19,7 @@ class SSSP(Algorithm):
     minimize = True
     identity = np.inf
     source_value = 0.0
+    kernel_op = "plus_wt"
 
     def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:
         return val_u + wt

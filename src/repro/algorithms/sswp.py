@@ -21,6 +21,7 @@ class SSWP(Algorithm):
     minimize = False
     identity = 0.0
     source_value = np.inf
+    kernel_op = "min_wt"
 
     def candidate(self, val_u: np.ndarray, wt: np.ndarray) -> np.ndarray:
         return np.minimum(val_u, wt)

@@ -19,6 +19,7 @@ class Viterbi(Algorithm):
     minimize = False
     identity = 0.0
     source_value = 1.0
+    kernel_op = "div_wt"
 
     def candidate(self, val_u, wt):
         return val_u / wt

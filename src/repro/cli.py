@@ -284,6 +284,12 @@ def _service_config(args: argparse.Namespace):
         ))
     if args.profile_rounds < 0:
         raise SystemExit(_fail_usage("--profile-rounds must be >= 0"))
+    if args.kernel_backend not in ("", "auto", "numpy", "compiled",
+                                   "numba", "cext"):
+        raise SystemExit(_fail_usage(
+            f"invalid --kernel-backend {args.kernel_backend!r}: expected "
+            "auto|numpy|compiled|numba|cext"
+        ))
     from repro.service import parse_ack_mode
 
     try:
@@ -326,6 +332,7 @@ def _service_config(args: argparse.Namespace):
         wal_fsync=args.wal_fsync,
         wal_compact_every=args.wal_compact_every,
         profile_rounds=args.profile_rounds,
+        kernel_backend=args.kernel_backend,
         inject_fault=inject,
         ack_mode=args.ack_mode,
         quorum_timeout_s=args.quorum_timeout,
@@ -915,6 +922,7 @@ def _cmd_bench_kernels(args: argparse.Namespace) -> int:
         n_sources=args.sources,
         iters=args.iters,
         seed=args.seed,
+        compare_backends=args.compare_backends,
     )
     print(report.format_table())
     if not args.no_out and args.out:
@@ -1082,6 +1090,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="sample engine kernel timings every N rounds inside "
             "workers (0 = off); aggregates land in the bench report",
         )
+        p.add_argument(
+            "--kernel-backend", default="",
+            metavar="TIER",
+            help="kernel tier pool workers must resolve: auto (default; "
+            "best available), numpy (reference), compiled (require "
+            "numba or the C extension), numba, cext.  Workers report "
+            "the resolved tier in health and mega_kernel_backend",
+        )
         p.add_argument("--ack-mode", default="local",
                        help="ingest ack durability: 'local' (fsync here) "
                        "or 'quorum:k' (hold the ack until k followers "
@@ -1209,6 +1225,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_kern.add_argument("--iters", type=int, default=20,
                         help="timed iterations per kernel")
     p_kern.add_argument("--seed", type=int, default=0)
+    p_kern.add_argument("--compare-backends", action="store_true",
+                        help="additionally time each backend-dispatched "
+                        "kernel under numpy AND the compiled tier, with "
+                        "bit-identical parity gates between the legs")
     p_kern.add_argument("--out", default="BENCH_kernels.json",
                         help="write the JSON report here")
     p_kern.add_argument("--no-out", action="store_true",

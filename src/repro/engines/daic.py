@@ -27,9 +27,38 @@ from repro.engines.trace import RoundTrace, TraceCollector
 from repro.evolving.unified_csr import UnifiedCSR
 from repro.graph.csr import gather_out_edges
 from repro.obs.profile import active_profiler
+from repro.perf.backend import OPS, get_backend
 from repro.resilience.budget import Budget, BudgetClock
 
 __all__ = ["MultiVersionEngine", "group_argbest"]
+
+
+def _sorted_unique(a: np.ndarray) -> np.ndarray:
+    """``np.unique`` of an already-sorted array without the sort.
+
+    The engine's edge gathers are ascending by construction (sorted
+    frontiers over a monotone ``indptr``), so uniquing their derived
+    block ids is a run-boundary scan; the guard keeps correctness for
+    any caller that violates the precondition.
+    """
+    if a.shape[0] <= 1:
+        return a.copy()
+    keep = np.empty(a.shape[0], dtype=bool)
+    keep[0] = True
+    np.not_equal(a[1:], a[:-1], out=keep[1:])
+    if np.any(a[1:] < a[:-1]):  # pragma: no cover - defensive
+        return np.unique(a)
+    return a[keep]
+
+
+def _unique_vertices(idx: np.ndarray, n: int) -> np.ndarray:
+    """Sorted unique vertex ids via a bounded bincount (no hash/sort).
+
+    Bit-identical to ``np.unique(idx)`` for ids in ``[0, n)``; profiling
+    showed the hash-based unique dominating recorded plan execution."""
+    if idx.size == 0:
+        return idx.astype(np.int64, copy=True)
+    return np.flatnonzero(np.bincount(idx, minlength=n))
 
 
 class _Scratch:
@@ -67,16 +96,10 @@ def group_argbest(
 
     ``argbest_index`` indexes the *input* arrays; ties break toward the
     lowest input index, which keeps parent tracking deterministic.
+    Dispatches to the active kernel backend; the lexsort reference lives
+    in :mod:`repro.perf.backend.reference`.
     """
-    if keys.shape[0] == 0:
-        return keys, np.empty(0, dtype=np.int64)
-    order_val = candidates if minimize else -candidates
-    order = np.lexsort((np.arange(keys.shape[0]), order_val, keys))
-    sorted_keys = keys[order]
-    first = np.empty(sorted_keys.shape[0], dtype=bool)
-    first[0] = True
-    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=first[1:])
-    return sorted_keys[first], order[first]
+    return get_backend().group_argbest(keys, candidates, minimize)
 
 
 class MultiVersionEngine:
@@ -113,6 +136,34 @@ class MultiVersionEngine:
         #: reusable round-loop buffers (see _Scratch); one set per engine,
         #: shared across propagate/apply_additions calls
         self._scratch = _Scratch()
+        #: compiled kernel tier (repro.perf.backend): when the backend has
+        #: a fused round kernel and the algorithm declares a kernel_op,
+        #: rounds run as one compiled pass over the gathered edges instead
+        #: of the five-sweep numpy body.  Algorithms without a kernel_op
+        #: (extensions with custom orders) always take the numpy path.
+        self._backend = get_backend()
+        op_name = getattr(algorithm, "kernel_op", None)
+        self._fused_op: int | None = (
+            OPS[op_name]
+            if self._backend.daic_round is not None and op_name in OPS
+            else None
+        )
+        #: which scratch pool the last fused round's ``changed`` lives in;
+        #: the fused kernel reads ``frontier`` while writing ``changed``,
+        #: so consecutive rounds must ping-pong between two pools (the
+        #: numpy path consumes ``frontier`` before its overwrite instead)
+        self._changed_pool = "changed"
+
+    def _changed_out(self, k: int, n: int) -> np.ndarray:
+        self._changed_pool = (
+            "changed2" if self._changed_pool == "changed" else "changed"
+        )
+        return self._scratch.get(self._changed_pool, bool, (k, n))
+
+    def _can_fuse(self, *arrays: np.ndarray) -> bool:
+        if self._fused_op is None:
+            return False
+        return all(a.flags["C_CONTIGUOUS"] for a in arrays)
 
     # -- state helpers -------------------------------------------------------
 
@@ -170,12 +221,18 @@ class MultiVersionEngine:
             if union_frontier.size == 0:
                 break
             rounds += 1
+            recording = self._recording()
             timing = prof is not None and prof.sample()
             t0 = prof.now() if timing else 0.0
-            # After the first round ``frontier`` aliases the ``changed``
-            # scratch buffer, which is overwritten at the end of the round
-            # body — take its totals before any writes.
-            popped_versions = int(frontier.sum())
+            # After the first round ``frontier`` aliases a ``changed``
+            # scratch buffer, which is overwritten in the round body —
+            # take its totals before any writes.  Only the budget clock
+            # and the trace collector consume them.
+            popped_versions = (
+                int(frontier.sum())
+                if recording or self._budget_clock is not None
+                else 0
+            )
             if self._budget_clock is not None:
                 self._budget_clock.charge(
                     rounds=1,
@@ -199,6 +256,14 @@ class MultiVersionEngine:
                     version_events_popped=popped_versions,
                 )
                 frontier[:] = False
+                continue
+
+            if self._can_fuse(frontier, presence, values):
+                frontier = self._fused_round(
+                    edge_idx, src_rep, frontier, presence, values,
+                    parent_rows, phase, union_frontier, popped_versions,
+                    recording, prof if timing else None, t0,
+                )
                 continue
 
             e = edge_idx.size
@@ -245,7 +310,7 @@ class MultiVersionEngine:
             algo.scatter_reduce(values.reshape(-1), flat_idx, flat_cand)
 
             changed = algo.better_into(
-                values, old, out=scratch.get("changed", bool, (k, n))
+                values, old, out=self._changed_out(k, n)
             )
             if self.track_parents and parent_rows is not None:
                 self._update_parents(
@@ -260,7 +325,7 @@ class MultiVersionEngine:
             # versions of a vertex as one row-wide event, so the primary
             # counters are vertex-granular; the per-version scalar totals
             # ride along for analyses that need them.
-            if self._recording():
+            if recording:
                 self._record_round(
                     phase,
                     events_popped=int(union_frontier.size),
@@ -268,7 +333,7 @@ class MultiVersionEngine:
                     edge_idx=edge_idx,
                     vertex_writes=int(changed.any(axis=0).sum()),
                     n_versions=k,
-                    dst=np.unique(dst),
+                    dst=_unique_vertices(dst, n),
                     src=union_frontier,
                     version_events_popped=popped_versions,
                     version_events_generated=int(active.sum()),
@@ -276,6 +341,77 @@ class MultiVersionEngine:
                 )
             frontier = changed
         return rounds
+
+    def _fused_round(
+        self,
+        edge_idx: np.ndarray,
+        src_rep: np.ndarray,
+        frontier: np.ndarray,
+        presence: np.ndarray,
+        values: np.ndarray,
+        parent_rows: np.ndarray | None,
+        phase: str,
+        union_frontier: np.ndarray,
+        popped_versions: int,
+        recording: bool,
+        prof,
+        t0: float,
+    ) -> np.ndarray:
+        """One compiled round: gather→relax→better_into in a single pass.
+
+        Returns the new frontier (the ``changed`` matrix).  Bit-identical
+        to the numpy round body — candidates are computed from the
+        pre-round value snapshot and min/max-reduced in edge order, with
+        ``group_argbest``'s lowest-flat-index tie-breaks for parents.
+        """
+        graph = self.graph
+        k, n = values.shape
+        scratch = self._scratch
+        if prof is not None:
+            # the pre-kernel span is the out-edge gather; the kernel span
+            # covers everything the numpy path calls relax + apply
+            t1 = prof.now()
+            prof.add("edge_gather", t1 - t0)
+            t0 = t1
+        old = scratch.get("old", np.float64, (k, n))
+        changed = self._changed_out(k, n)
+        track = self.track_parents and parent_rows is not None
+        parent_best = (
+            scratch.get("pbest", np.float64, (k, n)) if track else None
+        )
+        parent_edge = (
+            scratch.get("pedge", np.int64, (k, n)) if track else None
+        )
+        pairs, active_edges = self._backend.daic_round(
+            edge_idx, src_rep, graph.dst, graph.wt,
+            frontier, presence, values, old, changed,
+            self._fused_op, self.algorithm.minimize,
+            parent_best, parent_edge,
+        )
+        if track:
+            kv, vv = np.nonzero(changed)
+            self.parent_edge[parent_rows[kv], vv] = parent_edge[kv, vv]
+        if prof is not None:
+            prof.add("fused_relax", prof.now() - t0)
+        if recording:
+            dst = np.take(
+                graph.dst, edge_idx,
+                out=scratch.get("dst", np.int64, (edge_idx.size,)),
+            )
+            self._record_round(
+                phase,
+                events_popped=int(union_frontier.size),
+                events_generated=active_edges,
+                edge_idx=edge_idx,
+                vertex_writes=int(changed.any(axis=0).sum()),
+                n_versions=k,
+                dst=_unique_vertices(dst, n),
+                src=union_frontier,
+                version_events_popped=popped_versions,
+                version_events_generated=pairs,
+                version_vertex_writes=int(changed.sum()),
+            )
+        return changed
 
     def _update_parents(
         self,
@@ -344,12 +480,13 @@ class MultiVersionEngine:
         graph = self.graph
         k, n = values.shape
         self._begin(tag, phase, targets)
+        recording = self._recording()
 
         prof = active_profiler()
         timing = prof is not None and prof.sample()
         t0 = prof.now() if timing else 0.0
         scratch = self._scratch
-        edge_idx = np.asarray(batch_edge_idx, dtype=np.int64)
+        edge_idx = np.ascontiguousarray(batch_edge_idx, dtype=np.int64)
         e = edge_idx.size
         src = np.take(
             graph.src_of_edge, edge_idx,
@@ -358,57 +495,83 @@ class MultiVersionEngine:
         dst = np.take(
             graph.dst, edge_idx, out=scratch.get("dst", np.int64, (e,))
         )
-        present = np.take(
-            presence, edge_idx, axis=1, out=scratch.get("pres", bool, (k, e))
-        )
-        vals = np.take(
-            values, src, axis=1, out=scratch.get("vals", np.float64, (k, e))
-        )
-        wt = np.take(
-            graph.wt, edge_idx, out=scratch.get("wt", np.float64, (e,))
-        )
-        cand = algo.candidate(vals, wt)
-        absent = np.logical_not(
-            present, out=scratch.get("inactive", bool, (k, e))
-        )
-        np.copyto(cand, algo.mask_value, where=absent)
-
+        track = self.track_parents and parent_rows is not None
         old = scratch.get("old", np.float64, (k, n))
-        np.copyto(old, values)
-        flat_dst = np.add(
-            np.arange(k, dtype=np.int64)[:, None] * n, dst[None, :],
-            out=scratch.get("flat", np.int64, (k, e)),
-        )
-        sel = present.ravel()
-        flat_idx = flat_dst.ravel()[sel]
-        flat_cand = cand.ravel()[sel]
-        algo.scatter_reduce(values.reshape(-1), flat_idx, flat_cand)
-        changed = algo.better_into(
-            values, old, out=scratch.get("changed", bool, (k, n))
-        )
-        if self.track_parents and parent_rows is not None:
-            self._update_parents(
-                parent_rows, changed, flat_idx, flat_cand,
-                np.broadcast_to(edge_idx, (k, edge_idx.size)).ravel()[sel],
-                values,
+        if self._can_fuse(presence, values):
+            # Fused batch-reader pass: same kernel as the round loop with
+            # the frontier gate disabled (every present batch edge seeds).
+            changed = self._changed_out(k, n)
+            parent_best = (
+                scratch.get("pbest", np.float64, (k, n)) if track else None
             )
+            parent_edge = (
+                scratch.get("pedge", np.int64, (k, n)) if track else None
+            )
+            pairs, active_edges = self._backend.daic_round(
+                edge_idx, src, graph.dst, graph.wt,
+                None, presence, values, old, changed,
+                self._fused_op, algo.minimize, parent_best, parent_edge,
+            )
+            if track:
+                kv, vv = np.nonzero(changed)
+                self.parent_edge[parent_rows[kv], vv] = parent_edge[kv, vv]
+            seed_any, seed_all = active_edges, pairs
+        else:
+            present = np.take(
+                presence, edge_idx, axis=1,
+                out=scratch.get("pres", bool, (k, e)),
+            )
+            vals = np.take(
+                values, src, axis=1,
+                out=scratch.get("vals", np.float64, (k, e)),
+            )
+            wt = np.take(
+                graph.wt, edge_idx, out=scratch.get("wt", np.float64, (e,))
+            )
+            cand = algo.candidate(vals, wt)
+            absent = np.logical_not(
+                present, out=scratch.get("inactive", bool, (k, e))
+            )
+            np.copyto(cand, algo.mask_value, where=absent)
+
+            np.copyto(old, values)
+            flat_dst = np.add(
+                np.arange(k, dtype=np.int64)[:, None] * n, dst[None, :],
+                out=scratch.get("flat", np.int64, (k, e)),
+            )
+            sel = present.ravel()
+            flat_idx = flat_dst.ravel()[sel]
+            flat_cand = cand.ravel()[sel]
+            algo.scatter_reduce(values.reshape(-1), flat_idx, flat_cand)
+            changed = algo.better_into(
+                values, old, out=self._changed_out(k, n)
+            )
+            if track:
+                self._update_parents(
+                    parent_rows, changed, flat_idx, flat_cand,
+                    np.broadcast_to(edge_idx, (k, e)).ravel()[sel],
+                    values,
+                )
+            seed_any = int(present.any(axis=0).sum())
+            seed_all = int(present.sum())
         if timing:
             prof.add("batch_seed", prof.now() - t0)
         # Round 0: the batch reader fetches the batch edges and generates
         # one (row-wide) event per batch edge live in any target version.
-        self._record_round(
-            phase,
-            events_popped=0,
-            events_generated=int(present.any(axis=0).sum()),
-            edge_idx=edge_idx,
-            vertex_writes=int(changed.any(axis=0).sum()),
-            n_versions=k,
-            dst=np.unique(dst),
-            src=np.unique(src),
-            version_events_popped=0,
-            version_events_generated=int(present.sum()),
-            version_vertex_writes=int(changed.sum()),
-        )
+        if recording:
+            self._record_round(
+                phase,
+                events_popped=0,
+                events_generated=seed_any,
+                edge_idx=edge_idx,
+                vertex_writes=int(changed.any(axis=0).sum()),
+                n_versions=k,
+                dst=_unique_vertices(dst, n),
+                src=_unique_vertices(src, n),
+                version_events_popped=0,
+                version_events_generated=seed_all,
+                version_vertex_writes=int(changed.sum()),
+            )
         rounds = self.propagate(values, changed, presence, phase, parent_rows)
         self._end()
         return rounds + 1
@@ -447,7 +610,8 @@ class MultiVersionEngine:
     ) -> None:
         if self.collector is None or not self.collector.active:
             return
-        blocks = np.unique(edge_idx // self.edges_per_block)
+        # gathered edge ids are ascending, so run-boundary unique suffices
+        blocks = _sorted_unique(edge_idx // self.edges_per_block)
         trace = RoundTrace(
             phase=phase,
             events_popped=events_popped,

@@ -141,8 +141,22 @@ class UnifiedCSR:
         the full ``(K, M)`` matrix.  Each edge's planes are fetched once
         and unpacked across all snapshots — MEGA's shared-fetch insight
         applied to the presence test itself.
+
+        When a compiled kernel backend is active the restricted form
+        fuses the gather and the unpack into one pass per edge (no
+        intermediate gathered-plane matrix); the unpackbits path below
+        stays as the parity reference.
         """
         planes = self.presence_planes()
+        if edge_idx is not None:
+            from repro.perf.backend import get_backend
+
+            gather = get_backend().presence_gather
+            if gather is not None:
+                return gather(
+                    planes, np.ascontiguousarray(edge_idx, dtype=np.int64),
+                    self.n_snapshots,
+                )
         gathered = planes if edge_idx is None else planes[:, edge_idx]
         return np.unpackbits(
             gathered, axis=0, count=self.n_snapshots, bitorder="little"

@@ -132,12 +132,15 @@ class _CallbackGauge:
 
 
 class _LabeledFamily:
-    """One metric name fanned out over the values of a single label.
+    """One metric name fanned out over the values of its label(s).
 
     The sharded serving tier wants ``mega_shard_queries_total{shard="2"}``
     style series without forking the PR 5/6 registry: a family registers
     under its bare name exactly like any other instrument, and
     ``labels(value)`` lazily materializes one child per label value.
+    ``label`` may also be a tuple of names (e.g. ``("worker", "backend")``
+    for ``mega_kernel_backend``); then ``labels()`` takes one value per
+    name, and ``get()`` keys children by the comma-joined values.
     ``samples()`` flattens every child under the family's single
     ``# HELP`` / ``# TYPE`` header, which is precisely the Prometheus
     exposition shape for labeled series.
@@ -145,35 +148,50 @@ class _LabeledFamily:
 
     _child_cls: type
 
-    def __init__(self, name: str, help: str = "", label: str = "shard") -> None:
+    def __init__(
+        self, name: str, help: str = "", label="shard"
+    ) -> None:
         self.name = name
         self.help = help
         self.label = label
+        self._label_names = (
+            (label,) if isinstance(label, str) else tuple(label)
+        )
         self._lock = threading.Lock()
-        self._children: dict[str, object] = {}
+        self._children: dict[tuple, object] = {}
 
-    def labels(self, value) -> object:
-        key = str(value)
+    def _key(self, values: tuple) -> tuple:
+        if len(values) != len(self._label_names):
+            raise ValueError(
+                f"{self.name} expects {len(self._label_names)} label "
+                f"value(s) {self._label_names}, got {len(values)}"
+            )
+        return tuple(str(v) for v in values)
+
+    def labels(self, *values) -> object:
+        key = self._key(values)
         with self._lock:
             child = self._children.get(key)
             if child is None:
-                child = self._child_cls(
-                    f'{self.name}{{{self.label}="{key}"}}'
+                rendered = ",".join(
+                    f'{name}="{value}"'
+                    for name, value in zip(self._label_names, key)
                 )
+                child = self._child_cls(f"{self.name}{{{rendered}}}")
                 self._children[key] = child
             return child
 
     def get(self) -> dict:
-        """``{label value: child value}`` for JSON surfaces and tests."""
+        """``{label value(s): child value}`` for JSON surfaces and tests."""
         with self._lock:
             children = dict(self._children)
-        return {key: child.get() for key, child in children.items()}
+        return {",".join(key): child.get() for key, child in children.items()}
 
-    def discard(self, value) -> None:
+    def discard(self, *values) -> None:
         """Drop one child series (a departed follower or shard must stop
         exporting, not freeze at its last value forever)."""
         with self._lock:
-            self._children.pop(str(value), None)
+            self._children.pop(self._key(values), None)
 
     def samples(self) -> list[tuple[str, float]]:
         with self._lock:
@@ -279,14 +297,14 @@ class MetricsRegistry:
         )
 
     def labeled_counter(
-        self, name: str, help: str = "", label: str = "shard"
+        self, name: str, help: str = "", label="shard"
     ) -> LabeledCounter:
         return self._register(
             name, lambda: LabeledCounter(name, help, label), "counter"
         )
 
     def labeled_gauge(
-        self, name: str, help: str = "", label: str = "shard"
+        self, name: str, help: str = "", label="shard"
     ) -> LabeledGauge:
         return self._register(
             name, lambda: LabeledGauge(name, help, label), "gauge"

@@ -1,0 +1,235 @@
+"""Kernel backend registry: compiled hot kernels behind the numpy API.
+
+The serving engine's cycles go to three kernels — ``group_argbest``, the
+DAIC round body, and the bit-plane presence gather.  Each has a compiled
+single-pass implementation (numba when importable, else a tiny C library
+compiled on first use and loaded via ctypes) and a pure-numpy reference
+that is kept forever as the parity baseline, following the
+``_presence_of_dense`` precedent.
+
+Selection follows ``MEGA_KERNEL_BACKEND`` (resolved once per process):
+
+* ``auto`` (default) — best available compiled tier, numpy otherwise;
+* ``numpy`` — pin the reference implementations (CI keeps one leg here);
+* ``compiled`` — require a compiled tier; raise if none is available;
+* ``numba`` / ``cext`` — require that specific tier (tests, debugging).
+
+Callers never import a tier directly: :func:`get_backend` returns a
+:class:`KernelBackend` whose optional members (``daic_round``,
+``presence_gather``) are ``None`` on the numpy tier, which tells the
+engine and :class:`~repro.evolving.unified_csr.UnifiedCSR` to keep their
+vectorized numpy paths.  ``group_argbest`` is always present.
+
+The service's pool workers resolve the backend during warm-up (the ping
+control op carries the configured name) and report the resolved tier
+back, so a mixed-pool misconfiguration is visible in ``health`` and in
+the ``mega_kernel_backend`` metric rather than silent.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.perf.backend import reference
+
+__all__ = [
+    "KernelBackend",
+    "available_backends",
+    "backend_info",
+    "get_backend",
+    "resolve_backend",
+    "reset_backend",
+]
+
+#: Algorithm.kernel_op name -> opcode shared by the C and numba tiers
+OPS = {"plus_wt": 0, "plus_one": 1, "min_wt": 2, "max_wt": 3, "div_wt": 4}
+
+#: group_argbest falls back to the reference lexsort when the dense
+#: per-key scratch would dwarf the item count (keys are flat (version,
+#: vertex) cells in practice, so this is a safety valve, not a hot path)
+_DENSE_DOMAIN_SLACK = 8
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One resolved kernel tier.  Optional members are None on numpy."""
+
+    name: str
+    group_argbest: Callable
+    daic_round: Callable | None = None
+    presence_gather: Callable | None = None
+
+    @property
+    def compiled(self) -> bool:
+        return self.daic_round is not None
+
+
+def _dense_ok(keys: np.ndarray) -> bool:
+    """Is the single-pass dense-domain strategy applicable/profitable?"""
+    if keys.shape[0] == 0:
+        return False
+    lo = int(keys.min())
+    if lo < 0:
+        return False
+    hi = int(keys.max())
+    return hi < _DENSE_DOMAIN_SLACK * max(keys.shape[0], 1 << 14)
+
+def _guarded_argbest(fast: Callable) -> Callable:
+    def group_argbest(keys, candidates, minimize):
+        if not _dense_ok(keys):
+            return reference.group_argbest(keys, candidates, minimize)
+        return fast(keys, candidates, minimize)
+
+    return group_argbest
+
+
+def _numpy_backend() -> KernelBackend:
+    return KernelBackend(name="numpy",
+                         group_argbest=reference.group_argbest)
+
+
+def _cext_backend() -> KernelBackend | None:
+    from repro.perf.backend import cext
+
+    if cext.load_library() is None:
+        return None
+    return KernelBackend(
+        name="cext",
+        group_argbest=_guarded_argbest(cext.group_argbest),
+        daic_round=cext.daic_round,
+        presence_gather=cext.presence_gather,
+    )
+
+
+def _numba_backend() -> KernelBackend | None:
+    try:
+        import numba  # noqa: F401
+    except ImportError:
+        return None
+    try:
+        from repro.perf.backend import numba_jit
+    except ImportError:  # pragma: no cover - broken numba install
+        return None
+    return KernelBackend(
+        name="numba",
+        group_argbest=_guarded_argbest(numba_jit.group_argbest),
+        daic_round=numba_jit.daic_round,
+        presence_gather=numba_jit.presence_gather,
+    )
+
+
+_TIERS = {
+    "numpy": _numpy_backend,
+    "cext": _cext_backend,
+    "numba": _numba_backend,
+}
+
+_active: KernelBackend | None = None
+_requested: str | None = None
+
+
+def _resolve(request: str) -> KernelBackend:
+    request = (request or "auto").strip().lower()
+    if request in ("numpy", "numba", "cext"):
+        backend = _TIERS[request]()
+        if backend is None:
+            raise RuntimeError(
+                f"kernel backend {request!r} requested but unavailable"
+            )
+        return backend
+    if request == "compiled":
+        backend = _numba_backend() or _cext_backend()
+        if backend is None:
+            from repro.perf.backend import cext
+
+            raise RuntimeError(
+                "MEGA_KERNEL_BACKEND=compiled but no compiled tier is "
+                "available (numba not importable; C tier: "
+                f"{cext.build_error() or 'no compiler'})"
+            )
+        return backend
+    if request == "auto":
+        return _numba_backend() or _cext_backend() or _numpy_backend()
+    raise ValueError(
+        f"invalid MEGA_KERNEL_BACKEND {request!r}: expected "
+        "auto|numpy|compiled|numba|cext"
+    )
+
+
+def resolve_backend(request: str | None = None) -> KernelBackend:
+    """Resolve (once per process) and return the active backend.
+
+    ``request`` overrides the environment; precedence is explicit
+    argument > ``MEGA_KERNEL_BACKEND`` > ``auto``.  A second call with a
+    *different* explicit request re-resolves (the service passes its
+    configured backend through the worker ping), while argument-free
+    calls keep returning the cached tier.
+    """
+    global _active, _requested
+    if request is None:
+        if _active is not None:
+            return _active
+        request = os.environ.get("MEGA_KERNEL_BACKEND", "auto")
+    elif _active is not None and request == _requested:
+        return _active
+    _active = _resolve(request)
+    _requested = request
+    return _active
+
+
+def get_backend() -> KernelBackend:
+    """The process-wide active backend (resolving on first use)."""
+    return resolve_backend()
+
+
+def requested_tier(explicit: str = "") -> str:
+    """The tier a surface should *report* as requested.
+
+    Mirrors :func:`resolve_backend` precedence (explicit argument >
+    ``MEGA_KERNEL_BACKEND`` > ``auto``) without resolving anything, so
+    health/bench provenance blocks stay honest when the choice came
+    from the environment rather than a config field.
+    """
+    return explicit or os.environ.get("MEGA_KERNEL_BACKEND", "") or "auto"
+
+
+def reset_backend() -> None:
+    """Forget the resolved tier (tests re-resolving under monkeypatch)."""
+    global _active, _requested
+    _active = None
+    _requested = None
+
+
+def available_backends() -> list[str]:
+    """Names of every tier that would resolve on this machine."""
+    names = ["numpy"]
+    if _numba_backend() is not None:
+        names.append("numba")
+    if _cext_backend() is not None:
+        names.append("cext")
+    return names
+
+
+def backend_info() -> dict:
+    """Provenance block for benchmarks and health surfaces."""
+    from repro.perf.backend import cext
+
+    try:
+        import numba
+
+        numba_ver = numba.__version__
+    except ImportError:
+        numba_ver = "unavailable"
+    active = get_backend()
+    return {
+        "active": active.name,
+        "compiled": active.compiled,
+        "requested": _requested or "auto",
+        "available": available_backends(),
+        "numba": numba_ver,
+        "cext_error": cext.build_error(),
+    }

@@ -1,0 +1,190 @@
+/* Compiled hot kernels behind the numpy API (ctypes tier).
+ *
+ * Three kernels, each the single-pass fusion of a numpy sweep sequence
+ * whose answers it must reproduce bit-for-bit (the numpy implementations
+ * stay in-tree as the parity reference, like _presence_of_dense):
+ *
+ *   group_argbest   — per-group best candidate with lowest-input-index
+ *                     tie-breaks (replaces a lexsort + three temporaries);
+ *   daic_round      — the DAIC engine's edge-gather -> relax -> better_into
+ *                     round body fused into one pass over frontier edges;
+ *   presence_gather — bit-plane presence test, unpack-and-test per edge
+ *                     with no intermediate unpacked plane.
+ *
+ * Compiled once per machine into a content-addressed shared library by
+ * repro.perf.backend.cext (cc -O2 -shared -fPIC); no Python.h — every
+ * argument is a raw pointer into a numpy array, marshalled via ctypes.
+ *
+ * Candidate arithmetic must match numpy's vectorized double ops exactly,
+ * so each edge function is the same IEEE-754 double expression numpy
+ * evaluates; min/max reductions are order-insensitive, which keeps the
+ * fused in-place pass bit-identical to numpy's gather-then-scatter form.
+ */
+
+#include <stdint.h>
+#include <string.h>
+
+/* Candidate ops (Algorithm.kernel_op): keep in sync with OPS in cext.py */
+#define OP_PLUS_WT 0     /* sssp:    val + wt          */
+#define OP_PLUS_ONE 1    /* bfs:     val + 1.0          */
+#define OP_MIN_WT 2      /* sswp:    min(val, wt)       */
+#define OP_MAX_WT 3      /* ssnp:    max(val, wt)       */
+#define OP_DIV_WT 4      /* viterbi: val / wt           */
+
+static inline double candidate_of(int op, double val, double wt)
+{
+    switch (op) {
+    case OP_PLUS_WT:
+        return val + wt;
+    case OP_PLUS_ONE:
+        return val + 1.0;
+    case OP_MIN_WT:
+        /* np.minimum: NaN on either side propagates (a NaN val must not
+         * be silently replaced by the weight) */
+        return (val < wt || val != val) ? val : wt;
+    case OP_MAX_WT:
+        return (val > wt || val != val) ? val : wt;
+    default:
+        return val / wt;
+    }
+}
+
+/* Strictly better under the algorithm's order, with numpy-lexsort NaN
+ * semantics: NaN sorts after every number, so any non-NaN candidate
+ * beats a stored NaN and a NaN candidate never wins. */
+static inline int strictly_better(double cand, double best, int minimize)
+{
+    if (best != best) /* stored NaN: any real candidate replaces it */
+        return cand == cand;
+    return minimize ? cand < best : cand > best;
+}
+
+/* group_argbest: per-group best over (keys, cands); groups are dense in
+ * [0, max_key].  seen/best_val/best_idx are caller-zeroed/uninitialised
+ * scratch of size max_key+1.  Writes ascending unique keys and the
+ * winning *input index* per group; returns the group count. */
+int64_t mega_group_argbest(
+    const int64_t *keys, const double *cands, int64_t n, int minimize,
+    int64_t max_key, uint8_t *seen, double *best_val, int64_t *best_idx,
+    int64_t *out_keys, int64_t *out_best)
+{
+    int64_t i, k, u = 0;
+    for (i = 0; i < n; i++) {
+        k = keys[i];
+        if (!seen[k]) {
+            seen[k] = 1;
+            best_val[k] = cands[i];
+            best_idx[k] = i;
+        } else if (strictly_better(cands[i], best_val[k], minimize)) {
+            best_val[k] = cands[i];
+            best_idx[k] = i;
+        }
+    }
+    for (k = 0; k <= max_key; k++) {
+        if (seen[k]) {
+            out_keys[u] = k;
+            out_best[u] = best_idx[k];
+            u++;
+        }
+    }
+    return u;
+}
+
+/* One DAIC round, fused: for every gathered edge j and version k,
+ * gate on frontier membership of the edge's source and on per-version
+ * edge presence, compute the candidate from the *pre-round* values
+ * (old_vals, copied here), and min/max-reduce it into values[k][dst].
+ * changed is fully rewritten; parent_best/parent_edge (optional) record
+ * the per-(version, vertex) winning candidate and its union-edge id with
+ * lowest-flat-index tie-breaks, matching group_argbest over the k-major
+ * raveled candidate list.  Returns the number of (version, edge) active
+ * pairs (the engine's version_events_generated counter).
+ *
+ * frontier may be NULL (batch-seed pass: every present edge is active).
+ * counters[0] <- active pair count, counters[1] <- edges active in >= 1
+ * version; both always written. */
+void mega_daic_round(
+    const int64_t *edge_idx, const int64_t *src_rep, int64_t n_edges,
+    const int64_t *dst_all, const double *wt_all,
+    const uint8_t *frontier, const uint8_t *presence,
+    double *values, double *old_vals, uint8_t *changed,
+    int64_t n_versions, int64_t n_vertices, int64_t n_union_edges,
+    int op, int minimize, int track_parents,
+    double *parent_best, int64_t *parent_edge,
+    int64_t *counters)
+{
+    int64_t k, j, active_pairs = 0, active_edges = 0;
+    memcpy(old_vals, values,
+           (size_t)(n_versions * n_vertices) * sizeof(double));
+    memset(changed, 0, (size_t)(n_versions * n_vertices));
+    if (track_parents) {
+        /* NaN marks "no candidate yet"; strictly_better treats it as
+         * always-replaceable, giving first-seen-wins tie-breaks. */
+        for (j = 0; j < n_versions * n_vertices; j++) {
+            parent_best[j] = 0.0 / 0.0;
+            parent_edge[j] = -1;
+        }
+    }
+    for (j = 0; j < n_edges; j++) {
+        const int64_t e = edge_idx[j];
+        const int64_t src = src_rep[j];
+        const int64_t v = dst_all[e];
+        const double wt = wt_all[e];
+        int edge_active = 0;
+        for (k = 0; k < n_versions; k++) {
+            if (frontier != NULL && !frontier[k * n_vertices + src])
+                continue;
+            if (!presence[k * n_union_edges + e])
+                continue;
+            active_pairs++;
+            edge_active = 1;
+            const double cand =
+                candidate_of(op, old_vals[k * n_vertices + src], wt);
+            const int64_t cell = k * n_vertices + v;
+            /* np.minimum/maximum.at followed by better_into(values, old):
+             * a NaN value is sticky, a NaN candidate poisons the cell but
+             * is never "changed" (NaN fails the strict compare against
+             * old), and min/max of reals is order-insensitive */
+            const double cur = values[cell];
+            if (cur == cur) {
+                if (cand != cand) {
+                    values[cell] = cand;
+                    changed[cell] = 0;
+                } else if (minimize ? cand < cur : cand > cur) {
+                    values[cell] = cand;
+                    changed[cell] = 1;
+                }
+            }
+            if (track_parents
+                && strictly_better(cand, parent_best[cell], minimize)) {
+                parent_best[cell] = cand;
+                parent_edge[cell] = e;
+            }
+        }
+        active_edges += edge_active;
+    }
+    counters[0] = active_pairs;
+    counters[1] = active_edges;
+}
+
+/* presence_gather: out[k][j] = bit k of the packed presence planes at
+ * union edge edge_idx[j].  planes is (ceil(K/8), M) uint8, row-major;
+ * out is (K, E) uint8 (viewed as bool by the caller). */
+void mega_presence_gather(
+    const uint8_t *planes, int64_t n_union_edges,
+    const int64_t *edge_idx, int64_t n_edges,
+    int64_t n_snapshots, uint8_t *out)
+{
+    const int64_t n_planes = (n_snapshots + 7) / 8;
+    int64_t p, j, b;
+    for (p = 0; p < n_planes; p++) {
+        const uint8_t *plane = planes + p * n_union_edges;
+        const int64_t k_hi =
+            (n_snapshots - p * 8) < 8 ? (n_snapshots - p * 8) : 8;
+        for (j = 0; j < n_edges; j++) {
+            const uint8_t byte = plane[edge_idx[j]];
+            for (b = 0; b < k_hi; b++)
+                out[(p * 8 + b) * n_edges + j] = (byte >> b) & 1;
+        }
+    }
+}

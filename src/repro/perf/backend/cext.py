@@ -1,0 +1,207 @@
+"""ctypes C tier of the kernel backend: compile once, dlopen forever.
+
+``_kernels.c`` is plain C99 with no Python.h dependency, so the build is
+one ``cc -O2 -shared -fPIC`` invocation and the artifact is cached under
+``~/.cache/mega-repro/`` keyed by the source's SHA-256 — concurrent
+processes (the service's pool workers all resolve the backend on warm-up)
+compile into unique temp names and ``os.replace`` atomically, so the
+worst case is a redundant compile, never a torn library.
+
+Everything marshalled across the boundary is a raw pointer into a
+C-contiguous numpy array; the wrappers own all shape/contiguity checks
+and scratch allocation so the callers (engine, UnifiedCSR) stay oblivious
+to the tier in use.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import pathlib
+import subprocess
+import tempfile
+
+import numpy as np
+
+__all__ = ["load_library", "build_error"]
+
+_SRC = pathlib.Path(__file__).with_name("_kernels.c")
+
+_lib: ctypes.CDLL | None = None
+_build_error: str | None = None
+
+_I64P = np.ctypeslib.ndpointer(np.int64, flags="C_CONTIGUOUS")
+_F64P = np.ctypeslib.ndpointer(np.float64, flags="C_CONTIGUOUS")
+_U8P = np.ctypeslib.ndpointer(np.uint8, flags="C_CONTIGUOUS")
+
+
+def _cache_dir() -> pathlib.Path:
+    root = os.environ.get("XDG_CACHE_HOME") or os.path.join(
+        os.path.expanduser("~"), ".cache"
+    )
+    return pathlib.Path(root) / "mega-repro"
+
+
+def _compiler() -> str | None:
+    import shutil
+
+    for cc in (os.environ.get("CC"), "cc", "gcc", "clang"):
+        if cc and shutil.which(cc):
+            return cc
+    return None
+
+
+def _compile(src: pathlib.Path, out: pathlib.Path) -> None:
+    cc = _compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler on PATH (tried $CC, cc, gcc, clang)")
+    out.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(
+        dir=str(out.parent), prefix=out.stem + ".", suffix=".so.tmp"
+    )
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, "-O2", "-shared", "-fPIC", "-o", tmp, str(src)],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"{cc} failed ({proc.returncode}): {proc.stderr.strip()[:500]}"
+            )
+        os.replace(tmp, out)  # atomic: racing builders converge on one .so
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+def _declare(lib: ctypes.CDLL) -> ctypes.CDLL:
+    lib.mega_group_argbest.restype = ctypes.c_int64
+    lib.mega_group_argbest.argtypes = [
+        _I64P, _F64P, ctypes.c_int64, ctypes.c_int, ctypes.c_int64,
+        _U8P, _F64P, _I64P, _I64P, _I64P,
+    ]
+    lib.mega_daic_round.restype = None
+    lib.mega_daic_round.argtypes = [
+        _I64P, _I64P, ctypes.c_int64,          # edge_idx, src_rep, E
+        _I64P, _F64P,                          # dst_all, wt_all
+        ctypes.c_void_p, _U8P,                 # frontier (nullable), presence
+        _F64P, _F64P, _U8P,                    # values, old, changed
+        ctypes.c_int64, ctypes.c_int64, ctypes.c_int64,  # K, n, M
+        ctypes.c_int, ctypes.c_int, ctypes.c_int,  # op, minimize, track
+        ctypes.c_void_p, ctypes.c_void_p,      # parent_best/edge (nullable)
+        _I64P,                                 # counters[2]
+    ]
+    lib.mega_presence_gather.restype = None
+    lib.mega_presence_gather.argtypes = [
+        _U8P, ctypes.c_int64, _I64P, ctypes.c_int64, ctypes.c_int64, _U8P,
+    ]
+    return lib
+
+
+def load_library() -> ctypes.CDLL | None:
+    """Compile (if needed) and load the kernel library; None on failure.
+
+    The first failure is remembered so a broken toolchain costs one
+    attempt per process, not one per call.
+    """
+    global _lib, _build_error
+    if _lib is not None:
+        return _lib
+    if _build_error is not None:
+        return None
+    try:
+        source = _SRC.read_bytes()
+        digest = hashlib.sha256(source).hexdigest()[:16]
+        so = _cache_dir() / f"mega_kernels_{digest}.so"
+        if not so.exists():
+            _compile(_SRC, so)
+        _lib = _declare(ctypes.CDLL(str(so)))
+        return _lib
+    except (OSError, RuntimeError, subprocess.TimeoutExpired) as exc:
+        _build_error = str(exc)
+        return None
+
+
+def build_error() -> str | None:
+    """Why the C tier is unavailable (None while untried or loaded)."""
+    return _build_error
+
+
+def _ptr_or_null(arr: np.ndarray | None):
+    if arr is None:
+        return None
+    return arr.ctypes.data_as(ctypes.c_void_p)
+
+
+def group_argbest(
+    keys: np.ndarray, candidates: np.ndarray, minimize: bool
+) -> tuple[np.ndarray, np.ndarray]:
+    """C single-pass group_argbest; same contract as the numpy reference."""
+    lib = load_library()
+    n = keys.shape[0]
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    candidates = np.ascontiguousarray(candidates, dtype=np.float64)
+    max_key = int(keys.max())
+    domain = max_key + 1
+    seen = np.zeros(domain, dtype=np.uint8)
+    best_val = np.empty(domain, dtype=np.float64)
+    best_idx = np.empty(domain, dtype=np.int64)
+    out_keys = np.empty(min(n, domain), dtype=np.int64)
+    out_best = np.empty(min(n, domain), dtype=np.int64)
+    u = lib.mega_group_argbest(
+        keys, candidates, n, int(minimize), max_key,
+        seen, best_val, best_idx, out_keys, out_best,
+    )
+    return out_keys[:u].copy(), out_best[:u].copy()
+
+
+def daic_round(
+    edge_idx: np.ndarray,
+    src_rep: np.ndarray,
+    dst_all: np.ndarray,
+    wt_all: np.ndarray,
+    frontier: np.ndarray | None,
+    presence: np.ndarray,
+    values: np.ndarray,
+    old_vals: np.ndarray,
+    changed: np.ndarray,
+    op: int,
+    minimize: bool,
+    parent_best: np.ndarray | None = None,
+    parent_edge: np.ndarray | None = None,
+) -> tuple[int, int]:
+    """Fused DAIC round; returns (active version-pairs, active edges)."""
+    lib = load_library()
+    k, n = values.shape
+    m = dst_all.shape[0]
+    counters = np.zeros(2, dtype=np.int64)
+    track = parent_best is not None
+    lib.mega_daic_round(
+        edge_idx, src_rep, edge_idx.shape[0],
+        dst_all, wt_all,
+        _ptr_or_null(frontier), presence.view(np.uint8),
+        values, old_vals, changed.view(np.uint8),
+        k, n, m,
+        int(op), int(minimize), int(track),
+        _ptr_or_null(parent_best), _ptr_or_null(parent_edge),
+        counters,
+    )
+    return int(counters[0]), int(counters[1])
+
+
+def presence_gather(
+    planes: np.ndarray, edge_idx: np.ndarray, n_snapshots: int
+) -> np.ndarray:
+    """(K, E) bool presence matrix gathered straight off the bit planes."""
+    lib = load_library()
+    edge_idx = np.ascontiguousarray(edge_idx, dtype=np.int64)
+    out = np.empty((n_snapshots, edge_idx.shape[0]), dtype=np.uint8)
+    lib.mega_presence_gather(
+        np.ascontiguousarray(planes),
+        planes.shape[1], edge_idx, edge_idx.shape[0], n_snapshots, out,
+    )
+    return out.view(bool)

@@ -1,0 +1,165 @@
+"""numba tier of the kernel backend (preferred when importable).
+
+This module is only imported by the backend registry after a successful
+``import numba`` probe — nothing outside :mod:`repro.perf.backend` may
+import numba at module top level, so the whole suite keeps working on
+interpreters without it (the registry falls back to the C tier or the
+numpy reference).
+
+The kernels are line-for-line the same single-pass algorithms as
+``_kernels.c``; see that file for the parity contract (IEEE-754 candidate
+expressions, lowest-input-index tie-breaks, NaN-as-unset parent
+sentinel).  ``cache=True`` persists the JIT artifacts next to the
+package so warm processes skip recompilation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit
+
+__all__ = ["group_argbest", "daic_round", "presence_gather", "numba_version"]
+
+
+def numba_version() -> str:
+    import numba
+
+    return numba.__version__
+
+
+@njit(cache=True, nogil=True)
+def _group_argbest(keys, cands, minimize, max_key, out_keys, out_best):
+    domain = max_key + 1
+    seen = np.zeros(domain, dtype=np.uint8)
+    best_val = np.empty(domain, dtype=np.float64)
+    best_idx = np.empty(domain, dtype=np.int64)
+    for i in range(keys.shape[0]):
+        k = keys[i]
+        c = cands[i]
+        if seen[k] == 0:
+            seen[k] = 1
+            best_val[k] = c
+            best_idx[k] = i
+        else:
+            b = best_val[k]
+            replace = (c == c) if b != b else (
+                c < b if minimize else c > b
+            )
+            if replace:
+                best_val[k] = c
+                best_idx[k] = i
+    u = 0
+    for k in range(domain):
+        if seen[k]:
+            out_keys[u] = k
+            out_best[u] = best_idx[k]
+            u += 1
+    return u
+
+
+def group_argbest(keys, candidates, minimize):
+    """Single-pass per-group reduction; see the numpy reference."""
+    keys = np.ascontiguousarray(keys, dtype=np.int64)
+    candidates = np.ascontiguousarray(candidates, dtype=np.float64)
+    max_key = int(keys.max())
+    cap = min(keys.shape[0], max_key + 1)
+    out_keys = np.empty(cap, dtype=np.int64)
+    out_best = np.empty(cap, dtype=np.int64)
+    u = _group_argbest(keys, candidates, minimize, max_key,
+                       out_keys, out_best)
+    return out_keys[:u].copy(), out_best[:u].copy()
+
+
+@njit(cache=True, nogil=True)
+def _daic_round(edge_idx, src_rep, dst_all, wt_all, frontier, has_frontier,
+                presence, values, old_vals, changed, op, minimize,
+                track_parents, parent_best, parent_edge):
+    n_versions, n_vertices = values.shape
+    old_vals[:, :] = values
+    changed[:, :] = False
+    if track_parents:
+        parent_best[:, :] = np.nan
+        parent_edge[:, :] = -1
+    active_pairs = 0
+    active_edges = 0
+    for j in range(edge_idx.shape[0]):
+        e = edge_idx[j]
+        src = src_rep[j]
+        v = dst_all[e]
+        wt = wt_all[e]
+        edge_active = 0
+        for k in range(n_versions):
+            if has_frontier and not frontier[k, src]:
+                continue
+            if not presence[k, e]:
+                continue
+            active_pairs += 1
+            edge_active = 1
+            val = old_vals[k, src]
+            if op == 0:
+                cand = val + wt
+            elif op == 1:
+                cand = val + 1.0
+            elif op == 2:
+                # np.minimum/maximum: a NaN val propagates into cand
+                cand = val if (val < wt or val != val) else wt
+            elif op == 3:
+                cand = val if (val > wt or val != val) else wt
+            else:
+                cand = val / wt
+            cur = values[k, v]
+            # NaN value is sticky; NaN candidate poisons but is never
+            # "changed" (matches minimum.at + better_into(values, old))
+            if cur == cur:
+                if cand != cand:
+                    values[k, v] = cand
+                    changed[k, v] = False
+                elif cand < cur if minimize else cand > cur:
+                    values[k, v] = cand
+                    changed[k, v] = True
+            if track_parents:
+                b = parent_best[k, v]
+                replace = (cand == cand) if b != b else (
+                    cand < b if minimize else cand > b
+                )
+                if replace:
+                    parent_best[k, v] = cand
+                    parent_edge[k, v] = e
+        active_edges += edge_active
+    return active_pairs, active_edges
+
+
+def daic_round(edge_idx, src_rep, dst_all, wt_all, frontier, presence,
+               values, old_vals, changed, op, minimize,
+               parent_best=None, parent_edge=None):
+    """Fused DAIC round; returns (active version-pairs, active edges)."""
+    track = parent_best is not None
+    if not track:
+        # numba needs concrete array types even down dead branches
+        parent_best = np.empty((1, 1), dtype=np.float64)
+        parent_edge = np.empty((1, 1), dtype=np.int64)
+    has_frontier = frontier is not None
+    if frontier is None:
+        frontier = np.empty((1, 1), dtype=np.bool_)
+    return _daic_round(
+        edge_idx, src_rep, dst_all, wt_all, frontier, has_frontier,
+        presence, values, old_vals, changed, int(op), bool(minimize),
+        track, parent_best, parent_edge,
+    )
+
+
+@njit(cache=True, nogil=True)
+def _presence_gather(planes, edge_idx, n_snapshots, out):
+    for j in range(edge_idx.shape[0]):
+        e = edge_idx[j]
+        for k in range(n_snapshots):
+            out[k, j] = (planes[k >> 3, e] >> (k & 7)) & 1 == 1
+    return out
+
+
+def presence_gather(planes, edge_idx, n_snapshots):
+    """(K, E) bool presence matrix gathered straight off the bit planes."""
+    edge_idx = np.ascontiguousarray(edge_idx, dtype=np.int64)
+    out = np.empty((n_snapshots, edge_idx.shape[0]), dtype=np.bool_)
+    return _presence_gather(np.ascontiguousarray(planes), edge_idx,
+                            n_snapshots, out)

@@ -32,11 +32,16 @@ import numpy as np
 
 __all__ = ["KernelBenchReport", "run_kernel_bench"]
 
-KERNELS_SCHEMA_VERSION = 1
+KERNELS_SCHEMA_VERSION = 2
 
 
 def _time(fn, iters: int, warmup: int = 1) -> dict:
-    """Run ``fn`` ``iters`` times; report mean/min wall milliseconds."""
+    """Run ``fn`` ``iters`` times; report mean/p50/min wall milliseconds.
+
+    ``warmup`` untimed calls run first (JIT compilation, lazy caches,
+    branch warm-up) and are reported alongside ``iters`` so a reader of
+    the JSON knows exactly how many calls produced the statistics.
+    """
     for __ in range(warmup):
         fn()
     samples = []
@@ -46,8 +51,10 @@ def _time(fn, iters: int, warmup: int = 1) -> dict:
         samples.append((time.perf_counter() - t0) * 1e3)
     return {
         "mean_ms": float(np.mean(samples)),
+        "p50_ms": float(np.median(samples)),
         "min_ms": float(np.min(samples)),
         "iters": int(iters),
+        "warmup": int(warmup),
     }
 
 
@@ -58,6 +65,10 @@ class KernelBenchReport:
     config: dict
     results: dict
     parity: dict = field(default_factory=dict)
+    #: repro.perf.backend.backend_info() provenance (schema v2)
+    backend: dict = field(default_factory=dict)
+    #: per-kernel numpy-vs-compiled timings (--compare-backends)
+    compare: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -65,17 +76,17 @@ class KernelBenchReport:
         return bool(self.parity) and all(self.parity.values())
 
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "bench": "kernels",
-                "schema_version": KERNELS_SCHEMA_VERSION,
-                "config": self.config,
-                "results": self.results,
-                "parity": self.parity,
-            },
-            indent=2,
-            sort_keys=True,
-        )
+        doc = {
+            "bench": "kernels",
+            "schema_version": KERNELS_SCHEMA_VERSION,
+            "config": self.config,
+            "results": self.results,
+            "parity": self.parity,
+            "backend": self.backend,
+        }
+        if self.compare:
+            doc["compare_backends"] = self.compare
+        return json.dumps(doc, indent=2, sort_keys=True)
 
     def format_table(self) -> str:
         r = self.results
@@ -103,6 +114,22 @@ class KernelBenchReport:
             f"(cold attach {a['rebuild_over_cold']:.0f}x faster "
             f"than rebuild)",
         ]
+        if self.backend:
+            lines.append(
+                f"kernel backend        {self.backend.get('active', '?')} "
+                f"(numba {self.backend.get('numba', '?')})"
+            )
+        if self.compare:
+            compiled = self.compare.get("compiled", "?")
+            for name in ("group_argbest", "daic_round", "presence_gather"):
+                leg = self.compare.get(name)
+                if leg is None:
+                    continue
+                lines.append(
+                    f"  {name:<20} numpy {leg['numpy']['mean_ms']:.3f} ms  "
+                    f"{compiled} {leg['compiled']['mean_ms']:.3f} ms  "
+                    f"speedup {leg['speedup']:.2f}x"
+                )
         for name, okay in sorted(self.parity.items()):
             lines.append(f"  parity {name:<22} {'ok' if okay else 'MISMATCH'}")
         lines.append(f"verdict: {'PASS' if self.ok else 'FAIL'}")
@@ -141,11 +168,20 @@ def run_kernel_bench(
     n_sources: int = 4,
     iters: int = 20,
     seed: int = 0,
+    compare_backends: bool = False,
 ) -> KernelBenchReport:
-    """Run every kernel microbenchmark; see the module docstring."""
+    """Run every kernel microbenchmark; see the module docstring.
+
+    With ``compare_backends`` each backend-dispatched kernel
+    (``group_argbest``, the fused DAIC round via plan execution, and the
+    bit-plane presence gather) is additionally timed under both the
+    numpy reference and the best compiled tier, with a bit-identical
+    parity gate between the two legs.
+    """
     from repro.algorithms import get_algorithm
     from repro.core.multi_query import evaluate_multi_query
     from repro.engines.daic import group_argbest
+    from repro.perf.backend import backend_info
     from repro.service.shm import ScenarioPlane, attach_scenario
     from repro.workloads import load_scenario
 
@@ -250,6 +286,14 @@ def run_kernel_bench(
         "segment_bytes": manifest.nbytes,
     }
 
+    # -- numpy vs compiled tier, per backend-dispatched kernel -------------
+    compare: dict = {}
+    if compare_backends:
+        compare = _compare_backend_tiers(
+            scenario, algorithm, sources, keys, cands, edge_idx,
+            iters, plan_iters, parity,
+        )
+
     config = {
         "graph": graph,
         "scale": scale,
@@ -264,4 +308,102 @@ def run_kernel_bench(
         "python": platform.python_version(),
         "machine": platform.machine(),
     }
-    return KernelBenchReport(config=config, results=results, parity=parity)
+    return KernelBenchReport(
+        config=config, results=results, parity=parity,
+        backend=backend_info(), compare=compare,
+    )
+
+
+def _speedup_leg(numpy_timing: dict, compiled_timing: dict) -> dict:
+    return {
+        "numpy": numpy_timing,
+        "compiled": compiled_timing,
+        "speedup": numpy_timing["mean_ms"]
+        / max(compiled_timing["mean_ms"], 1e-9),
+    }
+
+
+def _compare_backend_tiers(
+    scenario, algorithm, sources, keys, cands, edge_idx,
+    iters: int, plan_iters: int, parity: dict,
+) -> dict:
+    """Time each backend-dispatched kernel under numpy and the best
+    compiled tier; parity-gate the two legs bit-identically.
+
+    Returns ``{"compiled": "unavailable", ...}`` (and records no parity
+    entries) when no compiled tier can load, so the benchmark still runs
+    on machines without numba or a C compiler.
+    """
+    from repro.core.multi_query import evaluate_multi_query
+    from repro.perf.backend import backend_info, reference, resolve_backend
+
+    requested = backend_info()["requested"]
+    unified = scenario.unified
+    try:
+        try:
+            compiled_be = resolve_backend("compiled")
+        except RuntimeError as exc:
+            return {"compiled": "unavailable", "error": str(exc)}
+        compare: dict = {"compiled": compiled_be.name}
+
+        # group_argbest: the raw reference against the guarded fast path
+        leg_np = _time(
+            lambda: reference.group_argbest(keys, cands, True), iters
+        )
+        leg_c = _time(
+            lambda: compiled_be.group_argbest(keys, cands, True), iters
+        )
+        u_np, b_np = reference.group_argbest(keys, cands, True)
+        u_c, b_c = compiled_be.group_argbest(keys, cands, True)
+        parity["group_argbest_backends"] = bool(
+            np.array_equal(u_np, u_c) and np.array_equal(b_np, b_c)
+        )
+        compare["group_argbest"] = _speedup_leg(leg_np, leg_c)
+
+        # presence_gather: fused unpack-and-test vs unpackbits reference
+        planes = unified.presence_planes()
+        k = unified.n_snapshots
+        idx64 = np.ascontiguousarray(edge_idx, dtype=np.int64)
+
+        def presence_ref() -> np.ndarray:
+            return np.unpackbits(
+                planes[:, edge_idx], axis=0, count=k, bitorder="little"
+            ).view(bool)
+
+        leg_np = _time(presence_ref, iters)
+        leg_c = _time(
+            lambda: compiled_be.presence_gather(planes, idx64, k), iters
+        )
+        parity["presence_gather_backends"] = bool(
+            np.array_equal(
+                presence_ref(), compiled_be.presence_gather(planes, idx64, k)
+            )
+        )
+        compare["presence_gather"] = _speedup_leg(leg_np, leg_c)
+
+        # fused DAIC round, measured through the full coalesced plan (the
+        # engine resolves the process-wide backend at construction, so
+        # each leg pins it explicitly)
+        resolve_backend("numpy")
+        leg_np = _time(
+            lambda: evaluate_multi_query(scenario, algorithm, sources),
+            plan_iters,
+        )
+        res_np = evaluate_multi_query(scenario, algorithm, sources)
+        resolve_backend(compiled_be.name)
+        leg_c = _time(
+            lambda: evaluate_multi_query(scenario, algorithm, sources),
+            plan_iters,
+        )
+        res_c = evaluate_multi_query(scenario, algorithm, sources)
+        parity["daic_round_backends"] = all(
+            np.array_equal(
+                res_np.values(q, s), res_c.values(q, s)
+            )
+            for q in range(len(sources))
+            for s in range(scenario.n_snapshots)
+        )
+        compare["daic_round"] = _speedup_leg(leg_np, leg_c)
+        return compare
+    finally:
+        resolve_backend(requested)

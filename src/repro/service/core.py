@@ -59,6 +59,7 @@ from dataclasses import dataclass
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.profile import merge_profiles
+from repro.perf.backend import requested_tier
 from repro.resilience.faults import FaultPlan, Fire, maybe_fire, register_fault_point
 from repro.service.batcher import (
     AdmissionQueue,
@@ -225,6 +226,11 @@ class ServiceConfig:
     #: expected cluster size, 0 = not cluster-supervised (informational:
     #: surfaces in health; membership itself is whoever beacons)
     cluster: int = 0
+    #: kernel backend the pool workers must resolve
+    #: (auto|numpy|compiled|numba|cext; "" defers to each worker's
+    #: MEGA_KERNEL_BACKEND / auto).  Workers report the tier they
+    #: actually resolved — health and mega_kernel_backend expose it
+    kernel_backend: str = ""
 
 
 #: counter name -> help text; the registry names are
@@ -320,7 +326,16 @@ class QueryService:
         self.queue = AdmissionQueue(self.config.max_pending)
         # warm the pool before the batcher thread exists so every worker
         # is forked from a single-threaded coordinator
-        self.pool = WorkerPool(self.config.workers)
+        self.pool = WorkerPool(
+            self.config.workers, kernel_backend=self.config.kernel_backend
+        )
+        self._backend_gauge = self.metrics.labeled_gauge(
+            "mega_kernel_backend",
+            "active kernel backend per pool worker (value is always 1)",
+            label=("worker", "backend"),
+        )
+        self._backend_series: set[tuple[str, str]] = set()
+        self._sync_backend_gauge()
         #: shared-memory scenario plane (None with --no-shm)
         self.plane: ScenarioPlane | None = (
             ScenarioPlane() if self.config.use_shm else None
@@ -386,6 +401,32 @@ class QueryService:
             FaultPlan(coord, seed=self.config.fault_seed) if coord else None
         )
         self._register_gauges()
+
+    def _sync_backend_gauge(self) -> None:
+        """Mirror the pool's pid -> kernel tier map into the
+        ``mega_kernel_backend`` family, dropping series of departed
+        workers so a restarted pool doesn't export ghost members."""
+        live = {
+            (str(pid), name or "unknown")
+            for pid, name in self.pool.worker_backends.items()
+        }
+        for key in self._backend_series - live:
+            self._backend_gauge.discard(*key)
+        for key in live:
+            self._backend_gauge.labels(*key).set(1.0)
+        self._backend_series = live
+
+    def _note_worker_backend(self, result: PlanResult) -> None:
+        """Fold a plan result's resolved tier into the pool map (covers
+        workers forked by a mid-serve restart, which never re-ping)."""
+        if not result.kernel_backend:
+            return
+        known = self.pool.worker_backends.get(result.worker_pid)
+        if known != result.kernel_backend:
+            self.pool.worker_backends[result.worker_pid] = (
+                result.kernel_backend
+            )
+            self._sync_backend_gauge()
 
     def _register_gauges(self) -> None:
         """Callback gauges over live state, sampled at render time."""
@@ -984,6 +1025,7 @@ class QueryService:
             deltas=deltas,
             budget_s=self.config.budget_s,
             kind="scatter",
+            kernel_backend=self.config.kernel_backend,
             shm=manifest,
             chain=self.service_id,
             profile_every=self.config.profile_rounds,
@@ -1016,6 +1058,7 @@ class QueryService:
                 if result.elapsed_s > 0:
                     self._plan_ewma.ewma(result.elapsed_s, alpha=0.2)
                 self._merge_round_profile(result.round_profile)
+                self._note_worker_backend(result)
             with self._inflight_lock:
                 self._inflight.discard(pid)
 
@@ -1136,6 +1179,15 @@ class QueryService:
             "workers": self.pool.workers,
             "worker_pids": sorted(self.pool.worker_pids),
             "pool_restarts": self.pool.restarts,
+            "kernel_backend": {
+                "requested": requested_tier(self.config.kernel_backend),
+                "workers": {
+                    str(pid): name
+                    for pid, name in sorted(
+                        self.pool.worker_backends.items()
+                    )
+                },
+            },
             "shm": (
                 self.plane.stats()
                 if self.plane is not None
@@ -1227,6 +1279,7 @@ class QueryService:
             budget_s=self.config.budget_s,
             fault_points=fault_points,
             fault_seed=self.config.fault_seed,
+            kernel_backend=self.config.kernel_backend,
             shm=manifest,
             profile_every=self.config.profile_rounds,
             chain=self.service_id,
@@ -1338,6 +1391,7 @@ class QueryService:
         if result.elapsed_s > 0:
             self._plan_ewma.ewma(result.elapsed_s, alpha=0.2)
         self._merge_round_profile(result.round_profile)
+        self._note_worker_backend(result)
         self.stats.inc("faults_recovered", len(result.recovered_faults))
         for q in queries:
             summaries = result.summaries.get(q.request.source)

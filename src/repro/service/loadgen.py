@@ -29,11 +29,14 @@ from dataclasses import asdict, dataclass
 import numpy as np
 
 from repro.obs.trace import stage_percentiles
+from repro.perf.backend import requested_tier
 from repro.service.core import NotPrimaryError, QueryService, ServiceConfig
 from repro.service.request import QueryRequest
 
 __all__ = ["LoadSpec", "BenchReport", "run_load"]
 
+#: 7: kernel-backend provenance — ``kernel_backend`` (requested tier +
+#: the per-worker resolved map from the pool warm-up pings);
 #: 6: cluster fields — ``failovers`` (writer re-resolutions of the
 #: primary after its target died mid-run, i.e. ingest survived a leader
 #: election) next to the schema-4 ``redirects``;
@@ -45,7 +48,7 @@ __all__ = ["LoadSpec", "BenchReport", "run_load"]
 #: 3: per-stage latency percentiles (``stage_latency_ms``), sampled span
 #: timelines (``traces``), optional ``round_profile``.  Every schema-3
 #: field is preserved.
-BENCH_SCHEMA_VERSION = 6
+BENCH_SCHEMA_VERSION = 7
 
 
 @dataclass
@@ -554,6 +557,31 @@ def run_load(
     }
     if round_profile.get("sections"):
         results["round_profile"] = round_profile
+    # which kernel tier actually served the run (schema 7): requested
+    # backend plus the per-worker resolved map, so a mixed pool is
+    # visible in the committed bench artifact; sharded front ends report
+    # the union of every shard's pool
+    pools = []
+    pool = getattr(service, "pool", None)
+    if pool is not None:
+        pools.append(pool)
+    else:
+        shard_manager = getattr(service, "manager", None)
+        if shard_manager is not None:
+            pools.extend(
+                shard.pool
+                for shard in shard_manager.shards
+                if getattr(shard, "pool", None) is not None
+            )
+    if pools:
+        results["kernel_backend"] = {
+            "requested": requested_tier(pools[0].kernel_backend),
+            "workers": {
+                str(pid): name
+                for p in pools
+                for pid, name in sorted(p.worker_backends.items())
+            },
+        }
     # sharded front ends expose per-shard health and scatter-gather stats;
     # the plain service has neither attribute and the report omits both
     manager = getattr(service, "manager", None)

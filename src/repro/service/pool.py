@@ -41,6 +41,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.obs.profile import profiled
+from repro.perf.backend import resolve_backend
 from repro.resilience import (
     Budget,
     BudgetExceeded,
@@ -92,6 +93,11 @@ class PlanPayload:
     fault_points: tuple[str, ...] = ()
     fault_seed: int = 0
     kind: str = "plan"  # "plan" | "ping" | "clear"
+    #: requested kernel backend (ServiceConfig.kernel_backend); ""
+    #: defers to the worker's MEGA_KERNEL_BACKEND / auto resolution.
+    #: Carried on every payload (not just the warm-up ping) so workers
+    #: forked by a mid-serve pool restart still resolve the same tier
+    kernel_backend: str = ""
     #: shared-memory scenario manifest (zero-copy attach); None = replay
     shm: ScenarioManifest | None = None
     #: delta-chain owner (the service's id): two services hosting the
@@ -124,6 +130,10 @@ class PlanResult:
     #: source vertex -> per-snapshot summaries
     summaries: dict[int, list[SnapshotSummary]] = field(default_factory=dict)
     worker_pid: int = 0
+    #: kernel tier the worker actually resolved (numba/cext/numpy);
+    #: surfaces in health and the mega_kernel_backend metric so a
+    #: mixed-pool misconfiguration is visible instead of silent
+    kernel_backend: str = ""
     elapsed_s: float = 0.0
     attempts: int = 1
     recovered_faults: tuple[str, ...] = ()
@@ -354,14 +364,20 @@ def _execute(payload: PlanPayload) -> PlanResult:
 
 def _worker_run(payload: PlanPayload) -> PlanResult:
     """Pool entry point: control ops, fault arming, in-worker retry."""
+    # resolve the kernel tier first so a misconfiguration (e.g. compiled
+    # requested but unavailable in this interpreter) fails the warm-up
+    # ping loudly instead of surfacing mid-plan
+    backend = resolve_backend(payload.kernel_backend or None)
     if payload.kind == "ping":
         time.sleep(0.02)  # hold the worker so warm-up reaches every process
         return PlanResult(plan_id=payload.plan_id, epoch=payload.epoch,
-                          worker_pid=os.getpid())
+                          worker_pid=os.getpid(),
+                          kernel_backend=backend.name)
     if payload.kind == "clear":
         _worker_clear()
         return PlanResult(plan_id=payload.plan_id, epoch=payload.epoch,
-                          worker_pid=os.getpid())
+                          worker_pid=os.getpid(),
+                          kernel_backend=backend.name)
 
     t0 = time.monotonic()
     attempts = {"n": 0}
@@ -396,6 +412,7 @@ def _worker_run(payload: PlanPayload) -> PlanResult:
     else:
         result = run_profiled()
     result.attempts = attempts["n"]
+    result.kernel_backend = backend.name
     result.worker_start_mono = t0
     result.worker_end_mono = time.monotonic()
     result.elapsed_s = result.worker_end_mono - t0
@@ -416,15 +433,23 @@ class WorkerPool:
     one resubmission instead of wedging the service.
     """
 
-    def __init__(self, workers: int = 2, warm: bool = True) -> None:
+    def __init__(
+        self, workers: int = 2, warm: bool = True, kernel_backend: str = ""
+    ) -> None:
         if workers < 1:
             raise ValueError("need at least one worker")
         self.workers = int(workers)
+        #: requested kernel tier, carried on every payload ("" = worker
+        #: env / auto)
+        self.kernel_backend = kernel_backend
         self._lock = threading.Lock()
         self._executor = self._new_executor()
         self.restarts = 0
         #: pids observed during the last warm-up (feeds the health op)
         self.worker_pids: set[int] = set()
+        #: pid -> resolved kernel tier from the last warm-up; health and
+        #: the mega_kernel_backend gauge read this to expose mixed pools
+        self.worker_backends: dict[int, str] = {}
         if warm:
             self.warm_up()
 
@@ -436,11 +461,17 @@ class WorkerPool:
         fork happens later mid-serve."""
         pings = [
             self._executor.submit(
-                _worker_run, PlanPayload(-1, "", "", 0, "", (), kind="ping")
+                _worker_run,
+                PlanPayload(-1, "", "", 0, "", (), kind="ping",
+                            kernel_backend=self.kernel_backend),
             )
             for __ in range(self.workers)
         ]
-        self.worker_pids = {p.result(timeout=60).worker_pid for p in pings}
+        results = [p.result(timeout=60) for p in pings]
+        self.worker_pids = {r.worker_pid for r in results}
+        self.worker_backends = {
+            r.worker_pid: r.kernel_backend for r in results
+        }
 
     def submit(self, payload: PlanPayload) -> Future:
         def do_submit() -> Future:

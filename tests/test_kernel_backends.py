@@ -1,0 +1,270 @@
+"""Differential parity: compiled kernel tiers vs the numpy reference.
+
+The backend contract (docs/PERFORMANCE.md, "Kernel backends") is
+bit-identical answers: values, parent tracking, and tie-break order must
+match the numpy reference exactly on every tier, for every algorithm.
+These tests re-run the same workloads under ``numpy`` and each available
+compiled tier and compare with ``array_equal`` — no tolerances.
+
+Backend selection is process-wide state, so every test that flips it
+restores the environment's choice via ``reset_backend`` on exit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms import all_algorithms, get_algorithm
+from repro.core.multi_query import evaluate_multi_query
+from repro.engines import DeletionRepair, MultiVersionEngine
+from repro.evolving import synthesize_scenario
+from repro.graph.generators import rmat_edges
+from repro.perf.backend import (
+    OPS,
+    available_backends,
+    backend_info,
+    get_backend,
+    reference,
+    reset_backend,
+    resolve_backend,
+)
+
+#: compiled tiers importable on this machine (cext needs a C compiler,
+#: numba the numba package); empty -> the differential tests skip
+COMPILED = [name for name in available_backends() if name != "numpy"]
+
+
+@pytest.fixture(autouse=True)
+def _restore_backend():
+    yield
+    reset_backend()
+
+
+@pytest.fixture(params=COMPILED if COMPILED else ["missing"])
+def compiled(request):
+    if not COMPILED:
+        pytest.skip("no compiled kernel tier available")
+    return request.param
+
+
+def _scenario():
+    pool = rmat_edges(n_vertices=192, n_edges=1536, seed=21)
+    return synthesize_scenario(
+        pool, n_snapshots=6, batch_pct=0.05, seed=22, name="backends"
+    )
+
+
+# -- registry behavior ------------------------------------------------------
+
+
+def test_numpy_backend_always_resolves():
+    be = resolve_backend("numpy")
+    assert be.name == "numpy"
+    assert not be.compiled
+    assert be.daic_round is None and be.presence_gather is None
+
+
+def test_invalid_backend_name_rejected():
+    with pytest.raises(ValueError):
+        resolve_backend("fpga")
+
+
+def test_explicit_request_overrides_cached(monkeypatch):
+    monkeypatch.setenv("MEGA_KERNEL_BACKEND", "numpy")
+    reset_backend()
+    assert get_backend().name == "numpy"
+    if COMPILED:
+        assert resolve_backend(COMPILED[0]).name == COMPILED[0]
+        # argument-free calls keep the explicit choice
+        assert get_backend().name == COMPILED[0]
+
+
+def test_backend_info_reports_tiers():
+    info = backend_info()
+    assert info["active"] in available_backends()
+    assert "numpy" in info["available"]
+    assert isinstance(info["numba"], str)  # a version or "unavailable"
+
+
+def test_kernel_ops_cover_core_algorithms():
+    for algorithm in all_algorithms():
+        assert algorithm.kernel_op in OPS
+
+
+# -- group_argbest ----------------------------------------------------------
+
+
+def _argbest_cases(rng):
+    yield rng.integers(0, 50, 400).astype(np.int64), rng.random(400)
+    # heavy duplication exercises the tie-break order
+    yield np.repeat(np.arange(8, dtype=np.int64), 64), np.tile(
+        rng.random(8), 64
+    )
+    yield np.zeros(16, dtype=np.int64), np.full(16, 0.5)
+    yield np.empty(0, dtype=np.int64), np.empty(0)
+
+
+def test_group_argbest_matches_reference(compiled):
+    be = resolve_backend(compiled)
+    rng = np.random.default_rng(5)
+    for keys, cands in _argbest_cases(rng):
+        for minimize in (True, False):
+            u_ref, b_ref = reference.group_argbest(keys, cands, minimize)
+            u_got, b_got = be.group_argbest(keys, cands, minimize)
+            assert np.array_equal(u_ref, u_got)
+            # ties must break toward the lowest input index, exactly
+            assert np.array_equal(b_ref, b_got)
+
+
+def test_group_argbest_sparse_domain_falls_back(compiled):
+    be = resolve_backend(compiled)
+    keys = np.array([0, 1 << 40, 7], dtype=np.int64)
+    cands = np.array([3.0, 1.0, 2.0])
+    u_ref, b_ref = reference.group_argbest(keys, cands, True)
+    u_got, b_got = be.group_argbest(keys, cands, True)
+    assert np.array_equal(u_ref, u_got) and np.array_equal(b_ref, b_got)
+
+
+# -- presence gather --------------------------------------------------------
+
+
+def test_presence_gather_matches_unpackbits(compiled):
+    be = resolve_backend(compiled)
+    unified = _scenario().unified
+    planes = unified.presence_planes()
+    rng = np.random.default_rng(9)
+    for size in (0, 1, 257):
+        idx = rng.integers(0, unified.n_union_edges, size).astype(np.int64)
+        ref = np.unpackbits(
+            planes[:, idx], axis=0, count=unified.n_snapshots,
+            bitorder="little",
+        ).view(bool)
+        got = be.presence_gather(planes, idx, unified.n_snapshots)
+        assert got.dtype == np.bool_
+        assert np.array_equal(ref, got)
+
+
+# -- full engine differential: values for all five algorithms ---------------
+
+
+def _run_all(scenario, sources):
+    out = {}
+    for algorithm in all_algorithms():
+        res = evaluate_multi_query(scenario, algorithm, sources)
+        out[algorithm.name] = [
+            res.values(q, s).copy()
+            for q in range(len(sources))
+            for s in range(scenario.n_snapshots)
+        ]
+    return out
+
+
+def test_engine_values_bit_identical(compiled):
+    scenario = _scenario()
+    sources = [0, 5, 11]
+    resolve_backend("numpy")
+    ref = _run_all(scenario, sources)
+    resolve_backend(compiled)
+    got = _run_all(scenario, sources)
+    for name in ref:
+        for a, b in zip(ref[name], got[name]):
+            assert np.array_equal(a, b, equal_nan=True), name
+
+
+def _parent_run(unified, backend_name):
+    resolve_backend(backend_name)
+    algo = get_algorithm("sssp")
+    engine = MultiVersionEngine(algo, unified, track_parents=True)
+    presence = np.ones(unified.n_union_edges, dtype=bool)
+    vals = engine.evaluate_full(presence, source=0)
+    return vals.copy(), engine.parent_edge.copy()
+
+
+def test_parent_tracking_bit_identical(compiled):
+    unified = _scenario().unified
+    vals_ref, parents_ref = _parent_run(unified, "numpy")
+    vals_got, parents_got = _parent_run(unified, compiled)
+    assert np.array_equal(vals_ref, vals_got, equal_nan=True)
+    # identical winning edge ids, not merely identical values: the
+    # lowest-flat-index tie-break is part of the contract
+    assert np.array_equal(parents_ref, parents_got)
+
+
+def _deletion_run(unified, backend_name):
+    resolve_backend(backend_name)
+    engine = MultiVersionEngine(
+        get_algorithm("sssp"), unified, track_parents=True
+    )
+    presence = np.ones(unified.n_union_edges, dtype=bool)
+    vals = engine.evaluate_full(presence, source=0)
+    repair = DeletionRepair(engine)
+    reached = np.flatnonzero(np.isfinite(vals))
+    victim = int(engine.parent_edge[0][reached[-1]])
+    after = presence.copy()
+    after[victim] = False
+    repair.apply_deletions(vals, np.array([victim]), after, 0)
+    return vals.copy(), engine.parent_edge.copy()
+
+
+def test_deletion_repair_bit_identical(compiled):
+    unified = _scenario().unified
+    vals_ref, parents_ref = _deletion_run(unified, "numpy")
+    vals_got, parents_got = _deletion_run(unified, compiled)
+    assert np.array_equal(vals_ref, vals_got, equal_nan=True)
+    assert np.array_equal(parents_ref, parents_got)
+
+
+def test_nan_weights_poison_on_every_tier(compiled):
+    from repro.evolving.unified_csr import UnifiedCSR
+    from repro.graph.csr import CSRGraph
+
+    for name in ("numpy", compiled):
+        resolve_backend(name)
+        g = CSRGraph.from_tuples(3, [(0, 1, float("nan")), (1, 2, 1.0)])
+        none = np.full(2, -1, dtype=np.int32)
+        u = UnifiedCSR(g, none, none.copy(), 1)
+        engine = MultiVersionEngine(get_algorithm("sssp"), u)
+        vals = engine.evaluate_full(np.ones(2, dtype=bool), 0)
+        assert np.isnan(vals[1]), name
+
+
+def test_empty_frontier_noop(compiled):
+    resolve_backend(compiled)
+    unified = _scenario().unified
+    engine = MultiVersionEngine(get_algorithm("bfs"), unified)
+    values = engine.algorithm.identity_values(unified.n_vertices)[None, :]
+    frontier = np.zeros((1, unified.n_vertices), dtype=bool)
+    presence = np.ones((1, unified.n_union_edges), dtype=bool)
+    before = values.copy()
+    engine.propagate(values, frontier, presence)
+    assert np.array_equal(values, before)
+
+
+def test_traces_identical_across_backends(compiled):
+    """The fused round must reproduce the recorded event counters, not
+    just the answers — the trace is the accelerator model's input."""
+    from repro.engines import TraceCollector
+
+    scenario = _scenario()
+
+    def trace_totals(backend_name):
+        resolve_backend(backend_name)
+        unified = scenario.unified
+        collector = TraceCollector(unified.n_union_edges)
+        engine = MultiVersionEngine(
+            get_algorithm("sssp"), unified, collector=collector
+        )
+        presence = np.ones(unified.n_union_edges, dtype=bool)
+        engine.evaluate_full(presence, source=0)
+        return [
+            (
+                r.events_popped, r.events_generated, r.vertex_writes,
+                r.version_events_popped, r.version_events_generated,
+                r.version_vertex_writes,
+            )
+            for execution in collector.executions
+            for r in execution.rounds
+        ]
+
+    assert trace_totals("numpy") == trace_totals(compiled)
