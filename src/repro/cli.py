@@ -317,6 +317,8 @@ def _service_config(args: argparse.Namespace):
         ))
     if getattr(args, "heartbeat_interval", 0.5) <= 0:
         raise SystemExit(_fail_usage("--heartbeat-interval must be > 0"))
+    if getattr(args, "slide_every", 0) < 0:
+        raise SystemExit(_fail_usage("--slide-every must be >= 0"))
     return ServiceConfig(
         scale=args.scale,
         n_snapshots=args.snapshots,
@@ -338,6 +340,7 @@ def _service_config(args: argparse.Namespace):
         quorum_timeout_s=args.quorum_timeout,
         node_id=getattr(args, "node_id", "") or "",
         cluster=cluster,
+        window_slide_every=getattr(args, "slide_every", 0),
     )
 
 
@@ -1117,6 +1120,13 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--heartbeat-interval", type=float, default=0.5,
                        metavar="S",
                        help="cluster heartbeat beacon cadence in seconds")
+        p.add_argument("--slide-every", type=int, default=0, metavar="N",
+                       help="sliding-window serving: fold a slide "
+                       "checkpoint every N ingests (WAL slide record, "
+                       "compaction rewrite, eager shm republish) and "
+                       "serve post-slide queries incrementally from "
+                       "per-worker window servers with stable-vertex "
+                       "reuse (0 = off)")
 
     p_serve = sub.add_parser(
         "serve", help="JSON-lines query service on stdin/stdout"

@@ -96,6 +96,13 @@ class DeletionStats:
     tag_events: int
     tag_rounds: int
     recompute_rounds: int
+    #: ``(n,)`` bool mask of the vertices the repair invalidated (post
+    #: trim) — every vertex whose converged value depended, through the
+    #: KickStarter parent forest, on a retired edge.  The complement is
+    #: the batch's provably-stable set; sliding-window serving reuses it
+    #: to seed incremental evaluation.  ``None`` only on legacy
+    #: constructions that predate the field.
+    tagged_mask: np.ndarray | None = None
 
 
 class DeletionRepair:
@@ -252,6 +259,7 @@ class DeletionRepair:
             tag_events=tag_events,
             tag_rounds=tag_rounds,
             recompute_rounds=recompute_rounds,
+            tagged_mask=tagged,
         )
 
     def _reverse_block_offset(self) -> int:

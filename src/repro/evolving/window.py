@@ -102,17 +102,24 @@ def slide_window(
 
     def slots_of(keys: np.ndarray) -> np.ndarray:
         """Union slot per key; -1 where the key is not in the union."""
+        if union_keys.size == 0:
+            # an edgeless window has no slots at all; numpy's fancy
+            # indexing is eager (``&`` does not short-circuit), so the
+            # general path below would fault on ``union_keys[pos]``
+            return np.full(keys.shape, -1, dtype=np.int64)
         pos = np.searchsorted(union_keys, keys)
         pos = np.minimum(pos, union_keys.size - 1)
-        hit = union_keys.size > 0
-        found = hit & (union_keys[pos] == keys)
+        found = union_keys[pos] == keys
         return np.where(found, pos, -1)
 
     # -- validate the new batches against the CommonGraph rule --------
     last_presence = unified.presence_mask(n - 1)
     del_pairs = np.asarray(deletions, dtype=np.int64).reshape(-1, 2)
     del_slot_arr = slots_of(del_pairs[:, 0] * n_vertices + del_pairs[:, 1])
-    bad = (del_slot_arr < 0) | ~last_presence[np.maximum(del_slot_arr, 0)]
+    found_del = del_slot_arr >= 0
+    alive = np.zeros(len(del_pairs), dtype=bool)
+    alive[found_del] = last_presence[del_slot_arr[found_del]]
+    bad = ~alive
     if np.any(bad):
         s, d = del_pairs[np.flatnonzero(bad)[0]]
         raise ValueError(
@@ -133,10 +140,10 @@ def slide_window(
     if np.unique(add_key_arr).size != len(additions):
         raise ValueError("additions contain duplicate pairs")
     add_existing = slots_of(add_key_arr)
-    known = add_existing >= 0
-    if np.any(known & last_presence[np.maximum(add_existing, 0)]):
+    known_slots = add_existing[add_existing >= 0]
+    if np.any(last_presence[known_slots]):
         raise ValueError("additions duplicate a live edge")
-    if np.any(known & (unified.del_step[np.maximum(add_existing, 0)] >= 1)):
+    if np.any(unified.del_step[known_slots] >= 1):
         raise ValueError(
             "re-adding an edge deleted inside the current window; "
             "split the window first"

@@ -250,6 +250,25 @@ class Histogram:
                 "buckets": dict(zip(self.bounds, self._counts)),
             }
 
+    def approx_quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (Prometheus semantics).
+
+        Returns the upper bound of the first cumulative bucket covering
+        the ``q``-th observation (0.0 with no observations) — the same
+        answer ``histogram_quantile`` gives a scraper, usable locally by
+        health snapshots without a second latency store.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        with self._lock:
+            if self._count == 0:
+                return 0.0
+            rank = q * self._count
+            for bound, count in zip(self.bounds, self._counts):
+                if count >= rank:
+                    return bound
+            return self.bounds[-1]
+
     def samples(self) -> list[tuple[str, float]]:
         snap = self.get()
         out = [

@@ -63,6 +63,39 @@ class ResultCache:
                 self._lru.pop(k)
             return len(stale)
 
+    def rebase_graph(self, graph: str, new_epoch: int) -> tuple[int, int]:
+        """Re-key entries across a window slide instead of dropping them.
+
+        Under sliding-window serving every ingest advances the window by
+        one snapshot, so the scenario at the previous epoch restricted to
+        window ``(lo, hi)`` is bit-identical to window ``(lo-1, hi-1)``
+        at ``new_epoch`` (summaries store window-relative snapshot
+        indices, which do not move).  Entries from the previous epoch
+        whose shifted window still exists (``lo >= 1``) are re-keyed;
+        everything else for ``graph`` — full-window results, windows
+        pinned at snapshot 0, older epochs — is dropped.  Returns
+        ``(rebased, dropped)``.
+        """
+        with self._lock:
+            rebased = dropped = 0
+            for k in [k for k in self._lru.keys() if k[0] == graph]:
+                # key layout: compat_key(epoch) + (source,) — see key()
+                g, algo, window, mode, epoch, source = k
+                movable = (
+                    epoch == new_epoch - 1
+                    and window is not None
+                    and window[0] >= 1
+                )
+                summaries = self._lru.pop(k)
+                if movable:
+                    shifted = (window[0] - 1, window[1] - 1)
+                    new_key = (g, algo, shifted, mode, new_epoch, source)
+                    self._lru[new_key] = summaries
+                    rebased += 1
+                else:
+                    dropped += 1
+            return rebased, dropped
+
     def clear(self) -> None:
         with self._lock:
             self._lru.clear()

@@ -77,6 +77,8 @@ from repro.service.shm import (
     sweep_orphan_segments,
 )
 from repro.service.wal import (
+    OP_INGEST,
+    OP_SLIDE,
     WalRecovery,
     WriteAheadLog,
     advance_fence,
@@ -118,6 +120,11 @@ COORDINATOR_FAULT_POINTS = (
 #: process-wide service ids: each QueryService owns a distinct delta
 #: chain, keyed into the live-scenario cache via ``PlanPayload.chain``
 _SERVICE_IDS = itertools.count(1)
+
+#: quorum-ack cursor polling: start tight so fast followers ack with
+#: minimal latency, double per miss, cap so long waits don't spin
+_QUORUM_POLL_MIN_S = 0.001
+_QUORUM_POLL_MAX_S = 0.05
 
 
 class SimulatedCrash(RuntimeError):
@@ -231,6 +238,16 @@ class ServiceConfig:
     #: MEGA_KERNEL_BACKEND / auto).  Workers report the tier they
     #: actually resolved — health and mega_kernel_backend expose it
     kernel_backend: str = ""
+    #: fold a window-slide checkpoint every N ingests (0 = off).  Every
+    #: ingest already slides the serving window by one snapshot; the
+    #: checkpoint cadence additionally writes a WAL slide record, rewrites
+    #: compaction state across the slide, eagerly republishes the shm
+    #: generation (retiring the previous one), and — whenever sliding is
+    #: on — workers serve full-window eval queries incrementally from
+    #: cached WindowServers with stable-vertex reuse, and the result
+    #: cache re-keys window entries across the slide instead of dropping
+    #: them (docs/SERVICE.md, Sliding-window serving)
+    window_slide_every: int = 0
 
 
 #: counter name -> help text; the registry names are
@@ -261,6 +278,22 @@ _COUNTER_HELP = {
     "missing_source": (
         "plan results lacking a query's source (resolved as errors, "
         "never cached)"
+    ),
+    "slides": "window-slide checkpoints folded into the serving base",
+    "cache_rebased": (
+        "result-cache entries re-keyed across a slide instead of dropped"
+    ),
+    "slide_advances": (
+        "incremental window advances performed by workers "
+        "(sliding-window serving)"
+    ),
+    "stable_vertices": (
+        "vertices provably unchanged across worker window advances "
+        "(reused, not recomputed)"
+    ),
+    "slide_vertices": (
+        "vertices examined across worker window advances (the "
+        "stable-vertex-rate denominator)"
     ),
 }
 
@@ -305,6 +338,9 @@ class _LiveGraph:
 
     def __init__(self) -> None:
         self.deltas: list[DeltaBatch] = []
+        #: window-slide checkpoints folded so far (window_slide_every
+        #: cadence; persisted via WAL slide records + snapshot)
+        self.slides = 0
 
     @property
     def epoch(self) -> int:
@@ -366,6 +402,10 @@ class QueryService:
         self._latency = self.metrics.histogram(
             "mega_query_latency_seconds",
             "end-to-end query latency (admit to resolve)",
+        )
+        self._slide_seconds = self.metrics.histogram(
+            "mega_slide_checkpoint_seconds",
+            "wall time of a slide checkpoint's eager shm republish",
         )
         self._profile_lock = threading.Lock()
         self._round_profile: dict = {}
@@ -516,6 +556,11 @@ class QueryService:
             ("bytes", "bytes published on the scenario plane"),
             ("published", "scenario generations published"),
             ("retired", "scenario generations retired"),
+            (
+                "retired_pending",
+                "retired scenario generations still mapped by in-flight "
+                "plans (must drain to 0 after a slide)",
+            ),
         ):
             reg.gauge_fn(
                 f"mega_shm_{key}",
@@ -524,6 +569,12 @@ class QueryService:
                 ),
                 help,
             )
+        reg.gauge_fn(
+            "mega_slide_stable_vertex_rate",
+            self.stable_vertex_rate,
+            "fraction of vertices reused (not recomputed) across worker "
+            "window advances",
+        )
 
     def _maybe_fire(self, point: str) -> Fire | None:
         """Coordinator fault hook: a globally injected plan wins, else the
@@ -579,10 +630,23 @@ class QueryService:
         self.last_recovery = recovery
         logs: dict[str, list[DeltaBatch]] = {}
         snapshot = recovery.snapshot or {}
+        slides: dict[str, int] = {
+            g: int(s) for g, s in (snapshot.get("slides") or {}).items()
+        }
         for graph, wires in snapshot.get("logs", {}).items():
             logs[graph] = [DeltaBatch.from_wire(w) for w in wires]
         for record in recovery.records:
-            if record.get("op") != "ingest":
+            op = record.get("op")
+            if op == OP_SLIDE:
+                # slide checkpoints carry no deltas — the log replays
+                # through the same slide path — but the counters must
+                # survive so health/bench report the true slide count
+                graph = record.get("graph", "")
+                slides[graph] = max(
+                    slides.get(graph, 0), int(record.get("slides", 0))
+                )
+                continue
+            if op != OP_INGEST:
                 log.warning(
                     "wal recovery: skipping unknown record op %r",
                     record.get("op"),
@@ -609,6 +673,9 @@ class QueryService:
             for graph, delta_log in logs.items():
                 live = self._graphs.setdefault(graph, _LiveGraph())
                 live.deltas = delta_log
+            for graph, count in slides.items():
+                live = self._graphs.setdefault(graph, _LiveGraph())
+                live.slides = max(live.slides, count)
         if logs:
             log.info(
                 "wal recovery: restored %s",
@@ -818,16 +885,29 @@ class QueryService:
         if self.role != "primary":
             self.stats.inc("not_primary")
             raise NotPrimaryError(self.role, self.primary_wal_dir)
+        if delta is None and seed is None:
+            raise ValueError("ingest needs a DeltaBatch or a seed")
+        slide_every = max(0, int(self.config.window_slide_every))
         compact_due = False
-        with self._graphs_lock:
-            live = self._graphs.setdefault(graph, _LiveGraph())
-            if delta is None:
-                if seed is None:
-                    raise ValueError("ingest needs a DeltaBatch or a seed")
-                # synthesize against the current live scenario so the
-                # delta respects the CommonGraph rule at this epoch
+        slide_due = False
+        while True:
+            base_epoch = None
+            candidate = delta
+            if candidate is None:
+                # Synthesize OUTSIDE the lock: building the live scenario
+                # and drawing a valid delta is the expensive part of a
+                # seeded ingest, and holding _graphs_lock through it
+                # stalled every other graph's ingest and epoch read.
+                # Optimistic concurrency instead: snapshot the epoch,
+                # synthesize against it, then re-validate under the lock
+                # — a losing racer resynthesizes so the delta always
+                # respects the CommonGraph rule at the epoch it lands on.
                 from repro.service.pool import _live_scenario
 
+                with self._graphs_lock:
+                    live = self._graphs.setdefault(graph, _LiveGraph())
+                    base_epoch = live.epoch
+                    base_deltas = tuple(live.deltas)
                 scenario = _live_scenario(
                     PlanPayload(
                         plan_id=0,
@@ -836,50 +916,116 @@ class QueryService:
                         n_snapshots=self.config.n_snapshots,
                         algo="",
                         sources=(),
-                        epoch=live.epoch,
-                        deltas=tuple(live.deltas),
+                        epoch=base_epoch,
+                        deltas=base_deltas,
                         chain=self.service_id,
                     )
                 )
-                delta = synthesize_delta(
+                candidate = synthesize_delta(
                     scenario, seed=seed, n_add=n_add, n_del=n_del
                 )
-            if self.wal is not None:
-                # durability point: commit before acknowledging; a
-                # WalWriteError propagates and nothing was applied
-                self.wal.append(
-                    {
-                        "op": "ingest",
-                        "graph": graph,
-                        "epoch": live.epoch + 1,
-                        "delta": delta.to_wire(),
-                    }
-                )
-                self.stats.inc("wal_records")
-            fire = self._maybe_fire("service.crash-on-ingest")
-            if fire is not None:
-                fire.note(graph=graph, epoch=live.epoch + 1)
-                raise SimulatedCrash(
-                    f"injected crash after WAL append of {graph} "
-                    f"epoch {live.epoch + 1}"
-                )
-            live.deltas.append(delta)
-            epoch = live.epoch
-            if (
-                self.wal is not None
-                and self.config.wal_compact_every > 0
-                and epoch % self.config.wal_compact_every == 0
-            ):
-                # compact while holding the lock: no append can race, so
-                # the snapshot provably covers every dropped segment
-                self.wal.compact(self._snapshot_graphs_locked())
-                self.stats.inc("wal_compactions")
-                compact_due = True
-        self.cache.invalidate_graph(graph)
+            with self._graphs_lock:
+                live = self._graphs.setdefault(graph, _LiveGraph())
+                if base_epoch is not None and live.epoch != base_epoch:
+                    # another ingest landed while we synthesized; the
+                    # candidate may violate the one-change-per-edge rule
+                    # at the new epoch — go around and resynthesize
+                    continue
+                if self.wal is not None:
+                    # durability point: commit before acknowledging; a
+                    # WalWriteError propagates and nothing was applied
+                    self.wal.append(
+                        {
+                            "op": OP_INGEST,
+                            "graph": graph,
+                            "epoch": live.epoch + 1,
+                            "delta": candidate.to_wire(),
+                        }
+                    )
+                    self.stats.inc("wal_records")
+                fire = self._maybe_fire("service.crash-on-ingest")
+                if fire is not None:
+                    fire.note(graph=graph, epoch=live.epoch + 1)
+                    raise SimulatedCrash(
+                        f"injected crash after WAL append of {graph} "
+                        f"epoch {live.epoch + 1}"
+                    )
+                live.deltas.append(candidate)
+                epoch = live.epoch
+                slide_due = slide_every > 0 and epoch % slide_every == 0
+                if slide_due:
+                    live.slides += 1
+                    if self.wal is not None:
+                        # the slide record makes the checkpoint part of
+                        # the durable history, then compaction rewrites
+                        # the log across the slide: snapshot + slide
+                        # counters replace the dropped segments, so
+                        # recovery resumes from the slid base
+                        self.wal.append(
+                            {
+                                "op": OP_SLIDE,
+                                "graph": graph,
+                                "epoch": epoch,
+                                "slides": live.slides,
+                            }
+                        )
+                        self.stats.inc("wal_records")
+                        self.wal.compact(self._snapshot_graphs_locked())
+                        self.stats.inc("wal_compactions")
+                        compact_due = True
+                if (
+                    not slide_due
+                    and self.wal is not None
+                    and self.config.wal_compact_every > 0
+                    and epoch % self.config.wal_compact_every == 0
+                ):
+                    # compact while holding the lock: no append can race,
+                    # so the snapshot provably covers every dropped
+                    # segment
+                    self.wal.compact(self._snapshot_graphs_locked())
+                    self.stats.inc("wal_compactions")
+                    compact_due = True
+                deltas_after = tuple(live.deltas)
+            break
+        if slide_due:
+            self.stats.inc("slides")
+            t0 = time.monotonic()
+            self._republish_plane(graph, epoch, deltas_after)
+            self._slide_seconds.observe(time.monotonic() - t0)
+        if slide_every > 0:
+            # every ingest slides the window by one snapshot: entries
+            # whose shifted window survives are re-keyed to the new
+            # epoch, only those whose window actually changed are dropped
+            rebased, _dropped = self.cache.rebase_graph(graph, epoch)
+            if rebased:
+                self.stats.inc("cache_rebased", rebased)
+        else:
+            self.cache.invalidate_graph(graph)
         self.stats.inc("ingests")
         if compact_due:
             log.info("wal compacted after epoch %d of %s", epoch, graph)
         return epoch, self._await_quorum(graph, epoch)
+
+    def _republish_plane(
+        self, graph: str, epoch: int, deltas: tuple
+    ) -> None:
+        """Eagerly publish the post-slide scenario generation.
+
+        Publishing retires the previous generation: in-flight plans still
+        mapping it drain through the refcount machinery (the segment is
+        unlinked when the last release lands), and post-slide plans
+        attach the new segment immediately instead of paying the publish
+        on their first query.
+        """
+        if self.plane is None:
+            return
+        try:
+            manifest = self._plane_manifest(graph, epoch, deltas)
+        except Exception:  # pragma: no cover - defensive; queries replay
+            log.exception("slide republish failed for %s@%d", graph, epoch)
+            return
+        if manifest is not None:
+            self.plane.release(manifest)
 
     def _await_quorum(self, graph: str, epoch: int) -> dict:
         """Block until k followers report ``epoch`` durable, or time out.
@@ -902,6 +1048,12 @@ class QueryService:
             return ack
         t0 = time.monotonic()
         deadline = t0 + max(0.0, self.config.quorum_timeout_s)
+        # Each poll re-reads and re-parses every follower cursor file.  A
+        # fixed short sleep burned a core per in-flight ack whenever a
+        # follower was slow; back off exponentially instead — the first
+        # polls stay tight so fast followers ack with ~1 ms latency,
+        # long waits settle at _QUORUM_POLL_MAX_S.
+        pause = _QUORUM_POLL_MIN_S
         while True:
             cursors = read_follower_cursors(self.wal.wal_dir)
             acked = sorted(
@@ -926,7 +1078,8 @@ class QueryService:
                     graph, epoch, len(acked), required, now - t0,
                 )
                 return ack
-            time.sleep(0.003)
+            time.sleep(min(pause, max(0.0, deadline - now)))
+            pause = min(pause * 2.0, _QUORUM_POLL_MAX_S)
 
     def apply_replicated(self, graph: str, epoch: int, delta_wire: dict) -> bool:
         """Apply one epoch shipped from the primary's WAL (follower path).
@@ -1113,7 +1266,14 @@ class QueryService:
                 g: [d.to_wire() for d in lg.deltas]
                 for g, lg in self._graphs.items()
             },
+            "slides": {g: lg.slides for g, lg in self._graphs.items()},
         }
+
+    def stable_vertex_rate(self) -> float:
+        """Fraction of vertices provably unchanged across worker window
+        advances (0.0 before any sliding-window advance ran)."""
+        total = self.stats.get("slide_vertices")
+        return self.stats.get("stable_vertices") / total if total else 0.0
 
     def clear_caches(self) -> None:
         """Coordinator cache + best-effort worker-side clear."""
@@ -1141,6 +1301,7 @@ class QueryService:
         stats = self.service_stats()
         with self._graphs_lock:
             epochs = {g: lg.epoch for g, lg in self._graphs.items()}
+            slide_counts = {g: lg.slides for g, lg in self._graphs.items()}
         with self._inflight_lock:
             inflight = len(self._inflight)
             unplanned = self._unplanned
@@ -1194,6 +1355,17 @@ class QueryService:
                 else {"enabled": False}
             ),
             "wal": wal,
+            "sliding": {
+                "enabled": self.config.window_slide_every > 0,
+                "slide_every": self.config.window_slide_every,
+                "slides": slide_counts,
+                "slide_advances": stats["slide_advances"],
+                "cache_rebased": stats["cache_rebased"],
+                "stable_vertex_rate": round(self.stable_vertex_rate(), 6),
+                "republish_p95_s": self._slide_seconds.approx_quantile(
+                    0.95
+                ),
+            },
         }
         if self.config.shard_id >= 0:
             out["shard_id"] = self.config.shard_id
@@ -1283,6 +1455,7 @@ class QueryService:
             shm=manifest,
             profile_every=self.config.profile_rounds,
             chain=self.service_id,
+            slide_serving=self.config.window_slide_every > 0,
         )
         self.stats.inc("plans")
         self.stats.inc("plan_queries", len(queries))
@@ -1393,6 +1566,10 @@ class QueryService:
         self._merge_round_profile(result.round_profile)
         self._note_worker_backend(result)
         self.stats.inc("faults_recovered", len(result.recovered_faults))
+        if result.slide_advances:
+            self.stats.inc("slide_advances", result.slide_advances)
+            self.stats.inc("stable_vertices", result.stable_vertices)
+            self.stats.inc("slide_vertices", result.slide_vertices)
         for q in queries:
             summaries = result.summaries.get(q.request.source)
             q.trace.mark("worker_start", result.worker_start_mono)

@@ -35,6 +35,11 @@ from repro.service.request import QueryRequest
 
 __all__ = ["LoadSpec", "BenchReport", "run_load"]
 
+#: 8: sliding-window serving — a ``sliding`` block (slide checkpoint
+#: count, worker window advances, cache entries re-keyed across slides,
+#: stable-vertex reuse rate, and a post-drain ``parity`` verdict holding
+#: the slid window bit-identical to a freshly built one per graph and
+#: algorithm); a parity failure marks the run degraded;
 #: 7: kernel-backend provenance — ``kernel_backend`` (requested tier +
 #: the per-worker resolved map from the pool warm-up pings);
 #: 6: cluster fields — ``failovers`` (writer re-resolutions of the
@@ -48,7 +53,7 @@ __all__ = ["LoadSpec", "BenchReport", "run_load"]
 #: 3: per-stage latency percentiles (``stage_latency_ms``), sampled span
 #: timelines (``traces``), optional ``round_profile``.  Every schema-3
 #: field is preserved.
-BENCH_SCHEMA_VERSION = 7
+BENCH_SCHEMA_VERSION = 8
 
 
 @dataclass
@@ -105,7 +110,12 @@ class BenchReport:
         unrecovered = r["faults"]["injected"] > 0 and (
             r["faults"]["recovered"] == 0 and r["retries"] == 0
         )
-        return bool(r["errored"] or r["gave_up"] or unrecovered)
+        parity_failed = not (
+            r.get("sliding", {}).get("parity", {}).get("ok", True)
+        )
+        return bool(
+            r["errored"] or r["gave_up"] or unrecovered or parity_failed
+        )
 
     def to_json(self) -> str:
         return json.dumps(
@@ -149,6 +159,17 @@ class BenchReport:
                 f"wal records {r['wal']['records']}  "
                 f"lag {r['wal']['lag_records']}  "
                 f"compactions {r['wal']['compactions']}"
+            )
+        sliding = r.get("sliding", {})
+        if sliding.get("enabled"):
+            parity = sliding.get("parity", {})
+            lines.append(
+                f"slides {sliding['slides']}  "
+                f"worker advances {sliding['slide_advances']}  "
+                f"stable vertices {sliding['stable_vertex_rate']:.1%}  "
+                f"cache rebased {sliding['cache_rebased']}  "
+                f"parity {'ok' if parity.get('ok') else 'FAILED'} "
+                f"({parity.get('checked', 0)} checks)"
             )
         if "n_shards" in r:
             sc = r.get("scatter", {})
@@ -291,6 +312,68 @@ def _retry_query(
         handle = service.submit(retry)
         response = handle.wait(timeout=max(0.0, deadline - time.monotonic()))
     return response, attempts
+
+
+def _slide_parity(service, spec: LoadSpec) -> dict:
+    """Differential slide check run after the drain, against final state.
+
+    For every (graph, algorithm) the run served: advance a
+    :class:`~repro.core.window_server.WindowServer` from the deterministic
+    base through the *exact* delta log the service ingested, and compare
+    every snapshot's values bit-for-bit against a window freshly built at
+    the final epoch.  Any mismatch fails the check (and degrades the
+    bench) — the Table 1 algorithms converge to a unique fixpoint, so
+    incremental repair and a scratch build must agree exactly.
+    """
+    from repro.algorithms import get_algorithm
+    from repro.core.window_server import WindowServer
+    from repro.evolving.snapshots import EvolvingScenario
+    from repro.experiments.runner import scenario_cache
+    from repro.service.ingest import apply_delta
+
+    graph_deltas = getattr(service, "graph_deltas", None)
+    if graph_deltas is None:  # sharded front end: shards own the chains
+        return {"checked": 0, "ok": True, "mismatches": []}
+    cfg = service.config
+    checked = 0
+    mismatches: list[dict] = []
+    for graph in spec.graphs:
+        deltas = graph_deltas(graph)
+        base = scenario_cache(graph, cfg.scale, n_snapshots=cfg.n_snapshots)
+        fresh = base
+        for delta in deltas:
+            fresh = apply_delta(fresh, delta)
+        source = _source_pool(graph, cfg.scale, cfg.n_snapshots, 1)[0]
+        n = base.n_vertices
+        for algo_name in spec.algos:
+            algorithm = get_algorithm(algo_name)
+            slid = WindowServer(
+                EvolvingScenario(
+                    base.unified, source=source,
+                    name=base.name, metadata=dict(base.metadata),
+                ),
+                algorithm,
+            )
+            for delta in deltas:
+                slid.advance(delta.additions(n), delta.deletions())
+            built = WindowServer(
+                EvolvingScenario(
+                    fresh.unified, source=source,
+                    name=fresh.name, metadata=dict(fresh.metadata),
+                ),
+                algorithm,
+            )
+            checked += 1
+            for k in range(built.n_snapshots):
+                if not np.array_equal(
+                    slid.values(k), built.values(k), equal_nan=True
+                ):
+                    mismatches.append(
+                        {"graph": graph, "algo": algo_name, "snapshot": k}
+                    )
+                    break
+    return {"checked": checked, "ok": not mismatches,
+            "mismatches": mismatches}
 
 
 def run_load(
@@ -555,6 +638,23 @@ def run_load(
         },
         "traces": traces,
     }
+    slide_every = int(getattr(cfg, "window_slide_every", 0) or 0)
+    if slide_every > 0:
+        slide_vertices = stats.get("slide_vertices", 0)
+        results["sliding"] = {
+            "enabled": True,
+            "slide_every": slide_every,
+            "slides": stats.get("slides", 0),
+            "slide_advances": stats.get("slide_advances", 0),
+            "cache_rebased": stats.get("cache_rebased", 0),
+            "stable_vertex_rate": (
+                stats.get("stable_vertices", 0) / slide_vertices
+                if slide_vertices else 0.0
+            ),
+            "parity": _slide_parity(service, spec),
+        }
+    else:
+        results["sliding"] = {"enabled": False}
     if round_profile.get("sections"):
         results["round_profile"] = round_profile
     # which kernel tier actually served the run (schema 7): requested

@@ -119,6 +119,11 @@ class PlanPayload:
     n_states: int = 0
     frontier: DeltaBatch | None = None
     state_block: np.ndarray | None = None
+    #: sliding-window serving (ServiceConfig.window_slide_every > 0):
+    #: full-window eval plans are answered from a per-worker
+    #: WindowServer advanced incrementally across epochs — stable
+    #: vertices are reused, only the new latest snapshot is repaired
+    slide_serving: bool = False
 
 
 @dataclass
@@ -153,6 +158,12 @@ class PlanResult:
     boundary: DeltaBatch | None = None
     local_rounds: int = 0
     relaxed_edges: int = 0
+    #: sliding-window serving provenance: incremental window advances
+    #: this plan performed, and their stable-vertex accounting (the
+    #: coordinator folds these into the service counters)
+    slide_advances: int = 0
+    stable_vertices: int = 0
+    slide_vertices: int = 0
 
 
 # ---------------------------------------------------------------------------
@@ -167,6 +178,14 @@ _LIVE_LIMIT = 8
 #: attaches to the coordinator's scenario plane
 _ATTACHED: dict = {}
 _ATTACHED_LIMIT = 4
+
+#: (graph, scale, n_snapshots, chain, algo, source) -> (epoch,
+#: WindowServer); process-local sliding-window serving state.  Servers
+#: are built ONLY from the replay path's owned arrays — never from a
+#: shm attach, whose mapping an _ATTACHED eviction (or a segment
+#: retirement) closes while the server still holds views into it.
+_WINDOWS: dict = {}
+_WINDOWS_LIMIT = 32
 
 
 def _detach_all() -> None:
@@ -281,8 +300,92 @@ def _worker_clear() -> None:
     from repro.experiments.runner import clear_caches
 
     _LIVE.clear()
+    _WINDOWS.clear()
     _detach_all()
     clear_caches()
+
+
+def _window_server(payload: PlanPayload, algorithm, source: int):
+    """The cached WindowServer for this plan key and source, advanced to
+    ``payload.epoch``; returns ``(server, advances, stable, total)``.
+
+    A cache hit behind the plan's epoch replays only the missing deltas
+    through :meth:`WindowServer.advance` — surviving snapshots and
+    stable vertices are reused, only each new latest snapshot is
+    repaired.  A miss (or a straggler plan older than the cached epoch,
+    which must not regress the cache) builds a fresh server from the
+    replay scenario's owned arrays.
+    """
+    from repro.core.window_server import WindowServer
+    from repro.evolving.snapshots import EvolvingScenario
+
+    key = (
+        payload.graph, payload.scale, payload.n_snapshots, payload.chain,
+        payload.algo, int(source),
+    )
+    cached = _WINDOWS.get(key)
+    if cached is not None and cached[0] == payload.epoch:
+        return cached[1], 0, 0, 0
+    if cached is not None and cached[0] < payload.epoch:
+        epoch, server = cached
+        n = server.scenario.n_vertices
+        advances = stable = total = 0
+        for delta in payload.deltas[epoch: payload.epoch]:
+            server.advance(delta.additions(n), delta.deletions())
+            advances += 1
+            if server.last_stable is not None:
+                stable += int(server.last_stable.sum())
+            total += n
+        _WINDOWS[key] = (payload.epoch, server)
+        return server, advances, stable, total
+    base = _live_scenario(payload)
+    scenario = EvolvingScenario(
+        base.unified,
+        source=int(source),
+        name=base.name,
+        metadata=dict(base.metadata),
+    )
+    server = WindowServer(scenario, algorithm)
+    if cached is None:
+        if len(_WINDOWS) >= _WINDOWS_LIMIT:
+            _WINDOWS.pop(next(iter(_WINDOWS)))
+        _WINDOWS[key] = (payload.epoch, server)
+    return server, 0, 0, 0
+
+
+def _execute_sliding(payload: PlanPayload) -> PlanResult:
+    """Answer a full-window eval plan from per-source WindowServers.
+
+    Values are bit-identical to the scratch path (every Table 1
+    algorithm converges to the unique min-over-paths fixpoint, so the
+    incremental repair and a fresh build agree exactly — the parity
+    tests and ``serve-bench --slide-every`` hold this bitwise), but
+    post-slide plans touch only the unstable vertex set instead of
+    recomputing the window.
+    """
+    from repro.algorithms import get_algorithm
+
+    algorithm = get_algorithm(payload.algo)
+    summaries = {}
+    advances = stable = total = 0
+    for source in payload.sources:
+        server, a, s, t = _window_server(payload, algorithm, int(source))
+        advances += a
+        stable += s
+        total += t
+        summaries[int(source)] = [
+            _summarize(algorithm, server.values(k), k)
+            for k in range(server.n_snapshots)
+        ]
+    return PlanResult(
+        plan_id=payload.plan_id,
+        epoch=payload.epoch,
+        summaries=summaries,
+        worker_pid=os.getpid(),
+        slide_advances=advances,
+        stable_vertices=stable,
+        slide_vertices=total,
+    )
 
 
 def _execute(payload: PlanPayload) -> PlanResult:
@@ -301,6 +404,15 @@ def _execute(payload: PlanPayload) -> PlanResult:
     if fire is not None:
         fire.note(plan=payload.plan_id, pid=os.getpid())
         raise FatalError(f"injected poisoned plan (plan {payload.plan_id})")
+
+    if (
+        payload.kind == "plan"
+        and payload.slide_serving
+        and payload.mode == "eval"
+        and payload.window is None
+        and payload.vertex_hi == 0
+    ):
+        return _execute_sliding(payload)
 
     scenario = None
     if payload.shm is not None and payload.shm.epoch == payload.epoch:

@@ -389,6 +389,11 @@ class ScenarioPlane:
                 ),
                 "published": self.published,
                 "retired": self.retired,
+                # retired generations still mapped by in-flight plans;
+                # anything left here after a drain is an orphaned segment
+                "retired_pending": sum(
+                    1 for s in self._by_name.values() if s.retired
+                ),
                 "generation": self._seq,
             }
 

@@ -79,6 +79,8 @@ from repro.resilience.faults import Fire, maybe_fire, register_fault_point
 
 __all__ = [
     "FSYNC_POLICIES",
+    "OP_INGEST",
+    "OP_SLIDE",
     "FenceEvent",
     "WalPosition",
     "WalRecovery",
@@ -123,6 +125,17 @@ FENCE_NAME = "fence.json"
 _SEGMENT_GLOB = "wal-*.seg"
 #: key under which compaction stamps writer metadata into the snapshot
 SNAPSHOT_WAL_KEY = "wal"
+
+# Record ops the query service writes.  ``ingest`` carries one delta
+# batch (``{"op", "graph", "epoch", "delta"}``).  ``slide`` marks a
+# window-slide checkpoint (``{"op", "graph", "epoch", "slides"}``): it
+# records that the serving base folded the oldest snapshot's Δs into the
+# common graph, so recovery can restore per-graph slide counters — the
+# delta log itself already replays deterministically through the same
+# slide path, and compaction folds both the log and the counters into
+# the snapshot's ``logs``/``slides`` maps.
+OP_INGEST = "ingest"
+OP_SLIDE = "slide"
 
 
 class WalWriteError(RuntimeError):

@@ -364,6 +364,8 @@ def _bench_schema_ok(doc: dict) -> None:
         "ingests", "faults", "wal", "stage_latency_ms", "traces",
         # schema 4: replication fields
         "redirects", "role", "replication_lag_epochs",
+        # schema 8: sliding-window serving block
+        "sliding",
     ):
         assert key in r, key
     assert r["role"] in ("primary", "follower")
@@ -377,6 +379,10 @@ def _bench_schema_ok(doc: dict) -> None:
     assert isinstance(r["traces"], list)
     assert set(r["faults"]) == {"injected", "recovered"}
     assert isinstance(r["wal"].get("enabled"), bool)
+    assert isinstance(r["sliding"].get("enabled"), bool)
+    if r["sliding"]["enabled"]:
+        assert r["sliding"]["parity"]["ok"] in (True, False)
+        assert 0.0 <= r["sliding"]["stable_vertex_rate"] <= 1.0
     assert doc["config"]["scale"] in ("tiny", "small", "medium")
 
 

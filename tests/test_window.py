@@ -1,4 +1,4 @@
-"""Tests for ad-hoc time-window extraction."""
+"""Tests for ad-hoc time-window extraction and window sliding."""
 
 import numpy as np
 import pytest
@@ -6,7 +6,10 @@ import pytest
 from repro.algorithms import get_algorithm
 from repro.engines import PlanExecutor
 from repro.engines.validation import evaluate_reference, validate_workflow
-from repro.evolving.window import extract_window, window_scenario
+from repro.evolving.unified_csr import UnifiedCSR
+from repro.evolving.window import extract_window, slide_window, window_scenario
+from repro.graph.csr import CSRGraph
+from repro.graph.edges import EdgeList
 from repro.schedule import boe_plan, work_sharing_plan
 
 
@@ -87,3 +90,106 @@ def test_window_scenario_metadata(small_scenario):
     assert sub.metadata["window"] == (1, 3)
     assert sub.source == small_scenario.source
     assert "[1:3]" in sub.name
+
+
+# -- sliding ---------------------------------------------------------------
+
+
+def _edgeless_window(n_vertices: int = 8, n_snapshots: int = 4) -> UnifiedCSR:
+    empty = EdgeList.from_tuples(n_vertices, [])
+    return UnifiedCSR(
+        CSRGraph.from_edges(empty),
+        np.zeros(0, np.int32),
+        np.zeros(0, np.int32),
+        n_snapshots,
+    )
+
+
+def test_slide_empty_union_with_addition():
+    """Regression: sliding an edgeless window used to raise IndexError
+    (``slots_of`` fancy-indexed ``union_keys[pos]`` before its guard)."""
+    u = _edgeless_window()
+    adds = EdgeList.from_tuples(u.n_vertices, [(1, 2, 1.5)])
+    result = slide_window(u, adds, [])
+    assert result.unified.n_snapshots == u.n_snapshots
+    assert result.del_slots.size == 0
+    assert result.add_slots.tolist() == [0]
+    # the addition arrives at the last transition of the slid window
+    assert int(result.unified.presence_mask(u.n_snapshots - 1).sum()) == 1
+    for k in range(u.n_snapshots - 1):
+        assert int(result.unified.presence_mask(k).sum()) == 0
+
+
+def test_slide_empty_union_noop():
+    u = _edgeless_window()
+    result = slide_window(u)
+    assert result.unified.n_union_edges == 0
+    assert result.del_slots.size == 0 and result.add_slots.size == 0
+
+
+def test_slide_empty_union_deletion_is_value_error():
+    """A deletion against an empty union must fail validation with the
+    'not present' ValueError, not crash with IndexError."""
+    u = _edgeless_window()
+    with pytest.raises(ValueError, match="not present"):
+        slide_window(u, None, [(1, 2)])
+
+
+def test_slide_rejects_missing_and_duplicate_edges(small_scenario):
+    u = small_scenario.unified
+    n = u.n_vertices
+    present = u.presence_mask(u.n_snapshots - 1)
+    live_slot = int(np.flatnonzero(present)[0])
+    src = int(u.graph.src_of_edge[live_slot])
+    dst = int(u.graph.dst[live_slot])
+    with pytest.raises(ValueError, match="duplicate a live edge"):
+        slide_window(u, EdgeList.from_tuples(n, [(src, dst, 1.0)]), [])
+    absent = (src + 1) % n, src  # may exist; search for a truly absent pair
+    keys = set(zip(u.graph.src_of_edge.tolist(), u.graph.dst.tolist()))
+    for a in range(n):
+        for b in range(n):
+            if a != b and (a, b) not in keys:
+                absent = (a, b)
+                break
+        else:
+            continue
+        break
+    with pytest.raises(ValueError, match="not present"):
+        slide_window(u, None, [absent])
+
+
+def _full_history_changes(u: UnifiedCSR, step: int):
+    """The Δ+/Δ- a full-history unified CSR records at ``step``."""
+    src, dst, wt = u.graph.src_of_edge, u.graph.dst, u.graph.wt
+    add_rows = np.flatnonzero(u.add_step == step)
+    del_rows = np.flatnonzero(u.del_step == step)
+    adds = EdgeList(
+        u.n_vertices, src[add_rows].copy(), dst[add_rows].copy(),
+        wt[add_rows].copy(),
+    )
+    dels = list(zip(src[del_rows].tolist(), dst[del_rows].tolist()))
+    return adds, dels
+
+
+def test_slide_equals_slicing_full_history(small_scenario):
+    """Property: for any window of the full history, extracting
+    ``[lo, hi]`` and sliding it with the Δs recorded at step ``hi``
+    yields exactly ``extract_window(lo + 1, hi + 1)``."""
+    u = small_scenario.unified
+    for lo in range(u.n_snapshots - 2):
+        for width in (1, 2, 3):
+            hi = lo + width
+            if hi + 1 >= u.n_snapshots:
+                continue
+            window = extract_window(u, lo, hi)
+            adds, dels = _full_history_changes(u, hi)
+            slid = slide_window(window, adds, dels).unified
+            expected = extract_window(u, lo + 1, hi + 1)
+            assert slid.n_union_edges == expected.n_union_edges
+            assert np.array_equal(
+                slid.graph.src_of_edge, expected.graph.src_of_edge
+            )
+            assert np.array_equal(slid.graph.dst, expected.graph.dst)
+            assert np.array_equal(slid.graph.wt, expected.graph.wt)
+            assert np.array_equal(slid.add_step, expected.add_step)
+            assert np.array_equal(slid.del_step, expected.del_step)

@@ -60,7 +60,9 @@ def test_initial_window_matches_scratch():
     check_against_scratch(server)
 
 
-@pytest.mark.parametrize("algo", ["sssp", "sswp", "bfs"])
+@pytest.mark.parametrize(
+    "algo", ["sssp", "sswp", "bfs", "ssnp", "viterbi"]
+)
 def test_slides_stay_correct(algo):
     server = fresh_server(algo=algo)
     rng = np.random.default_rng(11)
@@ -70,6 +72,52 @@ def test_slides_stay_correct(algo):
         server.advance(adds, dels)
         check_against_scratch(server)
     assert server.slides == 4
+
+
+@pytest.mark.parametrize(
+    "algo", ["sssp", "sswp", "bfs", "ssnp", "viterbi"]
+)
+def test_slid_window_is_bit_identical_to_fresh_build(algo):
+    """Differential parity: after >= 3 slides with additions *and*
+    deletions, every snapshot the advanced server holds must equal —
+    bit for bit — a WindowServer freshly built over the slid scenario
+    (the unique-fixpoint argument sliding-window serving relies on)."""
+    server = fresh_server(algo=algo)
+    rng = np.random.default_rng(23)
+    for _ in range(3):
+        adds = pick_new_edges(server, rng, 5)
+        dels = pick_deletable(server, rng, 4)
+        server.advance(adds, dels)
+    rebuilt = WindowServer(server.scenario, server.algorithm)
+    for k in range(server.n_snapshots):
+        assert np.array_equal(
+            server.values(k), rebuilt.values(k), equal_nan=True
+        ), (algo, k)
+
+
+def test_stable_vertex_tracking():
+    """advance() reports a provably-stable vertex set: every vertex it
+    marks stable kept its latest value bit-for-bit across the slide."""
+    server = fresh_server(algo="sssp")
+    assert server.last_stable is None and server.stable_rate == 0.0
+    rng = np.random.default_rng(31)
+    for _ in range(3):
+        before = server.latest().copy()
+        adds = pick_new_edges(server, rng, 5)
+        dels = pick_deletable(server, rng, 4)
+        server.advance(adds, dels)
+        stable = server.last_stable
+        assert stable is not None and stable.dtype == bool
+        after = server.latest()
+        same = (before == after) | (
+            np.isnan(before) & np.isnan(after)
+        )
+        assert bool(same[stable].all()), "a 'stable' vertex changed"
+    assert server.slide_vertices == 3 * server.scenario.n_vertices
+    assert 0.0 < server.stable_rate <= 1.0
+    assert server.stable_vertices == round(
+        server.stable_rate * server.slide_vertices
+    )
 
 
 def test_slide_preserves_surviving_results():
